@@ -1,0 +1,110 @@
+// Experiment T1-R6 (Table 1, row 6): testing triangle-freeness at average
+// degree Theta(1) requires Omega(sqrt(n)) bits one-way/simultaneously, via
+// the Boolean Matching reduction (Theorem 4.16 / Section 4.4).
+//
+// Empirical counterpart: on the reduction graphs, the capped simultaneous
+// protocol's minimum per-player budget for distinguishing the promise cases
+// (find a triangle in the zero case; never err in the one case, which holds
+// unconditionally by one-sidedness) scales as sqrt(n). The row also checks
+// the reduction's promise structure at scale.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sim_low.h"
+#include "graph/triangles.h"
+#include "lower_bounds/boolean_matching.h"
+#include "lower_bounds/budget_search.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using namespace tft;
+
+namespace {
+
+BudgetTrial make_trial(const std::vector<BmInstance>* pool) {
+  return [pool](std::uint64_t budget, std::uint64_t trial_index) {
+    const auto& inst = (*pool)[trial_index % pool->size()];
+    const auto players = bm_two_players(inst);
+    SimLowOptions o;
+    o.average_degree = 2.0;
+    o.c = 4.0;
+    o.seed = 0xB30 + trial_index;
+    o.cap_edges_per_player = budget;
+    const auto r = sim_low_find_triangle(players, o);
+    return r.triangle.has_value();
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
+
+  bench::header("T1-R6 bench_bm_lb",
+                "d = Theta(1) simultaneous triangle-freeness: Omega(sqrt n) via the "
+                "Boolean Matching reduction");
+
+  std::printf("\n-- promise verification at scale --\n");
+  {
+    Rng rng(1);
+    for (const std::uint32_t pairs : {1000u, 10000u, 100000u}) {
+      const auto zero = sample_bm(pairs, true, rng);
+      const auto one = sample_bm(pairs, false, rng);
+      const Graph gz = bm_graph(zero);
+      const Graph go = bm_graph(one);
+      bench::row({{"n_pairs", static_cast<double>(pairs)},
+                  {"zero_triangles", static_cast<double>(count_triangles(gz))},
+                  {"one_triangles", static_cast<double>(count_triangles(go))},
+                  {"avg_degree", gz.average_degree()}});
+    }
+  }
+
+  std::printf("\n-- min per-player budget (edges) to catch the zero case w.p. 0.8 --\n");
+  std::vector<double> ns, budgets;
+  for (std::uint32_t pairs = 256; pairs <= static_cast<std::uint32_t>(flags.get_int("pairs_max", 65536));
+       pairs *= 4) {
+    Rng rng(100 + pairs);
+    std::vector<BmInstance> pool;
+    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_bm(pairs, true, rng));
+    BudgetSearchOptions opts;
+    opts.target_success = 0.8;
+    opts.trials_per_budget = 24;
+    opts.budget_lo = 4;
+    opts.budget_hi = 1ULL << 26;
+    opts.refine_steps = 5;
+    const auto result = find_min_budget(make_trial(&pool), opts);
+    if (!result.found) {
+      std::printf("  pairs=%-8u NO passing budget found\n", pairs);
+      continue;
+    }
+    const double n_vertices = 4.0 * pairs + 1.0;
+    bench::row({{"n", n_vertices},
+                {"min_budget_edges", static_cast<double>(result.min_budget)},
+                {"sqrt_n", std::sqrt(n_vertices)}});
+    ns.push_back(n_vertices);
+    budgets.push_back(static_cast<double>(result.min_budget));
+  }
+  if (ns.size() >= 3) {
+    bench::fit_line("min-budget vs n", loglog_fit(ns, budgets), 0.5);
+  }
+
+  std::printf("\n-- one-sidedness on the triangle-free case (never errs) --\n");
+  {
+    Rng rng(7);
+    int false_positives = 0;
+    for (int t = 0; t < 50; ++t) {
+      const auto inst = sample_bm(4096, false, rng);
+      const auto players = bm_two_players(inst);
+      SimLowOptions o;
+      o.average_degree = 2.0;
+      o.c = 4.0;
+      o.seed = 0xF00 + static_cast<std::uint64_t>(t);
+      if (sim_low_find_triangle(players, o).triangle) ++false_positives;
+    }
+    bench::row({{"trials", 50.0}, {"false_positives", static_cast<double>(false_positives)}});
+  }
+  return 0;
+}

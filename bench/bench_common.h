@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+/// \file bench_common.h
+/// Shared output helpers for the experiment harnesses. Every bench binary
+/// prints (a) a header naming the paper artifact it regenerates, (b) the
+/// measured table rows, and (c) fitted exponents against the paper's
+/// predicted exponents. Absolute constants are not expected to match the
+/// paper (our substrate is a simulator); the *shape* is the claim under
+/// test.
+
+namespace tft::bench {
+
+inline void header(const char* experiment_id, const char* claim) {
+  std::printf("=== %s ===\n", experiment_id);
+  std::printf("paper claim: %s\n", claim);
+}
+
+inline void fit_line(const char* what, const LinearFit& fit, double predicted_exponent) {
+  std::printf("fit  %-40s slope=%+.3f  (paper: %+.3f)  r2=%.3f\n", what, fit.slope,
+              predicted_exponent, fit.r2);
+}
+
+inline void row(const std::vector<std::pair<std::string, double>>& cells) {
+  std::printf("%s\n", format_row(cells).c_str());
+}
+
+}  // namespace tft::bench

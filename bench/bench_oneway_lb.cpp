@@ -1,0 +1,100 @@
+// Experiment T1-R3 (Table 1, row 3): triangle-edge detection in "extended"
+// one-way 3-player communication requires Omega((nd)^{1/6}) bits
+// (Theorem 4.7 at d = Theta(sqrt n): Omega(n^{1/4})), and the shared-hub
+// birthday protocol matches it up to logs.
+//
+// Empirical counterpart: on the hard distribution mu, search for the
+// minimum per-player edge budget at which the one-way protocol succeeds
+// w.p. >= 0.8, sweep the side size, and fit min-budget vs side. Expected
+// slope: 1/4 in side (equivalently 1/6 in nd, since nd ~ side^{3/2}).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/oneway_vee.h"
+#include "lower_bounds/budget_search.h"
+#include "lower_bounds/mu_distribution.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using namespace tft;
+
+namespace {
+
+/// Budget trial on a pre-sampled instance pool: success iff the protocol
+/// outputs an edge (always a true triangle edge by one-sidedness).
+BudgetTrial make_trial(const std::vector<MuInstance>* pool) {
+  return [pool](std::uint64_t budget, std::uint64_t trial_index) {
+    const auto& mu = (*pool)[trial_index % pool->size()];
+    const auto players = partition_mu_three(mu);
+    OneWayOptions o;
+    o.seed = 0xABC0 + trial_index;
+    o.hubs = 4;
+    o.budget_edges_per_player = budget;
+    const auto r = oneway_vee_find_edge(players, mu.layout, o);
+    return r.triangle_edge.has_value();
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double gamma = flags.get_double("gamma", 0.9);
+  const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
+
+  bench::header("T1-R3 bench_oneway_lb",
+                "one-way 3-player triangle-edge detection: Theta~(n^{1/4}) on mu "
+                "(= Theta~((nd)^{1/6}))");
+
+  std::vector<double> sides, budgets;
+  for (Vertex side = 256; side <= static_cast<Vertex>(flags.get_int("side_max", 16384));
+       side *= 4) {
+    Rng rng(1000 + side);
+    std::vector<MuInstance> pool;
+    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_mu(side, gamma, rng));
+
+    BudgetSearchOptions opts;
+    opts.target_success = 0.8;
+    opts.trials_per_budget = 30;
+    opts.budget_lo = 4;
+    opts.budget_hi = 1ULL << 24;
+    opts.refine_steps = 5;
+    const auto result = find_min_budget(make_trial(&pool), opts);
+    if (!result.found) {
+      std::printf("  side=%-8u NO passing budget found\n", side);
+      continue;
+    }
+    const double nd = 3.0 * static_cast<double>(side) * 2.0 * gamma *
+                      std::sqrt(static_cast<double>(side));
+    bench::row({{"side", static_cast<double>(side)},
+                {"nd", nd},
+                {"min_budget_edges", static_cast<double>(result.min_budget)},
+                {"side^0.25", std::pow(static_cast<double>(side), 0.25)}});
+    sides.push_back(static_cast<double>(side));
+    budgets.push_back(static_cast<double>(result.min_budget));
+  }
+  if (sides.size() >= 3) {
+    bench::fit_line("min-budget vs side", loglog_fit(sides, budgets), 0.25);
+    // In terms of nd (nd ~ side^{3/2}) the same fit is 1/6.
+    std::vector<double> nds;
+    for (const double s : sides) nds.push_back(std::pow(s, 1.5));
+    bench::fit_line("min-budget vs nd", loglog_fit(nds, budgets), 1.0 / 6.0);
+  }
+
+  std::printf("\n-- success curve at side=4096 (threshold behaviour) --\n");
+  {
+    Rng rng(77);
+    std::vector<MuInstance> pool;
+    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_mu(4096, gamma, rng));
+    const auto trial = make_trial(&pool);
+    for (std::uint64_t b = 2; b <= 512; b *= 2) {
+      SuccessRate r;
+      r.trials = 30;
+      for (std::uint64_t t = 0; t < 30; ++t) r.successes += trial(b, t) ? 1 : 0;
+      bench::row({{"budget", static_cast<double>(b)}, {"success", r.rate()}});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+/// \file cost.h
+/// Primitive bit-cost accounting. `CostMeter` is the single accumulation
+/// point every protocol charges its communication to; the benchmark harness
+/// reads `bits()` after a run. Costs follow the conventions documented in
+/// util/bits.h.
+
+namespace tft {
+
+class CostMeter {
+ public:
+  void add_bits(std::uint64_t b) noexcept { bits_ += b; }
+  void add_flag() noexcept { bits_ += 1; }
+  void add_vertex(std::uint64_t n) noexcept { bits_ += vertex_bits(n); }
+  void add_edge(std::uint64_t n) noexcept { bits_ += edge_bits(n); }
+  void add_edges(std::uint64_t n, std::uint64_t m) noexcept { bits_ += m * edge_bits(n); }
+  void add_count(std::uint64_t value) noexcept { bits_ += count_bits(value); }
+
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+  void reset() noexcept { bits_ = 0; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace tft

@@ -1,0 +1,36 @@
+#include "comm/message_passing.h"
+
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace tft {
+
+void MessagePassingSimulator::deliver(const MpMessage& msg) {
+  if (msg.from >= k_ || msg.to >= k_) {
+    throw std::out_of_range("MessagePassingSimulator::deliver: bad player index");
+  }
+  if (msg.from == msg.to) {
+    throw std::invalid_argument("MessagePassingSimulator::deliver: self message");
+  }
+  mp_bits_ += msg.bits;
+  // Upstream: payload + recipient id header.
+  transcript_.charge(msg.from, Direction::kPlayerToCoordinator,
+                     msg.bits + vertex_bits(k_), /*phase=*/0);
+  // Downstream: forwarded payload.
+  transcript_.charge(msg.to, Direction::kCoordinatorToPlayer, msg.bits, /*phase=*/0);
+}
+
+double MessagePassingSimulator::overhead_bound(std::uint64_t payload_bits, std::size_t k) {
+  if (payload_bits == 0) return 0.0;
+  return 2.0 + static_cast<double>(vertex_bits(k)) / static_cast<double>(payload_bits);
+}
+
+double simulate_message_passing_overhead(std::size_t k, std::uint64_t universe_n,
+                                         const std::vector<MpMessage>& messages) {
+  MessagePassingSimulator sim(k, universe_n);
+  for (const auto& m : messages) sim.deliver(m);
+  return sim.overhead_factor();
+}
+
+}  // namespace tft

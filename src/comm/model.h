@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file model.h
+/// Communication-model tags (Section 2 of the paper).
+
+namespace tft {
+
+/// Who can talk to whom, and in how many rounds.
+enum class CommModel {
+  kCoordinator,   ///< unrestricted rounds, players <-> coordinator only
+  kSimultaneous,  ///< one message per player to the referee
+  kOneWay,        ///< Alice/Bob exchange freely, Charlie observes and outputs
+  kBlackboard,    ///< every message is seen by all players
+};
+
+/// Direction of a message for transcript accounting.
+enum class Direction {
+  kPlayerToCoordinator,
+  kCoordinatorToPlayer,
+};
+
+[[nodiscard]] constexpr const char* to_string(CommModel m) noexcept {
+  switch (m) {
+    case CommModel::kCoordinator: return "coordinator";
+    case CommModel::kSimultaneous: return "simultaneous";
+    case CommModel::kOneWay: return "one-way";
+    case CommModel::kBlackboard: return "blackboard";
+  }
+  return "?";
+}
+
+}  // namespace tft

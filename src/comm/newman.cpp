@@ -1,0 +1,46 @@
+#include "comm/newman.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+
+NewmanTable::NewmanTable(std::uint64_t master_seed, std::uint64_t n, std::uint64_t k,
+                         double delta, double scale)
+    : master_seed_(master_seed) {
+  if (delta <= 0.0 || delta >= 1.0) throw std::invalid_argument("NewmanTable: bad delta");
+  const double logn = std::log2(static_cast<double>(std::max<std::uint64_t>(n, 2)));
+  num_seeds_ = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(
+             std::ceil(scale * static_cast<double>(k) * logn / (delta * delta))));
+}
+
+NewmanTable::NewmanTable(std::uint64_t master_seed, std::uint64_t num_seeds)
+    : master_seed_(master_seed), num_seeds_(num_seeds) {
+  if (num_seeds_ == 0) throw std::invalid_argument("NewmanTable: empty table");
+}
+
+std::uint64_t NewmanTable::seed(std::uint64_t index) const {
+  if (index >= num_seeds_) throw std::out_of_range("NewmanTable::seed");
+  return mix_hash(master_seed_, 0x4E574D4EULL, index);  // "NWMN"
+}
+
+std::uint64_t NewmanTable::announce_cost_bits(std::uint64_t k) const {
+  // Up once, relayed down to the k-1 others.
+  return count_bits(num_seeds_ - 1) * k;
+}
+
+SuccessRate NewmanTable::empirical_success(
+    const std::function<bool(std::uint64_t)>& protocol) const {
+  SuccessRate rate;
+  rate.trials = num_seeds_;
+  for (std::uint64_t i = 0; i < num_seeds_; ++i) {
+    if (protocol(seed(i))) ++rate.successes;
+  }
+  return rate;
+}
+
+}  // namespace tft

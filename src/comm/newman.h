@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.h"
+
+/// \file newman.h
+/// Newman's theorem (Section 2): any protocol using shared randomness can
+/// be run with private randomness at an extra cost of O(log) bits — the
+/// parties pre-agree (as part of the protocol description) on a table of
+/// t = O(k log n / delta^2) seeds; one player privately picks a uniform
+/// index and announces it, and everyone then runs the shared-randomness
+/// protocol with the chosen table entry.
+///
+/// The library's protocols all take an explicit seed, so the transformation
+/// is a wrapper: `NewmanTable` derives the seed table deterministically
+/// from a master seed, `announce_cost_bits` is the extra communication, and
+/// `empirical_success` lets tests check that success over the fixed table
+/// concentrates around the true (fresh-randomness) success probability —
+/// the content of the theorem, observed empirically.
+
+namespace tft {
+
+class NewmanTable {
+ public:
+  /// Table sized per the theorem: t = ceil(scale * k * log2(n) / delta^2).
+  NewmanTable(std::uint64_t master_seed, std::uint64_t n, std::uint64_t k, double delta,
+              double scale = 1.0);
+
+  /// Explicit size.
+  NewmanTable(std::uint64_t master_seed, std::uint64_t num_seeds);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return num_seeds_; }
+  [[nodiscard]] std::uint64_t seed(std::uint64_t index) const;
+
+  /// Communication of announcing the chosen index in the coordinator model:
+  /// the picking player sends it up and the coordinator relays it to the
+  /// other k-1 players.
+  [[nodiscard]] std::uint64_t announce_cost_bits(std::uint64_t k) const;
+
+  /// Run `protocol(seed)` for every table entry and return the success
+  /// rate — the private-randomness protocol's success probability.
+  [[nodiscard]] SuccessRate empirical_success(
+      const std::function<bool(std::uint64_t)>& protocol) const;
+
+ private:
+  std::uint64_t master_seed_;
+  std::uint64_t num_seeds_;
+};
+
+}  // namespace tft

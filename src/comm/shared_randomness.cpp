@@ -1,0 +1,16 @@
+#include "comm/shared_randomness.h"
+
+namespace tft {
+
+std::vector<std::uint32_t> SharedRandomness::sample_vertices(SharedTag tag, std::uint64_t n,
+                                                             double p) const {
+  std::vector<std::uint32_t> out;
+  if (p <= 0.0) return out;
+  out.reserve(static_cast<std::size_t>(p * static_cast<double>(n)) + 16);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (bernoulli(tag, v, p)) out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+}  // namespace tft

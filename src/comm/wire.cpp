@@ -1,0 +1,121 @@
+#include "comm/wire.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace tft {
+
+void BitWriter::put_bit(bool b) {
+  const std::size_t byte = static_cast<std::size_t>(bits_ / 8);
+  if (byte >= bytes_.size()) bytes_.push_back(0);
+  if (b) bytes_[byte] |= static_cast<std::uint8_t>(0x80u >> (bits_ % 8));
+  ++bits_;
+}
+
+void BitWriter::put_bits(std::uint64_t value, std::uint32_t width) {
+  if (width > 64) throw std::invalid_argument("BitWriter::put_bits: width > 64");
+  for (std::uint32_t i = width; i > 0; --i) {
+    put_bit(((value >> (i - 1)) & 1) != 0);
+  }
+}
+
+void BitWriter::put_gamma(std::uint64_t value) {
+  const std::uint64_t v = value + 1;  // gamma codes positive integers
+  const auto width = static_cast<std::uint32_t>(bit_width_of(v));
+  for (std::uint32_t i = 1; i < width; ++i) put_bit(false);
+  put_bits(v, width);
+}
+
+bool BitReader::get_bit() {
+  if (pos_ >= bit_size_) throw std::out_of_range("BitReader: past end");
+  const std::size_t byte = static_cast<std::size_t>(pos_ / 8);
+  const bool b = (bytes_[byte] & (0x80u >> (pos_ % 8))) != 0;
+  ++pos_;
+  return b;
+}
+
+std::uint64_t BitReader::get_bits(std::uint32_t width) {
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) v = (v << 1) | (get_bit() ? 1 : 0);
+  return v;
+}
+
+std::uint64_t BitReader::get_gamma() {
+  std::uint32_t zeros = 0;
+  while (!get_bit()) ++zeros;
+  std::uint64_t v = 1;
+  for (std::uint32_t i = 0; i < zeros; ++i) v = (v << 1) | (get_bit() ? 1 : 0);
+  return v - 1;
+}
+
+namespace {
+
+std::vector<Edge> sorted_copy(std::span<const Edge> edges) {
+  std::vector<Edge> out(edges.begin(), edges.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void encode_edge_list(BitWriter& w, Vertex n, std::span<const Edge> edges) {
+  const auto sorted = sorted_copy(edges);
+  const auto vbits = static_cast<std::uint32_t>(vertex_bits(n));
+  w.put_gamma(sorted.size());
+  Vertex prev_u = 0;
+  for (const Edge& e : sorted) {
+    w.put_gamma(e.u - prev_u);  // sorted by u: deltas are non-negative
+    w.put_bits(e.v, vbits);
+    prev_u = e.u;
+  }
+}
+
+std::vector<Edge> decode_edge_list(BitReader& r, Vertex n) {
+  const auto vbits = static_cast<std::uint32_t>(vertex_bits(n));
+  const std::uint64_t count = r.get_gamma();
+  std::vector<Edge> out;
+  out.reserve(count);
+  Vertex prev_u = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto u = static_cast<Vertex>(prev_u + r.get_gamma());
+    const auto v = static_cast<Vertex>(r.get_bits(vbits));
+    out.emplace_back(u, v);
+    prev_u = u;
+  }
+  return out;
+}
+
+void encode_vertex_list(BitWriter& w, Vertex n, std::span<const Vertex> vertices) {
+  std::vector<Vertex> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  (void)n;
+  w.put_gamma(sorted.size());
+  Vertex prev = 0;
+  for (const Vertex v : sorted) {
+    w.put_gamma(v - prev);
+    prev = v;
+  }
+}
+
+std::vector<Vertex> decode_vertex_list(BitReader& r, Vertex n) {
+  (void)n;
+  const std::uint64_t count = r.get_gamma();
+  std::vector<Vertex> out;
+  out.reserve(count);
+  Vertex prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev = static_cast<Vertex>(prev + r.get_gamma());
+    out.push_back(prev);
+  }
+  return out;
+}
+
+std::uint64_t encoded_edge_list_bits(Vertex n, std::span<const Edge> edges) {
+  BitWriter w;
+  encode_edge_list(w, n, edges);
+  return w.bit_size();
+}
+
+}  // namespace tft

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file wire.h
+/// Concrete wire encoding for protocol messages.
+///
+/// The Transcript charges idealized bit costs (the measure the paper's
+/// theorems are stated in). This codec backs those charges with an actual
+/// serialization: a MSB-first bit stream with fixed-width fields, Elias-
+/// gamma-coded counters, and delta-coded sorted edge lists. The test suite
+/// checks that real encoded sizes track the charged costs (the edge-list
+/// encoding is in fact slightly *smaller* than the charged 2⌈log n⌉ bits
+/// per edge once lists are sorted, so the idealized accounting is honest).
+
+namespace tft {
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  void put_bit(bool b);
+  /// Lowest `width` bits of `value`, MSB first. width <= 64.
+  void put_bits(std::uint64_t value, std::uint32_t width);
+  /// Elias-gamma code for value >= 0 (stored as value + 1).
+  void put_gamma(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t bit_size() const noexcept { return bits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t bits_ = 0;
+};
+
+/// MSB-first bit reader over a BitWriter's output.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes, std::uint64_t bit_size) noexcept
+      : bytes_(bytes), bit_size_(bit_size) {}
+
+  [[nodiscard]] bool get_bit();
+  [[nodiscard]] std::uint64_t get_bits(std::uint32_t width);
+  [[nodiscard]] std::uint64_t get_gamma();
+  [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= bit_size_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t bit_size_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Encode a list of edges over an n-vertex universe. The list is sorted and
+/// delta-coded: a gamma-coded length, then per edge the (gamma-coded) delta
+/// of u from the previous u and a fixed-width v.
+void encode_edge_list(BitWriter& w, Vertex n, std::span<const Edge> edges);
+
+/// Decode what encode_edge_list wrote.
+[[nodiscard]] std::vector<Edge> decode_edge_list(BitReader& r, Vertex n);
+
+/// Encode a sorted vertex list (delta + gamma).
+void encode_vertex_list(BitWriter& w, Vertex n, std::span<const Vertex> vertices);
+[[nodiscard]] std::vector<Vertex> decode_vertex_list(BitReader& r, Vertex n);
+
+/// Size in bits that encode_edge_list would produce (without materializing).
+[[nodiscard]] std::uint64_t encoded_edge_list_bits(Vertex n, std::span<const Edge> edges);
+
+}  // namespace tft

@@ -1,0 +1,29 @@
+#include "core/buckets.h"
+
+#include <cmath>
+
+namespace tft {
+
+namespace {
+double log2n(std::uint64_t n) noexcept {
+  return std::log2(static_cast<double>(n < 2 ? 2 : n));
+}
+}  // namespace
+
+bool is_full_vertex(std::uint64_t degree, std::uint64_t disjoint_vees, double eps,
+                    std::uint64_t n) noexcept {
+  if (degree == 0) return false;
+  const double fraction =
+      2.0 * static_cast<double>(disjoint_vees) / static_cast<double>(degree);
+  return fraction >= eps / (12.0 * log2n(n));
+}
+
+double degree_threshold_high(std::uint64_t n, double d, double eps) noexcept {
+  return std::sqrt(static_cast<double>(n) * d / eps);  // d_h = sqrt(nd/eps)
+}
+
+double degree_threshold_low(std::uint64_t n, double d, double eps) noexcept {
+  return eps * d / (2.0 * log2n(n));  // d_l = eps*d / (2 log n)
+}
+
+}  // namespace tft

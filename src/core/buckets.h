@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+/// \file buckets.h
+/// Degree bucketing (Section 3.2 "Input analysis").
+///
+/// Vertices are partitioned into buckets by degree powers of 3:
+///   B_0 = isolated vertices, and for i >= 1,
+///   B_i = { v : 3^{i-1} <= deg(v) < 3^i }.
+/// d-(B_i) = 3^{i-1} and d+(B_i) = 3^i are the degree bounds.
+///
+/// Because edges are split across k players, no player knows deg(v); player
+/// j can only "reasonably suspect" v is in B_i when its local degree lies in
+/// [d-(B_i)/k, d+(B_i)) — if v in B_i, some player sees >= deg(v)/k >=
+/// d-(B_i)/k of its edges, and every player sees < d+(B_i). (The paper's
+/// Section 3.3 states the window as [3^i/k, 3^{i+1}]; we use the bound that
+/// actually follows from the pigeonhole argument. The slack only shifts the
+/// neighborhood radius by a constant number of buckets.)
+///
+/// Full vertices / full buckets (Definitions 4-5) are implemented in tests
+/// and the input-analysis helpers below; protocols never need them — they
+/// only iterate buckets and sample.
+
+namespace tft {
+
+/// Index of the bucket containing degree `deg` (0 for isolated vertices).
+[[nodiscard]] constexpr std::uint32_t bucket_of_degree(std::uint64_t deg) noexcept {
+  if (deg == 0) return 0;
+  std::uint32_t i = 1;
+  std::uint64_t upper = 3;  // d+(B_1)
+  while (deg >= upper) {
+    ++i;
+    upper *= 3;
+  }
+  return i;
+}
+
+/// d-(B_i): minimal degree in bucket i (0 for the singleton bucket).
+[[nodiscard]] constexpr std::uint64_t bucket_min_degree(std::uint32_t i) noexcept {
+  if (i == 0) return 0;
+  std::uint64_t v = 1;
+  for (std::uint32_t j = 1; j < i; ++j) v *= 3;
+  return v;
+}
+
+/// d+(B_i): exclusive upper degree bound of bucket i.
+[[nodiscard]] constexpr std::uint64_t bucket_max_degree(std::uint32_t i) noexcept {
+  return i == 0 ? 1 : 3 * bucket_min_degree(i);
+}
+
+/// Number of buckets needed for degrees < n (indices 0..num-1).
+[[nodiscard]] constexpr std::uint32_t num_buckets(std::uint64_t n) noexcept {
+  return bucket_of_degree(n == 0 ? 0 : n - 1) + 1;
+}
+
+/// Player-side membership test for B~_i^j given the player's local degree.
+[[nodiscard]] constexpr bool in_btilde(std::uint64_t local_degree, std::uint32_t bucket,
+                                       std::uint64_t k) noexcept {
+  if (bucket == 0) return false;  // isolated vertices never matter
+  const std::uint64_t lo = bucket_min_degree(bucket);
+  const std::uint64_t hi = bucket_max_degree(bucket);
+  // ceil(lo / k) keeps the guarantee deg(v) >= lo => some player passes.
+  const std::uint64_t lo_local = (lo + k - 1) / k;
+  return local_degree >= lo_local && local_degree < hi;
+}
+
+/// --- Input-analysis quantities (used by tests of Section 3.2 lemmas) ---
+
+/// Fraction threshold from Definition 5: a vertex is "full" when at least an
+/// eps / (12 log n)-fraction of its adjacent edges form disjoint
+/// triangle-vees. `disjoint_vees` is the vee count (each vee = 2 edges).
+[[nodiscard]] bool is_full_vertex(std::uint64_t degree, std::uint64_t disjoint_vees, double eps,
+                                  std::uint64_t n) noexcept;
+
+/// Definition 7 thresholds.
+[[nodiscard]] double degree_threshold_high(std::uint64_t n, double d, double eps) noexcept;
+/// Definition 8.
+[[nodiscard]] double degree_threshold_low(std::uint64_t n, double d, double eps) noexcept;
+
+}  // namespace tft

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "comm/shared_randomness.h"
+#include "comm/transcript.h"
+#include "graph/partition.h"
+
+/// \file building_blocks.h
+/// Section 3.1: property-testing primitives implemented as coordinator-model
+/// sub-protocols, with exact bit accounting.
+///
+/// Every function takes the full player vector but reads only player-local
+/// state plus shared randomness; all cross-boundary data is charged to the
+/// transcript. Distinct invocations must pass distinct SharedTags so their
+/// random choices are independent.
+
+namespace tft {
+
+/// Phase tags used by the building blocks when charging the transcript,
+/// so callers can attribute cost (Transcript::phase_bits).
+namespace phase {
+inline constexpr std::uint64_t kEdgeQuery = 1;
+inline constexpr std::uint64_t kSampleVertex = 2;
+inline constexpr std::uint64_t kIncidentEdge = 3;
+inline constexpr std::uint64_t kRandomEdge = 4;
+inline constexpr std::uint64_t kInducedSubgraph = 5;
+inline constexpr std::uint64_t kDegreeApprox = 6;
+inline constexpr std::uint64_t kVeeSample = 7;
+inline constexpr std::uint64_t kCloseVee = 8;
+inline constexpr std::uint64_t kSetup = 9;
+inline constexpr std::uint64_t kBfs = 10;
+}  // namespace phase
+
+/// Dense-model primitive: does edge e exist in the union graph?
+/// Cost: k bits up + k bits down (answer broadcast). O(k).
+[[nodiscard]] bool query_edge(std::span<const PlayerInput> players, Transcript& t, const Edge& e);
+
+/// Algorithm 1 (SampleUniformFromB~_i): sample a uniformly random vertex of
+/// bucket-candidate set B~_i = union_j B~_i^j using a shared random
+/// permutation. Returns nullopt if the candidate set is empty.
+/// Cost: k * (1 + log n) bits up.
+[[nodiscard]] std::optional<Vertex> sample_uniform_btilde(std::span<const PlayerInput> players,
+                                                          Transcript& t,
+                                                          const SharedRandomness& sr,
+                                                          SharedTag tag, std::uint32_t bucket);
+
+/// Generalized Algorithm 1: uniform sample from { v : player j accepts v }
+/// where acceptance is any player-local predicate evaluated on the local
+/// degree. Used by tests and by sample_uniform_btilde.
+[[nodiscard]] std::optional<Vertex> sample_uniform_where(
+    std::span<const PlayerInput> players, Transcript& t, const SharedRandomness& sr,
+    SharedTag tag, bool (*accept)(const PlayerInput&, Vertex));
+
+/// Sparse-model primitive: uniformly random edge incident to v, unbiased by
+/// edge duplication (shared permutation over the n-1 potential neighbors).
+/// The chosen edge is broadcast back to all players.
+/// Cost: k * (1 + log n) up + k * log n down.
+[[nodiscard]] std::optional<Edge> random_incident_edge(std::span<const PlayerInput> players,
+                                                       Transcript& t, const SharedRandomness& sr,
+                                                       SharedTag tag, Vertex v);
+
+/// Uniformly random edge of the union graph (shared permutation over all
+/// potential edges), broadcast to all players. Cost: k*(1+2log n) up +
+/// k*2log n down.
+[[nodiscard]] std::optional<Edge> random_edge(std::span<const PlayerInput> players, Transcript& t,
+                                              const SharedRandomness& sr, SharedTag tag);
+
+/// Random walk of `steps` steps from `start` via random_incident_edge.
+/// Returns the visited vertices (including start; stops early at a dead end).
+[[nodiscard]] std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Transcript& t,
+                                              const SharedRandomness& sr, SharedTag tag,
+                                              Vertex start, std::uint32_t steps);
+
+/// All edges of the subgraph induced by S (sorted vertex list), collected at
+/// the coordinator. Each player may send at most `cap_per_player` edges
+/// (0 = unlimited). Cost: sum over players of (#sent * 2 log n) + k counts.
+[[nodiscard]] std::vector<Edge> collect_induced_subgraph(std::span<const PlayerInput> players,
+                                                         Transcript& t,
+                                                         std::span<const Vertex> sorted_s,
+                                                         std::size_t cap_per_player);
+
+/// The edges {v} x S held by each player, collected at the coordinator
+/// (SampleEdges step 2, Algorithm 4). S is given implicitly as the shared
+/// Bernoulli(p) sample under `tag`; each player sends at most `cap` edges.
+[[nodiscard]] std::vector<Vertex> collect_sampled_neighbors(std::span<const PlayerInput> players,
+                                                            Transcript& t,
+                                                            const SharedRandomness& sr,
+                                                            SharedTag tag, Vertex v, double p,
+                                                            std::size_t cap);
+
+/// Distributed BFS (final bullet of Section 3.1): the coordinator examines
+/// vertices in FIFO order; for each examined vertex every player posts its
+/// local neighbor list (cost O(n log n) total over a component, regardless
+/// of duplication — the coordinator dedups). `max_visits` truncates the
+/// traversal (0 = whole component).
+struct BfsResult {
+  std::vector<Vertex> order;            ///< visit order, starting at source
+  std::vector<std::uint32_t> depth;     ///< UINT32_MAX where unreached
+  std::vector<Vertex> parent;           ///< parent[source] == source
+};
+
+[[nodiscard]] BfsResult distributed_bfs(std::span<const PlayerInput> players, Transcript& t,
+                                        Vertex source, std::size_t max_visits = 0);
+
+/// Odd-cycle detection via BFS 2-coloring (the classic sparse-model
+/// bipartiteness primitive, runnable on our building blocks): returns the
+/// vertex sequence of an odd cycle in source's component, or nullopt if the
+/// component is bipartite.
+[[nodiscard]] std::optional<std::vector<Vertex>> distributed_odd_cycle(
+    std::span<const PlayerInput> players, Transcript& t, Vertex source);
+
+/// Broadcast a vee candidate set A (neighbors of source v) to all players
+/// and ask each to close a triangle from its own input. Returns the closing
+/// triangle if any player finds one. Cost: k * |A| * log n down + k bits up
+/// (+ 2 log n for the reported closing edge).
+[[nodiscard]] std::optional<Triangle> close_vee_round(std::span<const PlayerInput> players,
+                                                      Transcript& t, Vertex source,
+                                                      std::span<const Vertex> candidates);
+
+}  // namespace tft

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/shared_randomness.h"
+#include "comm/transcript.h"
+#include "graph/partition.h"
+
+/// \file degree_approx.h
+/// Theorem 3.1 / Lemma 3.2: constant-factor approximation of a vertex
+/// degree when the edge set is scattered (with duplication) across k
+/// players, plus the distinct-elements generalization used to estimate |E|.
+///
+/// With duplication an exact count is as hard as set disjointness, so the
+/// protocol returns an estimate d_hat with (w.h.p.)
+///     d(v) <= d_hat <= alpha * d(v)
+/// i.e. the protocol only over-estimates, by at most the configured factor.
+/// Two phases:
+///   1. MSB round: each player sends the bit-length of its local count;
+///      the coordinator forms d' = sum_j 2^{I_j + 1}, a 2k-over-estimate.
+///   2. Geometric guess descent: guesses d'' = d', d'/s, d'/s^2, ... with
+///      s = sqrt(alpha). Per guess, m shared-sampling experiments: include
+///      each potential neighbor iid w.p. 1/d''; each player reports one bit
+///      ("my input hits the sample"); the empirical hit rate crosses a fixed
+///      threshold exactly when d'' has descended to ~d(v).
+
+namespace tft {
+
+struct DegreeApproxOptions {
+  double alpha = 3.0;          ///< approximation factor (> 1.5 recommended)
+  double tau = 0.05;           ///< failure probability target
+  std::uint32_t min_experiments = 8;   ///< floor on experiments per guess
+  double experiments_scale = 1.0;      ///< multiplier (theory presets use >> 1)
+  bool no_duplication = false;  ///< use the cheap Lemma 3.2 path
+};
+
+struct DegreeApproxResult {
+  /// The estimate; 0 iff the vertex is isolated in every input.
+  double estimate = 0.0;
+  /// Coarse phase-1 upper bound d' (>= true degree, <= 2k * true degree).
+  double msb_upper = 0.0;
+  /// Guesses examined (round count of phase 2).
+  std::uint32_t guesses = 0;
+};
+
+/// Approximate deg(v) of the union graph. See file comment for guarantees.
+[[nodiscard]] DegreeApproxResult approx_degree(std::span<const PlayerInput> players,
+                                               Transcript& t, const SharedRandomness& sr,
+                                               SharedTag tag, Vertex v,
+                                               const DegreeApproxOptions& opts = {});
+
+/// Lemma 3.2 (no duplication): each player ships its local count truncated
+/// to its top bits; the sum under-estimates by < alpha. Cost
+/// O(k log log d). Returns an estimate with d/alpha <= d_hat <= d.
+[[nodiscard]] DegreeApproxResult approx_degree_no_duplication(
+    std::span<const PlayerInput> players, Transcript& t, Vertex v, double alpha = 1.25);
+
+/// Distinct-elements generalization (closing remark of Section 3.1):
+/// approximates |E| = # distinct edges across all inputs, using the same
+/// two-phase scheme over the edge universe. Same guarantee shape:
+/// |E| <= m_hat <= alpha |E| w.h.p.
+[[nodiscard]] DegreeApproxResult approx_distinct_edges(std::span<const PlayerInput> players,
+                                                       Transcript& t, const SharedRandomness& sr,
+                                                       SharedTag tag,
+                                                       const DegreeApproxOptions& opts = {});
+
+}  // namespace tft

@@ -1,0 +1,25 @@
+#include "core/exact_baseline.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/triangles.h"
+#include "util/bits.h"
+
+namespace tft {
+
+ExactResult exact_find_triangle(std::span<const PlayerInput> players) {
+  if (players.empty()) throw std::invalid_argument("exact_find_triangle: no players");
+  ExactResult r;
+  std::vector<Edge> all;
+  for (const auto& p : players) {
+    const auto m = p.local.num_edges();
+    r.total_bits += count_bits(m) + m * edge_bits(p.n());
+    all.insert(all.end(), p.local.edges().begin(), p.local.edges().end());
+  }
+  const Graph g(players.front().n(), std::move(all));
+  r.triangle = find_triangle(g);
+  return r;
+}
+
+}  // namespace tft

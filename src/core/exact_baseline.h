@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "graph/partition.h"
+
+/// \file exact_baseline.h
+/// The exact triangle-detection baseline: every player ships its entire
+/// input to the coordinator, which decides deterministically with zero
+/// error. This is essentially optimal for the exact problem — Woodruff &
+/// Zhang [38] prove Omega(nk d) bits are necessary — and is the comparator
+/// the paper's Section 5 gap claim ("property testing is significantly
+/// easier than exact testing") is measured against in bench_exact_gap.
+
+namespace tft {
+
+struct ExactResult {
+  std::optional<Triangle> triangle;
+  std::uint64_t total_bits = 0;
+};
+
+/// Deterministic full-exchange detection. With a no-duplication promise the
+/// cost is Theta(m log n); with duplication it can reach k m log n.
+[[nodiscard]] ExactResult exact_find_triangle(std::span<const PlayerInput> players);
+
+}  // namespace tft

@@ -1,0 +1,74 @@
+#include "core/oneway_vee.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/shared_randomness.h"
+#include "util/bits.h"
+
+namespace tft {
+
+namespace {
+
+/// Alice's / Bob's per-hub message: the first `budget` neighbors of `hub`
+/// on the player's side, ordered by the shared permutation `tag`.
+std::vector<Vertex> hub_neighbors(const PlayerInput& player, const SharedRandomness& sr,
+                                  SharedTag tag, Vertex hub, std::uint64_t budget) {
+  std::vector<Vertex> ns(player.local.neighbors(hub).begin(), player.local.neighbors(hub).end());
+  const std::size_t take = std::min<std::size_t>(budget, ns.size());
+  std::partial_sort(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(take), ns.end(),
+                    [&](Vertex a, Vertex b) { return sr.precedes(tag, a, b); });
+  ns.resize(take);
+  return ns;
+}
+
+}  // namespace
+
+OneWayResult oneway_vee_find_edge(std::span<const PlayerInput> players,
+                                  const TripartiteLayout& layout, const OneWayOptions& opts) {
+  if (players.size() != 3) throw std::invalid_argument("oneway_vee_find_edge: need 3 players");
+  const auto& alice = players[0];
+  const auto& bob = players[1];
+  const auto& charlie = players[2];
+  const std::uint64_t n = alice.n();
+  const SharedRandomness sr(opts.seed);
+
+  OneWayResult result;
+  const std::uint32_t hubs = std::max<std::uint32_t>(1, opts.hubs);
+  const std::uint64_t per_hub = std::max<std::uint64_t>(1, opts.budget_edges_per_player / hubs);
+
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    // The hub is a shared random vertex of U — no communication needed.
+    const auto hub =
+        static_cast<Vertex>(sr.uniform_vertex(SharedTag{0x0B, h, 0}, 0, layout.side));
+    const SharedTag perm_tag{0x0C, h, 0};
+
+    const auto a_side = hub_neighbors(alice, sr, perm_tag, hub, per_hub);
+    const auto b_side = hub_neighbors(bob, sr, perm_tag, hub, per_hub);
+    // Each transmitted neighbor costs one vertex id (the hub is shared).
+    result.total_bits += count_bits(a_side.size()) + a_side.size() * vertex_bits(n);
+    result.total_bits += count_bits(b_side.size()) + b_side.size() * vertex_bits(n);
+
+    if (result.triangle_edge) continue;  // keep charging remaining hubs' messages
+
+    // Charlie scans his input restricted to A x B. For each v1 in A his
+    // sorted neighbor list is intersected with B.
+    std::vector<Vertex> b_sorted = b_side;
+    std::sort(b_sorted.begin(), b_sorted.end());
+    for (const Vertex v1 : a_side) {
+      if (!layout.in_v1(v1)) continue;
+      for (const Vertex v2 : charlie.local.neighbors(v1)) {
+        if (!layout.in_v2(v2)) continue;
+        if (std::binary_search(b_sorted.begin(), b_sorted.end(), v2)) {
+          result.triangle_edge = Edge(v1, v2);
+          break;
+        }
+      }
+      if (result.triangle_edge) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tft

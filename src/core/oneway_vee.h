@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "graph/partition.h"
+
+/// \file oneway_vee.h
+/// The one-way 3-player triangle-edge finder for the tripartite hard
+/// distribution mu (Section 4.2.2), matching the Omega(n^{1/4}) lower bound
+/// of Theorem 4.7 up to logarithmic factors.
+///
+/// Model: Alice holds the U x V1 edges, Bob the U x V2 edges, Charlie the
+/// V1 x V2 edges; Alice and Bob send messages, Charlie outputs an edge of
+/// his input that participates in a triangle.
+///
+/// Protocol (the "quadratic advantage" the lower-bound proof bounds):
+/// shared randomness fixes a few hub vertices u in U. For each hub, Alice
+/// sends her first b neighbors of u in V1 under a shared permutation and
+/// Bob his first b neighbors in V2. That covers b^2 pairs of V1 x V2 per
+/// hub; on mu each covered pair is an edge of Charlie's input independently
+/// with probability gamma/sqrt(side), so b = Theta(n^{1/4}) makes some
+/// covered pair land in E3 with constant probability — and Charlie, who sees
+/// the transcript, outputs it. One-sided: the output edge is covered by a
+/// real vee (Alice/Bob sent only real edges), so it is a triangle edge with
+/// certainty whenever it is in E3.
+
+namespace tft {
+
+/// Vertex layout of the tripartite instance (matches gen::tripartite_mu).
+struct TripartiteLayout {
+  Vertex side = 0;
+  [[nodiscard]] bool in_u(Vertex v) const noexcept { return v < side; }
+  [[nodiscard]] bool in_v1(Vertex v) const noexcept { return v >= side && v < 2 * side; }
+  [[nodiscard]] bool in_v2(Vertex v) const noexcept { return v >= 2 * side && v < 3 * side; }
+};
+
+struct OneWayOptions {
+  std::uint64_t seed = 1;
+  /// Per-player edge budget (Alice and Bob each send at most this many
+  /// vertex ids). The knob the min-budget harness sweeps.
+  std::uint64_t budget_edges_per_player = 64;
+  /// Number of shared hub vertices; the per-hub budget is budget / hubs.
+  std::uint32_t hubs = 4;
+};
+
+struct OneWayResult {
+  /// An edge of Charlie's input certified (by the transcript) to close a
+  /// triangle with some hub. nullopt if no covered pair hit E3.
+  std::optional<Edge> triangle_edge;
+  std::uint64_t total_bits = 0;  ///< Alice + Bob message bits
+};
+
+/// Run the protocol. `players` must be the canonical 3-player tripartite
+/// partition: player 0 = Alice (U x V1), player 1 = Bob (U x V2),
+/// player 2 = Charlie (V1 x V2).
+[[nodiscard]] OneWayResult oneway_vee_find_edge(std::span<const PlayerInput> players,
+                                                const TripartiteLayout& layout,
+                                                const OneWayOptions& opts);
+
+}  // namespace tft

@@ -1,0 +1,50 @@
+#include "core/sim_common.h"
+
+#include <algorithm>
+
+#include "comm/wire.h"
+#include "graph/triangles.h"
+#include "util/bits.h"
+
+namespace tft {
+
+std::uint64_t SimMessage::bits(std::uint64_t n) const noexcept {
+  return count_bits(edges.size()) + edges.size() * edge_bits(n);
+}
+
+std::uint64_t SimMessage::encoded_bits(std::uint64_t n) const {
+  return encoded_edge_list_bits(static_cast<Vertex>(n), edges);
+}
+
+std::optional<Triangle> referee_find_triangle(Vertex n, std::span<const SimMessage> messages) {
+  std::vector<Edge> all;
+  for (const auto& m : messages) all.insert(all.end(), m.edges.begin(), m.edges.end());
+  const Graph g(n, std::move(all));
+  return find_triangle(g);
+}
+
+SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages) {
+  SimResult r;
+  r.per_player_bits.resize(messages.size(), 0);
+  std::vector<Edge> all;
+  for (const auto& m : messages) {
+    const std::uint64_t b = m.bits(n);
+    r.per_player_bits[m.player_id] = b;
+    r.total_bits += b;
+    r.any_truncated = r.any_truncated || m.truncated;
+    all.insert(all.end(), m.edges.begin(), m.edges.end());
+  }
+  const Graph g(n, std::move(all));
+  r.edges_received = g.num_edges();
+  r.triangle = find_triangle(g);
+  return r;
+}
+
+void apply_cap(SimMessage& msg, std::size_t cap) {
+  if (cap != 0 && msg.edges.size() > cap) {
+    msg.edges.resize(cap);
+    msg.truncated = true;
+  }
+}
+
+}  // namespace tft

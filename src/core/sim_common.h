@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+/// \file sim_common.h
+/// Shared machinery for simultaneous (one-round) protocols: each player
+/// emits exactly one message — a list of edges — and the referee outputs a
+/// triangle found in the union of the received edges.
+///
+/// All simultaneous protocols in Section 3.4 have this form; they differ
+/// only in *which* edges a player selects and in the per-player caps.
+
+namespace tft {
+
+/// The single message a player sends to the referee.
+struct SimMessage {
+  std::size_t player_id = 0;
+  std::vector<Edge> edges;
+  bool truncated = false;  ///< the cap forced this player to drop edges
+
+  /// Idealized bit cost of this message (the Transcript convention): a
+  /// length header plus 2 ceil(log n) per edge.
+  [[nodiscard]] std::uint64_t bits(std::uint64_t n) const noexcept;
+
+  /// Size of the actual wire encoding (comm/wire.h delta coding). Always
+  /// <= bits(n) for sorted lists, so the idealized accounting the paper's
+  /// theorems are stated in never understates a real implementation.
+  [[nodiscard]] std::uint64_t encoded_bits(std::uint64_t n) const;
+};
+
+/// Outcome of a simultaneous run.
+struct SimResult {
+  std::optional<Triangle> triangle;
+  std::uint64_t total_bits = 0;
+  std::vector<std::uint64_t> per_player_bits;
+  std::size_t edges_received = 0;  ///< distinct edges at the referee
+  bool any_truncated = false;
+};
+
+/// Referee step: union the messages and search for a triangle. One-sided:
+/// all received edges are real input edges, so any triangle found is real.
+[[nodiscard]] std::optional<Triangle> referee_find_triangle(Vertex n,
+                                                            std::span<const SimMessage> messages);
+
+/// Assemble a SimResult (bit totals + referee decision) from messages.
+[[nodiscard]] SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages);
+
+/// Truncate msg.edges to `cap` edges if cap != 0, recording truncation.
+void apply_cap(SimMessage& msg, std::size_t cap);
+
+}  // namespace tft

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/sim_common.h"
+
+/// \file sim_high.h
+/// Algorithm 7 / 9 (FindTriangleSimHigh): the simultaneous protocol for
+/// average degree d = Omega(sqrt(n)), communication Õ(k (nd)^{1/3}).
+///
+/// A shared uniformly random vertex set S of size Θ((n²/(eps d))^{1/3}) is
+/// sampled; every player sends its edges inside S x S, capped so that the
+/// worst case stays at the expected message size times O(1/delta)
+/// (Theorem 3.24). The referee looks for a triangle in the union.
+
+namespace tft {
+
+struct SimHighOptions {
+  double eps = 0.1;
+  double delta = 0.1;
+  double c = 3.0;  ///< sample-size constant ("sufficiently large c" in Alg 7)
+  std::uint64_t seed = 1;
+  /// The average degree the protocol is tuned for (Theorem 3.24 assumes d
+  /// is known; the oblivious wrapper passes per-guess values).
+  double average_degree = 0.0;
+  /// Per-player edge cap. kPaperCap = the Theorem 3.24 formula;
+  /// kUncapped = no cap (Algorithm 9, used inside the oblivious protocol);
+  /// any other value = explicit cap (used by the min-budget harness).
+  static constexpr std::uint64_t kPaperCap = ~std::uint64_t{0};
+  static constexpr std::uint64_t kUncapped = 0;
+  std::uint64_t cap_edges_per_player = kPaperCap;
+};
+
+/// The sample-set size |S| = c * (n^2 / (eps d))^{1/3}, clamped to [1, n].
+[[nodiscard]] double sim_high_sample_size(std::uint64_t n, const SimHighOptions& opts);
+
+/// Build player j's single message (player-local computation only).
+[[nodiscard]] SimMessage sim_high_message(const PlayerInput& player, const SimHighOptions& opts);
+
+/// Full run: all messages + referee decision.
+[[nodiscard]] SimResult sim_high_find_triangle(std::span<const PlayerInput> players,
+                                               const SimHighOptions& opts);
+
+}  // namespace tft

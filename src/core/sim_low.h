@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/sim_common.h"
+
+/// \file sim_low.h
+/// Algorithm 8 / 10 (FindTriangleSimLow): the simultaneous protocol for
+/// average degree d = O(sqrt(n)), communication Õ(k sqrt(n)).
+///
+/// Two shared samples: S with per-vertex probability p1 = min(c/d, 1)
+/// (catches rare high-degree triangle sources) and R with p2 = c/sqrt(n)
+/// (the birthday-paradox set). Players send every edge with one endpoint in
+/// R and the other in R ∪ S, capped at q = 2c²(sqrt(n)+d) * 2/delta
+/// (Theorem 3.26). The referee searches the union.
+
+namespace tft {
+
+struct SimLowOptions {
+  double eps = 0.1;
+  double delta = 0.1;
+  double c = 3.0;  ///< the constant c of Algorithm 8 (paper: c = 8/(9 delta))
+  std::uint64_t seed = 1;
+  double average_degree = 0.0;  ///< the d the protocol is tuned for
+  static constexpr std::uint64_t kPaperCap = ~std::uint64_t{0};
+  static constexpr std::uint64_t kUncapped = 0;
+  std::uint64_t cap_edges_per_player = kPaperCap;
+  /// Tag override so the oblivious wrapper can share one R across instances
+  /// while giving each degree guess its own S.
+  std::uint64_t s_tag = 0x105;
+  std::uint64_t r_tag = 0x10F;
+};
+
+/// Build player j's single message (player-local computation only).
+[[nodiscard]] SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts);
+
+/// Full run: all messages + referee decision.
+[[nodiscard]] SimResult sim_low_find_triangle(std::span<const PlayerInput> players,
+                                              const SimLowOptions& opts);
+
+}  // namespace tft

@@ -1,0 +1,100 @@
+#include "core/sim_oblivious.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/sim_high.h"
+#include "core/sim_low.h"
+
+namespace tft {
+
+namespace {
+
+/// Deterministic per-guess tags so that all players' instances line up.
+std::uint64_t high_tag(std::uint32_t guess_exp) { return 0xA100 + guess_exp; }
+std::uint64_t low_s_tag(std::uint32_t guess_exp) { return 0xB100 + guess_exp; }
+constexpr std::uint64_t kSharedRTag = 0xB0FF;  // one R across all low instances
+
+}  // namespace
+
+SimMessage sim_oblivious_message(const PlayerInput& player, const SimObliviousOptions& opts,
+                                 SimObliviousStats* stats) {
+  const std::uint64_t n = player.n();
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double dbar = player.local_average_degree();
+
+  SimMessage msg;
+  msg.player_id = player.player_id;
+  if (player.local.num_edges() == 0) return msg;
+
+  // Degree-guess ladder D_j = [d̄ʲ, (4k/eps) d̄ʲ], powers of two.
+  const double k = static_cast<double>(player.k);
+  const double guess_lo = std::max(1.0, dbar);
+  const double guess_hi = std::min(static_cast<double>(n), (4.0 * k / opts.eps) * std::max(dbar, 1.0));
+
+  const double logn = std::log2(static_cast<double>(std::max<std::uint64_t>(n, 2)));
+  // Per-instance caps anchored to the player's own observed density
+  // (Lemmas 3.30/3.31): O((n d̄ʲ)^{1/3} polylog) for high guesses,
+  // O(sqrt(n) polylog) for low guesses.
+  const auto cap_high = static_cast<std::uint64_t>(
+      std::ceil(opts.cap_scale * std::cbrt(static_cast<double>(n) * std::max(1.0, dbar)) * logn));
+  const auto cap_low =
+      static_cast<std::uint64_t>(std::ceil(opts.cap_scale * sqrt_n * logn));
+
+  std::vector<Edge> all;
+  for (std::uint32_t e = 0; (1ULL << e) <= static_cast<std::uint64_t>(std::ceil(guess_hi)); ++e) {
+    const double guess = static_cast<double>(1ULL << e);
+    if (guess < guess_lo / 2.0) continue;  // below the ladder
+
+    if (guess >= sqrt_n) {
+      if (stats) ++stats->high_instances;
+      SimHighOptions h;
+      h.eps = opts.eps;
+      h.delta = opts.delta;
+      h.c = opts.c;
+      h.seed = opts.seed ^ high_tag(e);  // instance-specific shared sample S
+      h.average_degree = guess;
+      h.cap_edges_per_player = cap_high;
+      SimMessage part = sim_high_message(player, h);
+      msg.truncated = msg.truncated || part.truncated;
+      all.insert(all.end(), part.edges.begin(), part.edges.end());
+    } else {
+      if (stats) ++stats->low_instances;
+      SimLowOptions l;
+      l.eps = opts.eps;
+      l.delta = opts.delta;
+      l.c = opts.c;
+      l.seed = opts.seed;  // tags distinguish instances; R is shared
+      l.average_degree = guess;
+      l.cap_edges_per_player = cap_low;
+      l.s_tag = low_s_tag(e);
+      l.r_tag = kSharedRTag;
+      SimMessage part = sim_low_message(player, l);
+      msg.truncated = msg.truncated || part.truncated;
+      all.insert(all.end(), part.edges.begin(), part.edges.end());
+    }
+  }
+
+  // The referee only needs the union of the instances' edges, so the player
+  // deduplicates before sending.
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  msg.edges = std::move(all);
+
+  if (opts.cap_edges_per_player != 0) {
+    apply_cap(msg, static_cast<std::size_t>(opts.cap_edges_per_player));
+  }
+  return msg;
+}
+
+SimResult sim_oblivious_find_triangle(std::span<const PlayerInput> players,
+                                      const SimObliviousOptions& opts) {
+  if (players.empty()) throw std::invalid_argument("sim_oblivious_find_triangle: no players");
+  std::vector<SimMessage> messages;
+  messages.reserve(players.size());
+  for (const auto& p : players) messages.push_back(sim_oblivious_message(p, opts));
+  return finalize_simultaneous(players.front().n(), std::move(messages));
+}
+
+}  // namespace tft

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/sim_common.h"
+
+/// \file sim_oblivious.h
+/// Algorithm 11 (FindTriangleSimOblivious): the degree-oblivious
+/// simultaneous protocol (Theorem 3.32).
+///
+/// No player knows the global average degree d and there is no second round
+/// to learn it. Player j computes its local average degree d̄ʲ; if j is
+/// "relevant" (d̄ʲ >= (eps/4k) d) then d lies in D_j = [d̄ʲ, (4k/eps) d̄ʲ],
+/// so the player runs O(log k) parallel instances of the degree-aware
+/// protocols — AlgHigh for guesses >= sqrt(n), AlgLow below — one per
+/// power-of-two guess in D_j, each instance's message capped near *its own
+/// d̄ʲ-based expectation* (Lemmas 3.30/3.31; this is what prevents the
+/// k-factor blow-up). Irrelevant players send small or empty messages; the
+/// graph restricted to relevant players is still (eps/2)-far.
+
+namespace tft {
+
+struct SimObliviousOptions {
+  double eps = 0.1;
+  double delta = 0.1;
+  double c = 3.0;          ///< inner-protocol sample constant
+  double cap_scale = 4.0;  ///< multiplier on the per-instance caps
+  std::uint64_t seed = 1;
+  /// 0 = per-instance paper caps. Nonzero = explicit per-player total edge
+  /// cap (for the min-budget harness).
+  std::uint64_t cap_edges_per_player = 0;
+};
+
+struct SimObliviousStats {
+  std::size_t high_instances = 0;
+  std::size_t low_instances = 0;
+};
+
+/// Build player j's single message. Purely local: uses only E_j and shared
+/// randomness.
+[[nodiscard]] SimMessage sim_oblivious_message(const PlayerInput& player,
+                                               const SimObliviousOptions& opts,
+                                               SimObliviousStats* stats = nullptr);
+
+/// Full degree-oblivious run.
+[[nodiscard]] SimResult sim_oblivious_find_triangle(std::span<const PlayerInput> players,
+                                                    const SimObliviousOptions& opts);
+
+}  // namespace tft

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/sim_common.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+/// \file subgraph_freeness.h
+/// Extension (paper Section 5, future work): "generalizing our techniques
+/// for detecting a wider class of subgraphs".
+///
+/// The induced-subgraph sampling protocol (AlgHigh) is pattern-agnostic:
+/// players send their edges inside a shared random vertex sample S and the
+/// referee searches the union for ANY fixed pattern H, not just a triangle.
+/// One-sidedness carries over verbatim (all received edges are real). The
+/// sample size must grow with the pattern: a graph eps-far from H-freeness
+/// contains Omega(eps m / |E(H)|) edge-disjoint copies of H, and a copy
+/// survives into S with probability ~ (|S|/n)^{|V(H)|}, so
+/// |S| = Theta(n (|V(H)|! / eps T)^{1/|V(H)|}) for T copies; we expose the
+/// scale as an option and validate the shape empirically (bench_subgraph).
+///
+/// This module provides:
+///   * small pattern graphs (clique, cycle, path, arbitrary),
+///   * a backtracking (non-induced) subgraph-isomorphism search with a work
+///     budget, used by referees on their small received unions,
+///   * planted H-far generators,
+///   * the simultaneous H-freeness tester.
+
+namespace tft {
+
+/// Small named patterns.
+[[nodiscard]] Graph pattern_clique(Vertex size);
+[[nodiscard]] Graph pattern_cycle(Vertex length);
+[[nodiscard]] Graph pattern_path(Vertex vertices);
+
+/// Find a (non-induced) copy of `pattern` in `host`: a vertex mapping
+/// [0, pattern.n()) -> host vertices, injective, preserving pattern edges.
+/// Degree-ordered backtracking with a step budget; nullopt means "none
+/// found within the budget" (exhaustive when the budget is not hit;
+/// max_steps = 0 means unlimited).
+[[nodiscard]] std::optional<std::vector<Vertex>> find_subgraph(const Graph& host,
+                                                               const Graph& pattern,
+                                                               std::uint64_t max_steps = 0);
+
+[[nodiscard]] bool contains_subgraph(const Graph& host, const Graph& pattern,
+                                     std::uint64_t max_steps = 0);
+
+/// t vertex-disjoint copies of `pattern` planted on the first
+/// t * pattern.n() vertices, plus a triangle-free noise matching on the
+/// rest. eps-far from H-freeness with eps ~ t / |E|.
+[[nodiscard]] Graph planted_copies(Vertex n, const Graph& pattern, std::uint32_t t, Rng& rng);
+
+struct SimSubgraphOptions {
+  double eps = 0.1;
+  double c = 3.0;          ///< sample-size scale
+  std::uint64_t seed = 1;
+  double average_degree = 1.0;
+  std::uint64_t cap_edges_per_player = 0;  ///< 0 = uncapped
+  std::uint64_t search_budget = 50'000'000;  ///< referee search step cap
+};
+
+struct SimSubgraphResult {
+  /// Host vertices of a certified copy (indexed by pattern vertex).
+  std::optional<std::vector<Vertex>> witness;
+  std::uint64_t total_bits = 0;
+  std::size_t edges_received = 0;
+};
+
+/// The sample-set size used for the given pattern.
+[[nodiscard]] double subgraph_sample_size(std::uint64_t n, Vertex pattern_vertices,
+                                          const SimSubgraphOptions& opts);
+
+/// Simultaneous H-freeness test: one message per player, referee searches
+/// the union of received edges for `pattern`. One-sided.
+[[nodiscard]] SimSubgraphResult sim_subgraph_find(std::span<const PlayerInput> players,
+                                                  const Graph& pattern,
+                                                  const SimSubgraphOptions& opts);
+
+}  // namespace tft

@@ -1,0 +1,79 @@
+#include "core/tester.h"
+
+#include <stdexcept>
+
+#include "core/exact_baseline.h"
+#include "core/sim_high.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+
+namespace tft {
+
+TestReport test_triangle_freeness(std::span<const PlayerInput> players,
+                                  const TesterOptions& opts) {
+  if (players.empty()) throw std::invalid_argument("test_triangle_freeness: no players");
+  TestReport report;
+  report.protocol = opts.protocol;
+
+  switch (opts.protocol) {
+    case ProtocolKind::kUnrestricted: {
+      UnrestrictedOptions o;
+      o.consts = ProtocolConstants::practical(opts.eps, opts.delta);
+      o.seed = opts.seed;
+      o.known_average_degree = opts.known_average_degree;
+      o.no_duplication = opts.no_duplication;
+      const auto r = find_triangle_unrestricted(players, o);
+      report.triangle = r.triangle;
+      report.bits = r.total_bits;
+      break;
+    }
+    case ProtocolKind::kSimLow: {
+      if (opts.known_average_degree < 1.0) {
+        throw std::invalid_argument("kSimLow requires known_average_degree");
+      }
+      SimLowOptions o;
+      o.eps = opts.eps;
+      o.delta = opts.delta;
+      o.seed = opts.seed;
+      o.average_degree = opts.known_average_degree;
+      const auto r = sim_low_find_triangle(players, o);
+      report.triangle = r.triangle;
+      report.bits = r.total_bits;
+      break;
+    }
+    case ProtocolKind::kSimHigh: {
+      if (opts.known_average_degree < 1.0) {
+        throw std::invalid_argument("kSimHigh requires known_average_degree");
+      }
+      SimHighOptions o;
+      o.eps = opts.eps;
+      o.delta = opts.delta;
+      o.seed = opts.seed;
+      o.average_degree = opts.known_average_degree;
+      const auto r = sim_high_find_triangle(players, o);
+      report.triangle = r.triangle;
+      report.bits = r.total_bits;
+      break;
+    }
+    case ProtocolKind::kSimOblivious: {
+      SimObliviousOptions o;
+      o.eps = opts.eps;
+      o.delta = opts.delta;
+      o.seed = opts.seed;
+      const auto r = sim_oblivious_find_triangle(players, o);
+      report.triangle = r.triangle;
+      report.bits = r.total_bits;
+      break;
+    }
+    case ProtocolKind::kExact: {
+      const auto r = exact_find_triangle(players);
+      report.triangle = r.triangle;
+      report.bits = r.total_bits;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace tft

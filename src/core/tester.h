@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/partition.h"
+
+/// \file tester.h
+/// Top-level public API: one façade over every protocol in the library.
+///
+/// Usage:
+///   auto players = tft::partition_random(graph, k, rng);
+///   tft::TesterOptions opts;
+///   opts.protocol = tft::ProtocolKind::kSimOblivious;
+///   auto report = tft::test_triangle_freeness(players, opts);
+///   if (report.triangle) ...   // certified triangle of the union graph
+///
+/// All protocols are one-sided: a returned triangle is always real, and on a
+/// triangle-free input the verdict is always "consistent with triangle-free".
+/// On inputs that are eps-far from triangle-free, a triangle is found with
+/// probability >= 1 - delta (for the theory constants; the practical
+/// constants achieve this empirically across the test-suite workloads).
+
+namespace tft {
+
+enum class ProtocolKind {
+  kUnrestricted,   ///< Section 3.3, Õ(k (nd)^{1/4} + k²) bits
+  kSimLow,         ///< Section 3.4.2, Õ(k sqrt(n)) bits, d = O(sqrt n)
+  kSimHigh,        ///< Section 3.4.1, Õ(k (nd)^{1/3}) bits, d = Omega(sqrt n)
+  kSimOblivious,   ///< Section 3.4.3, no advance knowledge of d
+  kExact,          ///< full-exchange baseline (zero error, Theta(k m log n))
+};
+
+[[nodiscard]] constexpr const char* to_string(ProtocolKind p) noexcept {
+  switch (p) {
+    case ProtocolKind::kUnrestricted: return "unrestricted";
+    case ProtocolKind::kSimLow: return "sim-low";
+    case ProtocolKind::kSimHigh: return "sim-high";
+    case ProtocolKind::kSimOblivious: return "sim-oblivious";
+    case ProtocolKind::kExact: return "exact";
+  }
+  return "?";
+}
+
+struct TesterOptions {
+  ProtocolKind protocol = ProtocolKind::kSimOblivious;
+  double eps = 0.1;
+  double delta = 0.1;
+  std::uint64_t seed = 1;
+  /// Average degree if known (required by kSimLow / kSimHigh; optional for
+  /// kUnrestricted; ignored by kSimOblivious / kExact).
+  double known_average_degree = 0.0;
+  /// No-duplication promise (enables the cheaper code paths).
+  bool no_duplication = false;
+};
+
+struct TestReport {
+  /// A certified triangle of the union graph, if one was found.
+  std::optional<Triangle> triangle;
+  /// Total communication in bits.
+  std::uint64_t bits = 0;
+  ProtocolKind protocol = ProtocolKind::kSimOblivious;
+  /// Convenience verdict: triangle found => the graph is NOT triangle-free
+  /// (with certainty); not found => consistent with triangle-free.
+  [[nodiscard]] bool rejects_triangle_freeness() const noexcept { return triangle.has_value(); }
+};
+
+/// Run the selected protocol on the players' inputs.
+[[nodiscard]] TestReport test_triangle_freeness(std::span<const PlayerInput> players,
+                                                const TesterOptions& opts);
+
+}  // namespace tft

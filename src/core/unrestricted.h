@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "comm/transcript.h"
+#include "graph/partition.h"
+
+/// \file unrestricted.h
+/// Section 3.3: the unrestricted-communication triangle finder
+/// (Algorithms 1-6), with communication Õ(k (nd)^{1/4} + k²).
+///
+/// Strategy: iterate degree buckets from d_l up to d_h = sqrt(nd/eps); for
+/// each bucket, sample Θ̃(k) candidate vertices uniformly from B~_i via a
+/// shared random permutation (Algorithm 1), filter them by an approximate
+/// degree check (Theorem 3.1), then for each surviving candidate sample its
+/// incident edges with probability ~ sqrt(log n / (eps d)) — if the
+/// candidate is a "full" vertex this exposes a triangle-vee w.h.p.
+/// (Lemma 3.9, extended birthday paradox) — and let every player try to
+/// close a vee from its own input. One-sided: any returned triangle is
+/// assembled entirely from real input edges.
+
+namespace tft {
+
+/// All tunable constants of the Section 3 protocols. `theory()` uses the
+/// paper's proof constants (correct for any input, infeasibly large for
+/// benchmarking); `practical()` keeps every formula's *shape* but with small
+/// leading constants (the factual default; validated empirically by the
+/// test suite).
+struct ProtocolConstants {
+  double eps = 0.1;    ///< farness parameter
+  double delta = 0.1;  ///< target error probability
+  double alpha = 3.0;  ///< degree-approximation factor
+
+  double q_scale = 1.0;            ///< multiplier on samples-per-bucket q
+  double cand_scale = 1.0;         ///< multiplier on the candidate cap
+  double edge_sample_scale = 1.0;  ///< multiplier on the edge-sample prob.
+  double approx_scale = 1.0;       ///< multiplier on degree-approx experiments
+
+  [[nodiscard]] static ProtocolConstants practical(double eps = 0.1, double delta = 0.1);
+  [[nodiscard]] static ProtocolConstants theory(double eps = 0.1, double delta = 0.1);
+
+  /// Samples per bucket: Θ(k log n) practical, ln(6/δ)·108·log²n·k/ε² theory.
+  [[nodiscard]] std::uint64_t samples_per_bucket(std::uint64_t n, std::uint64_t k) const;
+  /// Candidate cap per bucket: Θ(log n) practical, ln(6/δ)·312·log²n/ε² theory.
+  [[nodiscard]] std::uint64_t candidate_cap(std::uint64_t n) const;
+  /// Edge-sampling probability for a candidate of (under-)estimated degree d.
+  [[nodiscard]] double edge_sample_probability(std::uint64_t n, double degree_low) const;
+
+ private:
+  bool theory_preset_ = false;
+};
+
+struct UnrestrictedOptions {
+  ProtocolConstants consts{};
+  std::uint64_t seed = 1;
+  /// If >= 1, skip the distinct-edges estimation round and use this value
+  /// as the exact average degree (the "d known in advance" variant).
+  double known_average_degree = 0.0;
+  /// No-duplication promise: use the cheap Lemma 3.2 degree approximation.
+  bool no_duplication = false;
+  /// Blackboard model (Theorem 3.23): broadcasts are charged once, posted
+  /// edges are deduplicated across players — saves a factor of k.
+  bool blackboard = false;
+  /// Ablation switch: false = replace bucket sampling by naive uniform
+  /// vertex sampling (demonstrably fails on hub-concentrated inputs).
+  bool use_bucketing = true;
+};
+
+struct UnrestrictedResult {
+  std::optional<Triangle> triangle;  ///< verified triangle of the union graph
+  std::uint64_t total_bits = 0;
+  std::uint32_t buckets_tried = 0;
+  std::uint32_t candidates_examined = 0;
+  std::uint32_t vee_rounds = 0;
+  double degree_estimate = 0.0;  ///< the d the protocol worked with
+  /// Bits spent shipping/closing sampled incident edges — the k (nd)^{1/4}
+  /// term of Theorem 3.20.
+  std::uint64_t edge_sampling_bits = 0;
+  /// Everything else (degree estimation, bucket sampling, degree approx) —
+  /// the k^2 polylog term.
+  std::uint64_t overhead_bits = 0;
+};
+
+/// Run Algorithm 6 (FindTriangle). Requires a non-empty player vector over a
+/// common vertex set. Never returns a triangle absent from the union graph.
+[[nodiscard]] UnrestrictedResult find_triangle_unrestricted(std::span<const PlayerInput> players,
+                                                            const UnrestrictedOptions& opts);
+
+}  // namespace tft

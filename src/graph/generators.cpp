@@ -1,0 +1,297 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tft::gen {
+
+namespace {
+
+/// Invoke fn(i) for each pair index i in [0, total) kept independently with
+/// probability p, via geometric skip sampling — O(expected kept) time.
+template <typename Fn>
+void skip_sample(std::uint64_t total, double p, Rng& rng, Fn&& fn) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double cursor = -1.0;
+  for (;;) {
+    // Geometric gap: floor(log(U) / log(1-p)).
+    const double u = std::max(rng.uniform(), 1e-300);
+    cursor += 1.0 + std::floor(std::log(u) / log1mp);
+    if (cursor >= static_cast<double>(total)) return;
+    fn(static_cast<std::uint64_t>(cursor));
+  }
+}
+
+/// Map a linear index over the strict upper triangle of an n x n matrix to a
+/// (row, col) pair with row < col.
+std::pair<Vertex, Vertex> unrank_pair(std::uint64_t idx, std::uint64_t n) {
+  // Row r occupies (n-1-r) entries. Solve by walking rows; the expected
+  // number of iterations per call is O(1) amortized when callers iterate
+  // increasing idx, but we keep it simple and robust with a direct formula.
+  // idx = r*n - r*(r+1)/2 + (c - r - 1).
+  const double nd = static_cast<double>(n);
+  double rd = std::floor(nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(idx)));
+  auto r = static_cast<std::uint64_t>(std::max(0.0, rd));
+  // Fix up potential floating-point off-by-one.
+  auto row_start = [&](std::uint64_t rr) { return rr * n - rr * (rr + 1) / 2; };
+  while (r + 1 < n && row_start(r + 1) <= idx) ++r;
+  while (r > 0 && row_start(r) > idx) --r;
+  const std::uint64_t c = r + 1 + (idx - row_start(r));
+  return {static_cast<Vertex>(r), static_cast<Vertex>(c)};
+}
+
+void shuffle_vertices(std::vector<Vertex>& vs, Rng& rng) {
+  for (std::size_t i = vs.size(); i > 1; --i) std::swap(vs[i - 1], vs[rng.below(i)]);
+}
+
+}  // namespace
+
+Graph gnp(Vertex n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  skip_sample(total, p, rng, [&](std::uint64_t idx) {
+    const auto [u, v] = unrank_pair(idx, n);
+    edges.emplace_back(u, v);
+  });
+  return Graph(n, std::move(edges));
+}
+
+Graph bipartite_gnp(Vertex n, double p, Rng& rng) {
+  const Vertex a = n / 2;
+  const Vertex b = n - a;
+  std::vector<Edge> edges;
+  skip_sample(static_cast<std::uint64_t>(a) * b, p, rng, [&](std::uint64_t idx) {
+    const auto u = static_cast<Vertex>(idx / b);
+    const auto v = static_cast<Vertex>(a + idx % b);
+    edges.emplace_back(u, v);
+  });
+  return Graph(n, std::move(edges));
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph(a + b, std::move(edges));
+}
+
+Graph random_tree(Vertex n, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex v = 1; v < n; ++v) {
+    edges.emplace_back(static_cast<Vertex>(rng.below(v)), v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph star(Vertex n) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle(Vertex n) {
+  std::vector<Edge> edges;
+  if (n >= 3) {
+    edges.reserve(n);
+    for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+    edges.emplace_back(0, n - 1);
+  } else if (n == 2) {
+    edges.emplace_back(0, 1);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_matching(Vertex n, Rng& rng) {
+  std::vector<Vertex> vs(n);
+  std::iota(vs.begin(), vs.end(), Vertex{0});
+  shuffle_vertices(vs, rng);
+  std::vector<Edge> edges;
+  edges.reserve(n / 2);
+  for (Vertex i = 0; i + 1 < n; i += 2) edges.emplace_back(vs[i], vs[i + 1]);
+  return Graph(n, std::move(edges));
+}
+
+Graph c5_blowup(Vertex n) {
+  const Vertex per = n / 5;
+  if (per == 0) return Graph(n, {});
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(per) * per * 5);
+  const auto cls = [&](Vertex c, Vertex i) { return static_cast<Vertex>(c * per + i); };
+  for (Vertex c = 0; c < 5; ++c) {
+    const Vertex nc = (c + 1) % 5;
+    for (Vertex i = 0; i < per; ++i) {
+      for (Vertex j = 0; j < per; ++j) edges.emplace_back(cls(c, i), cls(nc, j));
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph planted_triangles(Vertex n, std::uint32_t t, Rng& rng) {
+  if (static_cast<std::uint64_t>(t) * 3 > n) {
+    throw std::invalid_argument("planted_triangles: need n >= 3t");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(3 * static_cast<std::size_t>(t) + (n - 3 * t) / 2);
+  for (std::uint32_t i = 0; i < t; ++i) {
+    const Vertex a = 3 * i;
+    edges.emplace_back(a, a + 1);
+    edges.emplace_back(a, a + 2);
+    edges.emplace_back(a + 1, a + 2);
+  }
+  // Triangle-free noise: a random matching on the remaining vertices. A
+  // matching cannot create triangles nor touch the planted ones.
+  std::vector<Vertex> rest(n - 3 * t);
+  std::iota(rest.begin(), rest.end(), static_cast<Vertex>(3 * t));
+  shuffle_vertices(rest, rng);
+  for (std::size_t i = 0; i + 1 < rest.size(); i += 2) {
+    edges.emplace_back(rest[i], rest[i + 1]);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph hub_matching(Vertex n, std::uint32_t hubs, Rng& rng) {
+  if (hubs >= n) throw std::invalid_argument("hub_matching: hubs must be < n");
+  std::vector<Edge> edges;
+  std::vector<Vertex> rest(n - hubs);
+  std::iota(rest.begin(), rest.end(), static_cast<Vertex>(hubs));
+  const std::size_t pairs = rest.size() / 2;
+  edges.reserve(hubs * pairs * 3);
+  for (Vertex h = 0; h < hubs; ++h) {
+    shuffle_vertices(rest, rng);
+    for (std::size_t i = 0; i + 1 < rest.size(); i += 2) {
+      const Vertex a = rest[i];
+      const Vertex b = rest[i + 1];
+      edges.emplace_back(h, a);
+      edges.emplace_back(h, b);
+      edges.emplace_back(a, b);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph barabasi_albert(Vertex n, std::uint32_t edges_per_vertex, Rng& rng) {
+  if (edges_per_vertex == 0) throw std::invalid_argument("barabasi_albert: m must be >= 1");
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: picking a uniform element samples proportionally
+  // to degree (each edge contributes both endpoints).
+  std::vector<Vertex> endpoints;
+  const Vertex seed_clique = std::min<Vertex>(n, edges_per_vertex + 1);
+  for (Vertex u = 0; u < seed_clique; ++u) {
+    for (Vertex v = u + 1; v < seed_clique; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (Vertex v = seed_clique; v < n; ++v) {
+    std::vector<Vertex> targets;
+    for (std::uint32_t e = 0; e < edges_per_vertex && !endpoints.empty(); ++e) {
+      // Sample with rejection to keep targets distinct for this vertex.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const Vertex w = endpoints[rng.below(endpoints.size())];
+        if (std::find(targets.begin(), targets.end(), w) == targets.end()) {
+          targets.push_back(w);
+          break;
+        }
+      }
+    }
+    for (const Vertex w : targets) {
+      edges.emplace_back(v, w);
+      endpoints.push_back(v);
+      endpoints.push_back(w);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph chung_lu(Vertex n, double d_target, double beta, Rng& rng) {
+  if (beta <= 2.0) throw std::invalid_argument("chung_lu: beta must be > 2");
+  // Weights w_i ~ (i+1)^{-1/(beta-1)}, normalized so sum w_i = n * d_target.
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (Vertex i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -1.0 / (beta - 1.0));
+    sum += w[i];
+  }
+  const double scale = static_cast<double>(n) * d_target / sum;
+  for (auto& x : w) x *= scale;
+  const double total = static_cast<double>(n) * d_target;  // sum of weights
+
+  // Miller-Hagberg sampling: weights are already sorted descending, so for
+  // each row i we skip-sample columns j > i under the upper bound
+  // p_bar = w_i * w_j0 / W (w is non-increasing) and thin by p_ij / p_bar.
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i + 1 < n; ++i) {
+    Vertex j = i + 1;
+    double p_bar = std::min(1.0, w[i] * w[j] / total);
+    while (j < n && p_bar > 0.0) {
+      if (p_bar < 1.0) {
+        const double u = std::max(rng.uniform(), 1e-300);
+        const double skip = std::floor(std::log(u) / std::log1p(-p_bar));
+        j += static_cast<Vertex>(std::min(skip, static_cast<double>(n)));
+      }
+      if (j >= n) break;
+      const double p_ij = std::min(1.0, w[i] * w[j] / total);
+      if (rng.uniform() < p_ij / p_bar) edges.emplace_back(i, j);
+      p_bar = p_ij;  // w non-increasing: p_ij is a valid bound for later j
+      ++j;
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph tripartite_mu(Vertex side, double gamma, Rng& rng) {
+  const double p = gamma / std::sqrt(static_cast<double>(side));
+  const Vertex n = 3 * side;
+  std::vector<Edge> edges;
+  const std::uint64_t block = static_cast<std::uint64_t>(side) * side;
+  // U x V1
+  skip_sample(block, p, rng, [&](std::uint64_t idx) {
+    edges.emplace_back(static_cast<Vertex>(idx / side), static_cast<Vertex>(side + idx % side));
+  });
+  // U x V2
+  skip_sample(block, p, rng, [&](std::uint64_t idx) {
+    edges.emplace_back(static_cast<Vertex>(idx / side),
+                       static_cast<Vertex>(2 * side + idx % side));
+  });
+  // V1 x V2
+  skip_sample(block, p, rng, [&](std::uint64_t idx) {
+    edges.emplace_back(static_cast<Vertex>(side + idx / side),
+                       static_cast<Vertex>(2 * side + idx % side));
+  });
+  return Graph(n, std::move(edges));
+}
+
+Graph embed_with_isolated(const Graph& core, Vertex total_n) {
+  if (total_n < core.n()) throw std::invalid_argument("embed_with_isolated: total_n < core.n()");
+  std::vector<Edge> edges(core.edges().begin(), core.edges().end());
+  return Graph(total_n, std::move(edges));
+}
+
+Graph disjoint_union(const Graph& h1, const Graph& h2) {
+  std::vector<Edge> edges(h1.edges().begin(), h1.edges().end());
+  edges.reserve(h1.num_edges() + h2.num_edges());
+  const Vertex shift = h1.n();
+  for (const Edge& e : h2.edges()) edges.emplace_back(e.u + shift, e.v + shift);
+  return Graph(h1.n() + h2.n(), std::move(edges));
+}
+
+Graph overlay(const Graph& h1, const Graph& h2) {
+  if (h1.n() != h2.n()) throw std::invalid_argument("overlay: vertex sets differ");
+  std::vector<Edge> edges(h1.edges().begin(), h1.edges().end());
+  edges.insert(edges.end(), h2.edges().begin(), h2.edges().end());
+  return Graph(h1.n(), std::move(edges));
+}
+
+}  // namespace tft::gen

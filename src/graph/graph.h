@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file graph.h
+/// Immutable undirected graph with CSR adjacency.
+///
+/// The paper's general property-testing model (Section 2): simple undirected
+/// graphs on n vertices, no degree bound, distance measured in edges relative
+/// to |E|. `Graph` normalizes, deduplicates and sorts its edge list at
+/// construction and provides O(log deg) membership queries.
+
+namespace tft {
+
+using Vertex = std::uint32_t;
+
+/// An undirected edge, stored normalized (u < v).
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+
+  Edge() = default;
+  Edge(Vertex a, Vertex b) noexcept : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// Dense 64-bit key; usable as a hash/map key.
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+};
+
+/// A triangle, stored with a < b < c.
+struct Triangle {
+  Vertex a = 0;
+  Vertex b = 0;
+  Vertex c = 0;
+
+  Triangle() = default;
+  Triangle(Vertex x, Vertex y, Vertex z) noexcept;
+
+  [[nodiscard]] Edge e1() const noexcept { return {a, b}; }
+  [[nodiscard]] Edge e2() const noexcept { return {a, c}; }
+  [[nodiscard]] Edge e3() const noexcept { return {b, c}; }
+
+  friend bool operator==(const Triangle&, const Triangle&) = default;
+  friend auto operator<=>(const Triangle&, const Triangle&) = default;
+};
+
+/// A "triangle-vee" (Definition 2): two edges sharing a source vertex. The
+/// vee {source-x, source-y} is a certified vee if {x, y} is also an edge.
+struct Vee {
+  Vertex source = 0;
+  Vertex x = 0;
+  Vertex y = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on vertex set {0, ..., n-1}. Edges are normalized,
+  /// deduplicated and self-loops dropped. Throws std::invalid_argument on an
+  /// endpoint >= n.
+  Graph(Vertex n, std::vector<Edge> edges);
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  [[nodiscard]] const Edge& edge(std::size_t i) const { return edges_.at(i); }
+
+  [[nodiscard]] std::uint32_t degree(Vertex v) const {
+    return offsets_.at(v + 1) - offsets_.at(v);
+  }
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return {adj_.data() + offsets_.at(v), adj_.data() + offsets_.at(v + 1)};
+  }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  [[nodiscard]] bool has_edge(const Edge& e) const { return has_edge(e.u, e.v); }
+
+  /// 2|E| / n; the paper's d. Zero for the empty graph.
+  [[nodiscard]] double average_degree() const noexcept {
+    return n_ == 0 ? 0.0 : 2.0 * static_cast<double>(edges_.size()) / static_cast<double>(n_);
+  }
+  [[nodiscard]] Vertex max_degree() const noexcept;
+
+  /// True if all three edges of t are present.
+  [[nodiscard]] bool contains(const Triangle& t) const {
+    return has_edge(t.e1()) && has_edge(t.e2()) && has_edge(t.e3());
+  }
+  /// True if both edges of the vee are present (the closing edge is not
+  /// required; see Definition 2).
+  [[nodiscard]] bool contains(const Vee& vee) const {
+    return has_edge(vee.source, vee.x) && has_edge(vee.source, vee.y);
+  }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Edge> edges_;          // sorted, unique
+  std::vector<std::uint32_t> offsets_;  // CSR row offsets, size n+1
+  std::vector<Vertex> adj_;          // CSR columns, sorted per row
+};
+
+}  // namespace tft

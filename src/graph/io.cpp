@@ -1,0 +1,60 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tft {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "n " << g.n() << " m " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+}
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  // Find the header line, skipping comments/blank lines.
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream hs(line);
+    std::string tag_n, tag_m;
+    if (!(hs >> tag_n >> n >> tag_m >> m) || tag_n != "n" || tag_m != "m") {
+      throw std::runtime_error("read_graph: malformed header: " + line);
+    }
+    have_header = true;
+    break;
+  }
+  if (!have_header) throw std::runtime_error("read_graph: missing header");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream es(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(es >> u >> v)) throw std::runtime_error("read_graph: malformed edge: " + line);
+    if (u >= n || v >= n) throw std::runtime_error("read_graph: endpoint out of range: " + line);
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  if (edges.size() < m) throw std::runtime_error("read_graph: truncated edge list");
+  return Graph(static_cast<Vertex>(n), std::move(edges));
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(os, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(is);
+}
+
+}  // namespace tft

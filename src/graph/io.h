@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+/// \file io.h
+/// Plain-text graph serialization so the examples and CLI can exchange
+/// instances with external tooling.
+///
+/// Format (whitespace-separated):
+///   line 1:  "n <num_vertices> m <num_edges>"
+///   then one "u v" pair per edge (0-based vertex ids)
+/// Lines starting with '#' are comments and ignored.
+
+namespace tft {
+
+/// Serialize to the text format.
+void write_graph(std::ostream& os, const Graph& g);
+
+/// Parse the text format. Throws std::runtime_error on malformed input
+/// (bad header, endpoint out of range, truncated edge list).
+[[nodiscard]] Graph read_graph(std::istream& is);
+
+/// Convenience file wrappers.
+void save_graph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace tft

@@ -1,0 +1,172 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace tft {
+
+namespace {
+
+/// Rank used for degree orientation: lower (degree, id) first.
+struct DegreeRank {
+  const Graph& g;
+  [[nodiscard]] bool lower(Vertex a, Vertex b) const {
+    const auto da = g.degree(a);
+    const auto db = g.degree(b);
+    return da != db ? da < db : a < b;
+  }
+};
+
+/// Out-neighbors of each vertex under degree orientation, sorted.
+std::vector<std::vector<Vertex>> orient(const Graph& g) {
+  DegreeRank rank{g};
+  std::vector<std::vector<Vertex>> out(g.n());
+  for (const Edge& e : g.edges()) {
+    if (rank.lower(e.u, e.v)) {
+      out[e.u].push_back(e.v);
+    } else {
+      out[e.v].push_back(e.u);
+    }
+  }
+  for (auto& row : out) std::sort(row.begin(), row.end());
+  return out;
+}
+
+std::uint64_t intersect_count(const std::vector<Vertex>& a, const std::vector<Vertex>& b) {
+  std::uint64_t c = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++c;
+      ++ia;
+      ++ib;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t count_triangles(const Graph& g) {
+  const auto out = orient(g);
+  std::uint64_t total = 0;
+  for (Vertex u = 0; u < g.n(); ++u) {
+    for (Vertex v : out[u]) {
+      total += intersect_count(out[u], out[v]);
+    }
+  }
+  return total;
+}
+
+std::optional<Triangle> find_triangle(const Graph& g) {
+  const auto out = orient(g);
+  for (Vertex u = 0; u < g.n(); ++u) {
+    for (Vertex v : out[u]) {
+      const auto& a = out[u];
+      const auto& b = out[v];
+      auto ia = a.begin();
+      auto ib = b.begin();
+      while (ia != a.end() && ib != b.end()) {
+        if (*ia < *ib) {
+          ++ia;
+        } else if (*ib < *ia) {
+          ++ib;
+        } else {
+          return Triangle(u, v, *ia);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Triangle> close_vee(const Graph& g, const Vee& vee) {
+  if (!g.contains(vee)) return std::nullopt;
+  if (!g.has_edge(vee.x, vee.y)) return std::nullopt;
+  return Triangle(vee.source, vee.x, vee.y);
+}
+
+std::vector<Triangle> greedy_triangle_packing(const Graph& g, Rng& rng) {
+  std::vector<std::size_t> order(g.num_edges());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Fisher-Yates shuffle with our Rng.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(g.num_edges() / 2);
+  const auto free_edge = [&](Vertex a, Vertex b) { return !used.contains(Edge(a, b).key()); };
+
+  std::vector<Triangle> packing;
+  for (const std::size_t idx : order) {
+    const Edge e = g.edge(idx);
+    if (!free_edge(e.u, e.v)) continue;
+    // Search for a closing vertex w from the smaller neighborhood.
+    Vertex u = e.u;
+    Vertex v = e.v;
+    if (g.degree(u) > g.degree(v)) std::swap(u, v);
+    for (const Vertex w : g.neighbors(u)) {
+      if (w == v) continue;
+      if (!g.has_edge(v, w)) continue;
+      if (!free_edge(u, w) || !free_edge(v, w)) continue;
+      used.insert(Edge(u, v).key());
+      used.insert(Edge(u, w).key());
+      used.insert(Edge(v, w).key());
+      packing.emplace_back(u, v, w);
+      break;
+    }
+  }
+  return packing;
+}
+
+std::uint64_t distance_lower_bound(const Graph& g, Rng& rng) {
+  return greedy_triangle_packing(g, rng).size();
+}
+
+bool certify_eps_far(const Graph& g, double eps, Rng& rng) {
+  const double need = eps * static_cast<double>(g.num_edges());
+  return static_cast<double>(distance_lower_bound(g, rng)) >= need;
+}
+
+std::vector<Triangle> triangles_through(const Graph& g, Vertex source, std::size_t limit) {
+  std::vector<Triangle> out;
+  const auto ns = g.neighbors(source);
+  for (std::size_t i = 0; i < ns.size() && out.size() < limit; ++i) {
+    for (std::size_t j = i + 1; j < ns.size() && out.size() < limit; ++j) {
+      if (g.has_edge(ns[i], ns[j])) out.emplace_back(source, ns[i], ns[j]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t disjoint_vees_at(const Graph& g, Vertex source) {
+  // Greedy matching on the "closing" graph over N(source): vees from the
+  // same source are disjoint iff their endpoint pairs are disjoint
+  // (Section 3.2). Greedy maximal matching is a 1/2-approximation of the
+  // maximum, which is enough for the full-vertex tests that consume this.
+  const auto ns = g.neighbors(source);
+  std::unordered_set<Vertex> matched;
+  std::uint64_t count = 0;
+  for (const Vertex x : ns) {
+    if (matched.contains(x)) continue;
+    for (const Vertex y : ns) {
+      if (y == x || matched.contains(y)) continue;
+      if (g.has_edge(x, y)) {
+        matched.insert(x);
+        matched.insert(y);
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace tft

@@ -1,0 +1,90 @@
+#include "lower_bounds/boolean_matching.h"
+
+#include <numeric>
+
+namespace tft {
+
+BmInstance sample_bm(std::uint32_t n_pairs, bool zero_case, Rng& rng) {
+  BmInstance inst;
+  inst.zero_case = zero_case;
+  const std::uint32_t two_n = 2 * n_pairs;
+
+  inst.x.resize(two_n);
+  for (auto& bit : inst.x) bit = static_cast<std::uint8_t>(rng.below(2));
+
+  std::vector<std::uint32_t> perm(two_n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  for (std::size_t i = perm.size(); i > 1; --i) std::swap(perm[i - 1], perm[rng.below(i)]);
+
+  inst.m.reserve(n_pairs);
+  inst.w.reserve(n_pairs);
+  for (std::uint32_t j = 0; j < n_pairs; ++j) {
+    const std::uint32_t j1 = perm[2 * j];
+    const std::uint32_t j2 = perm[2 * j + 1];
+    inst.m.emplace_back(j1, j2);
+    const std::uint8_t mx = inst.x[j1] ^ inst.x[j2];
+    inst.w.push_back(zero_case ? mx : static_cast<std::uint8_t>(mx ^ 1));
+  }
+  return inst;
+}
+
+Graph bm_graph(const BmInstance& inst) {
+  const auto n_pairs = static_cast<std::uint32_t>(inst.pairs());
+  const Vertex n = 1 + 4 * n_pairs;
+  std::vector<Edge> edges;
+  edges.reserve(4 * n_pairs);
+  // Alice's star edges.
+  for (std::uint32_t i = 0; i < 2 * n_pairs; ++i) {
+    edges.emplace_back(Vertex{0}, bm_vertex(i, inst.x[i]));
+  }
+  // Bob's gadget edges.
+  for (std::uint32_t j = 0; j < n_pairs; ++j) {
+    const auto [j1, j2] = inst.m[j];
+    if (inst.w[j] == 0) {
+      edges.emplace_back(bm_vertex(j1, 0), bm_vertex(j2, 0));
+      edges.emplace_back(bm_vertex(j1, 1), bm_vertex(j2, 1));
+    } else {
+      edges.emplace_back(bm_vertex(j1, 0), bm_vertex(j2, 1));
+      edges.emplace_back(bm_vertex(j1, 1), bm_vertex(j2, 0));
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::vector<PlayerInput> bm_two_players(const BmInstance& inst) {
+  const auto n_pairs = static_cast<std::uint32_t>(inst.pairs());
+  const Vertex n = 1 + 4 * n_pairs;
+  std::vector<Edge> alice;
+  alice.reserve(2 * n_pairs);
+  for (std::uint32_t i = 0; i < 2 * n_pairs; ++i) {
+    alice.emplace_back(Vertex{0}, bm_vertex(i, inst.x[i]));
+  }
+  std::vector<Edge> bob;
+  bob.reserve(2 * n_pairs);
+  for (std::uint32_t j = 0; j < n_pairs; ++j) {
+    const auto [j1, j2] = inst.m[j];
+    if (inst.w[j] == 0) {
+      bob.emplace_back(bm_vertex(j1, 0), bm_vertex(j2, 0));
+      bob.emplace_back(bm_vertex(j1, 1), bm_vertex(j2, 1));
+    } else {
+      bob.emplace_back(bm_vertex(j1, 0), bm_vertex(j2, 1));
+      bob.emplace_back(bm_vertex(j1, 1), bm_vertex(j2, 0));
+    }
+  }
+  std::vector<PlayerInput> players;
+  players.push_back(PlayerInput{0, 2, Graph(n, std::move(alice))});
+  players.push_back(PlayerInput{1, 2, Graph(n, std::move(bob))});
+  return players;
+}
+
+std::vector<std::uint8_t> bm_mx_xor_w(const BmInstance& inst) {
+  std::vector<std::uint8_t> out;
+  out.reserve(inst.pairs());
+  for (std::size_t j = 0; j < inst.pairs(); ++j) {
+    const auto [j1, j2] = inst.m[j];
+    out.push_back(static_cast<std::uint8_t>((inst.x[j1] ^ inst.x[j2]) ^ inst.w[j]));
+  }
+  return out;
+}
+
+}  // namespace tft

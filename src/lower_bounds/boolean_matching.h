@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+/// \file boolean_matching.h
+/// Section 4.4: the Boolean Matching problem BM_n and its reduction to
+/// testing triangle-freeness in graphs of average degree O(1)
+/// (Theorem 4.16), giving the Omega(sqrt(n)) one-way / simultaneous lower
+/// bound in the constant-degree regime.
+///
+/// Alice holds x in {0,1}^{2n}; Bob holds a perfect matching M on [2n] and
+/// w in {0,1}^n. The promise: Mx ⊕ w is either all-zeros (the reduction
+/// graph then contains n edge-disjoint triangles, hence is Omega(1)-far
+/// from triangle-free) or all-ones (the graph is exactly triangle-free).
+///
+/// Graph construction on V = {u} ∪ ([2n] x {0,1}):
+///   Alice:  {u, (i, x_i)} for every i;
+///   Bob:    per matching edge {j1, j2}: the parallel pair of rungs if
+///           w_j = 0, the crossed pair if w_j = 1.
+/// The gadget of matching edge j closes a triangle iff x_{j1} ⊕ x_{j2} = w_j.
+
+namespace tft {
+
+struct BmInstance {
+  std::vector<std::uint8_t> x;                              ///< 2n bits
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> m;   ///< n matching edges over [2n]
+  std::vector<std::uint8_t> w;                              ///< n bits
+  bool zero_case = true;  ///< Mx ⊕ w == 0 (far) vs == 1 (triangle-free)
+
+  [[nodiscard]] std::size_t pairs() const noexcept { return m.size(); }
+};
+
+/// Vertex id of (i, b) in the reduction graph; vertex 0 is the apex u.
+[[nodiscard]] constexpr Vertex bm_vertex(std::uint32_t i, std::uint32_t b) noexcept {
+  return 1 + 2 * i + b;
+}
+
+/// Sample a BM_n instance satisfying the promise for the requested case.
+[[nodiscard]] BmInstance sample_bm(std::uint32_t n_pairs, bool zero_case, Rng& rng);
+
+/// The Theorem 4.16 reduction graph (4n edges on 4n + 1 vertices).
+[[nodiscard]] Graph bm_graph(const BmInstance& inst);
+
+/// The natural two-player split: player 0 = Alice's star edges, player 1 =
+/// Bob's gadget edges. No duplication.
+[[nodiscard]] std::vector<PlayerInput> bm_two_players(const BmInstance& inst);
+
+/// Mx ⊕ w, for verifying the promise in tests.
+[[nodiscard]] std::vector<std::uint8_t> bm_mx_xor_w(const BmInstance& inst);
+
+}  // namespace tft

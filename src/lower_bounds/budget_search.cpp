@@ -1,0 +1,52 @@
+#include "lower_bounds/budget_search.h"
+
+namespace tft {
+
+namespace {
+
+SuccessRate evaluate(const BudgetTrial& trial, std::uint64_t budget, std::size_t trials) {
+  SuccessRate r;
+  r.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (trial(budget, t)) ++r.successes;
+  }
+  return r;
+}
+
+}  // namespace
+
+BudgetSearchResult find_min_budget(const BudgetTrial& trial, const BudgetSearchOptions& opts) {
+  BudgetSearchResult result;
+
+  // Doubling phase.
+  std::uint64_t lo = 0;  // highest known-failing budget
+  std::uint64_t hi = 0;  // lowest known-passing budget
+  for (std::uint64_t b = opts.budget_lo; b <= opts.budget_hi; b *= 2) {
+    const auto rate = evaluate(trial, b, opts.trials_per_budget);
+    result.curve.push_back({b, rate});
+    if (rate.rate() >= opts.target_success) {
+      hi = b;
+      break;
+    }
+    lo = b;
+    if (b > opts.budget_hi / 2) break;  // avoid overflow past the cap
+  }
+  if (hi == 0) return result;  // never passed
+
+  // Bisection refinement.
+  for (std::uint32_t step = 0; step < opts.refine_steps && hi > lo + 1; ++step) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const auto rate = evaluate(trial, mid, opts.trials_per_budget);
+    result.curve.push_back({mid, rate});
+    if (rate.rate() >= opts.target_success) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.found = true;
+  result.min_budget = hi;
+  return result;
+}
+
+}  // namespace tft

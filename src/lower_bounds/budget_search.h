@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/stats.h"
+
+/// \file budget_search.h
+/// Min-budget estimation: the empirical counterpart of a lower bound.
+///
+/// A communication lower bound cannot be executed; what *can* be measured is
+/// the smallest per-player budget at which a (capped) protocol still reaches
+/// a target success probability on the hard distribution. Sweeping that
+/// minimum budget across n and fitting the log-log slope reproduces the
+/// lower bound's exponent whenever the matching upper bound is tight
+/// (Section 4: the Theta((nd)^{1/3}) simultaneous and Theta~(n^{1/4})
+/// one-way regimes).
+
+namespace tft {
+
+/// One protocol execution under a budget. `trial_index` must fully
+/// determine the run's randomness (instance + protocol seed) so success
+/// rates at different budgets are comparable.
+using BudgetTrial = std::function<bool(std::uint64_t budget, std::uint64_t trial_index)>;
+
+struct BudgetCurvePoint {
+  std::uint64_t budget = 0;
+  SuccessRate success;
+};
+
+struct BudgetSearchResult {
+  bool found = false;             ///< a passing budget <= budget_hi exists
+  std::uint64_t min_budget = 0;   ///< smallest passing budget located
+  std::vector<BudgetCurvePoint> curve;  ///< every (budget, success) evaluated
+};
+
+struct BudgetSearchOptions {
+  double target_success = 0.9;
+  std::size_t trials_per_budget = 40;
+  std::uint64_t budget_lo = 1;
+  std::uint64_t budget_hi = 1ULL << 40;
+  /// Bisection refinement steps after the doubling phase brackets the
+  /// threshold (each step costs trials_per_budget runs).
+  std::uint32_t refine_steps = 4;
+};
+
+/// Doubling from budget_lo until the success target is met, then bisection
+/// between the last failing and first passing budgets.
+[[nodiscard]] BudgetSearchResult find_min_budget(const BudgetTrial& trial,
+                                                 const BudgetSearchOptions& opts);
+
+}  // namespace tft

@@ -1,0 +1,33 @@
+#include "lower_bounds/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace tft {
+
+EmbeddedInstance embed_dense_core(Vertex n, double d_target, double p_core, Rng& rng) {
+  if (p_core <= 0.0 || p_core > 1.0) throw std::invalid_argument("embed_dense_core: bad p_core");
+  // Overall average degree = n'^2 p / n  =>  n' = sqrt(n d / p).
+  const double np = std::sqrt(static_cast<double>(n) * d_target / p_core);
+  const auto core_n = static_cast<Vertex>(
+      std::clamp(np, 3.0, static_cast<double>(n)));
+  const Graph core = gen::gnp(core_n, p_core, rng);
+  EmbeddedInstance inst;
+  inst.core_n = core_n;
+  inst.core_degree = core.average_degree();
+  inst.graph = gen::embed_with_isolated(core, n);
+  return inst;
+}
+
+EmbeddedInstance embed_core(const Graph& core, Vertex n) {
+  EmbeddedInstance inst;
+  inst.core_n = core.n();
+  inst.core_degree = core.average_degree();
+  inst.graph = gen::embed_with_isolated(core, n);
+  return inst;
+}
+
+}  // namespace tft

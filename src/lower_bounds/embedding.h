@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+/// \file embedding.h
+/// Lemma 4.17: lower bounds (and worst-case upper-bound instances) for a
+/// lower average degree d' are obtained by embedding a dense core of n'
+/// vertices into a graph with n vertices, leaving n - n' vertices isolated.
+/// Triangle structure and distance to triangle-freeness are preserved
+/// exactly, while the average degree drops to core_edges * 2 / n.
+
+namespace tft {
+
+struct EmbeddedInstance {
+  Graph graph;
+  Vertex core_n = 0;       ///< vertices of the embedded core
+  double core_degree = 0;  ///< average degree inside the core
+};
+
+/// Embed a dense random core G(n', p_core) so the overall graph has n
+/// vertices and average degree ~ d_target: n' = sqrt(n d_target / p_core).
+/// The core is Omega(1)-far from triangle-free w.h.p. for constant p_core.
+[[nodiscard]] EmbeddedInstance embed_dense_core(Vertex n, double d_target, double p_core,
+                                                Rng& rng);
+
+/// Embed an arbitrary prebuilt core into n total vertices.
+[[nodiscard]] EmbeddedInstance embed_core(const Graph& core, Vertex n);
+
+}  // namespace tft

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+/// \file information.h
+/// Section 4.1: the information-theory toolkit behind the lower bounds —
+/// entropy, KL divergence, mutual information, the super-additivity bound
+/// I(X1..Xn; Y) >= sum_i I(Xi; Y) for independent Xi, and Lemma 4.3
+/// (D(q || p) >= q - 2p for p < 1/2).
+///
+/// Everything is numeric (base-2 logs, bits). `empirical_edge_information`
+/// instruments a deterministic protocol: it Monte-Carlo-estimates the
+/// per-edge information sum_e I(M; X_e) revealed by a player's message and
+/// checks it against the message length |M| — the inequality every
+/// lower-bound argument in Section 4.2 runs through.
+
+namespace tft {
+
+/// Binary entropy H(p) in bits; 0 at the endpoints.
+[[nodiscard]] double binary_entropy(double p);
+
+/// Entropy of a discrete distribution (unnormalized weights accepted).
+[[nodiscard]] double entropy(std::span<const double> dist);
+
+/// KL divergence D(Bernoulli(q) || Bernoulli(p)) in bits. Infinite when
+/// q puts mass where p has none; returns a large finite sentinel instead.
+[[nodiscard]] double kl_bernoulli(double q, double p);
+
+/// KL divergence between discrete distributions of equal support size.
+[[nodiscard]] double kl_discrete(std::span<const double> mu, std::span<const double> eta);
+
+/// Mutual information I(X; Y) in bits from a joint probability table
+/// joint[x][y] (rows x, columns y; unnormalized accepted).
+[[nodiscard]] double mutual_information(const std::vector<std::vector<double>>& joint);
+
+/// Lemma 4.3: for p < 1/2 and any q, D(q || p) >= q - 2p (in the paper's
+/// nat-free form; the bound holds a fortiori in bits... we check the exact
+/// statement with natural logs). Returns the minimum slack
+/// D(q||p) - (q - 2p) over a grid — tests assert it is >= 0.
+[[nodiscard]] double lemma_4_3_min_slack(std::uint32_t grid = 200);
+
+/// Monte-Carlo estimate of sum_e I(M; X_e) for a deterministic message
+/// function over independently-sampled inputs.
+///
+/// `sample` is called `samples` times with trial index t; it must return
+/// (message_fingerprint, per-edge indicator vector) where the indicator
+/// vector has one entry per tracked edge slot and the slots are independent
+/// across e under the input distribution (as in mu). The estimate is
+/// sum_e I(fingerprint; X_e) from the empirical joint counts.
+struct EdgeInformationEstimate {
+  double total_information_bits = 0.0;  ///< sum_e I(M; X_e)
+  double message_entropy_bits = 0.0;    ///< H(M) >= the sum, by super-additivity
+  std::size_t distinct_messages = 0;
+};
+
+using InformationSample =
+    std::function<std::pair<std::uint64_t, std::vector<std::uint8_t>>(std::size_t)>;
+
+[[nodiscard]] EdgeInformationEstimate empirical_edge_information(const InformationSample& sample,
+                                                                 std::size_t samples,
+                                                                 std::size_t num_slots);
+
+}  // namespace tft

@@ -1,0 +1,66 @@
+#include "lower_bounds/mu_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/triangles.h"
+
+namespace tft {
+
+MuInstance sample_mu(Vertex side, double gamma, Rng& rng) {
+  MuInstance mu;
+  mu.graph = gen::tripartite_mu(side, gamma, rng);
+  mu.layout.side = side;
+  mu.gamma = gamma;
+  return mu;
+}
+
+std::vector<PlayerInput> partition_mu_three(const MuInstance& mu) {
+  const auto& layout = mu.layout;
+  std::vector<std::vector<Edge>> parts(3);
+  for (const Edge& e : mu.graph.edges()) {
+    if (layout.in_u(e.u) && layout.in_v1(e.v)) {
+      parts[0].push_back(e);
+    } else if (layout.in_u(e.u) && layout.in_v2(e.v)) {
+      parts[1].push_back(e);
+    } else {
+      parts[2].push_back(e);  // V1 x V2
+    }
+  }
+  std::vector<PlayerInput> players;
+  players.reserve(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    players.push_back(PlayerInput{j, 3, Graph(mu.graph.n(), std::move(parts[j]))});
+  }
+  return players;
+}
+
+FarnessStats mu_farness_stats(Vertex side, double gamma, std::size_t trials,
+                              double threshold_coefficient, std::uint64_t seed) {
+  FarnessStats stats;
+  stats.trials = trials;
+  stats.threshold = threshold_coefficient * std::pow(gamma, 3.0) *
+                    std::pow(static_cast<double>(side), 1.5);
+  Rng rng(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto mu = sample_mu(side, gamma, rng);
+    const auto packing = static_cast<double>(distance_lower_bound(mu.graph, rng));
+    stats.mean_packing += packing / static_cast<double>(trials);
+    if (packing >= stats.threshold) ++stats.far_count;
+  }
+  return stats;
+}
+
+bool is_triangle_edge(const Graph& g, const Edge& e) {
+  if (!g.has_edge(e)) return false;
+  Vertex u = e.u;
+  Vertex v = e.v;
+  if (g.degree(u) > g.degree(v)) std::swap(u, v);
+  for (const Vertex w : g.neighbors(u)) {
+    if (w != v && g.has_edge(v, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace tft

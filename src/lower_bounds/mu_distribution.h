@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oneway_vee.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+/// \file mu_distribution.h
+/// The hard input distribution mu of Section 4.2.1: a tripartite graph on
+/// U ∪ V1 ∪ V2 (each side of size `side`), each cross edge present iid with
+/// probability gamma / sqrt(side). Average degree Theta(sqrt(side)).
+///
+/// Lemma 4.5: for sufficiently small gamma, a sample of mu contains
+/// Omega(side^{3/2}) edge-disjoint triangles — i.e. is Omega(1)-far from
+/// triangle-free — with probability >= 1/2. `mu_farness_stats` verifies this
+/// empirically (bench_mu_farness / tests).
+
+namespace tft {
+
+struct MuInstance {
+  Graph graph;
+  TripartiteLayout layout;
+  double gamma = 0.0;
+};
+
+/// Sample G ~ mu.
+[[nodiscard]] MuInstance sample_mu(Vertex side, double gamma, Rng& rng);
+
+/// The canonical 3-player split the lower bounds use: Alice gets U x V1,
+/// Bob U x V2, Charlie V1 x V2 (no duplication).
+[[nodiscard]] std::vector<PlayerInput> partition_mu_three(const MuInstance& mu);
+
+struct FarnessStats {
+  std::size_t trials = 0;
+  std::size_t far_count = 0;  ///< packing >= threshold_coefficient * side^{3/2}
+  double mean_packing = 0.0;
+  double threshold = 0.0;
+  [[nodiscard]] double far_fraction() const noexcept {
+    return trials > 0 ? static_cast<double>(far_count) / static_cast<double>(trials) : 0.0;
+  }
+};
+
+/// Empirical check of Lemma 4.5: sample `trials` graphs from mu and count
+/// how many have a greedy edge-disjoint triangle packing of size at least
+/// threshold_coefficient * side^{3/2}. (The lemma's coefficient is
+/// gamma^3/48; greedy gives at least 1/3 of optimum, so we test against
+/// coefficient * gamma^3.)
+[[nodiscard]] FarnessStats mu_farness_stats(Vertex side, double gamma, std::size_t trials,
+                                            double threshold_coefficient, std::uint64_t seed);
+
+/// True edge-level check used to verify one-way protocol outputs: is `e` an
+/// edge of g that participates in some triangle? (Definition 3.)
+[[nodiscard]] bool is_triangle_edge(const Graph& g, const Edge& e);
+
+}  // namespace tft

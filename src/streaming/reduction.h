@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "graph/partition.h"
+#include "streaming/stream_model.h"
+
+/// \file reduction.h
+/// The generic streaming <-> one-way reduction of Section 4.2.2 (after
+/// Alon-Matias-Szegedy [4]): a one-pass algorithm with space S yields a
+/// one-way multi-player protocol with communication (k-1) * S — each player
+/// runs the algorithm over its own segment of the stream and ships the
+/// memory state to the next. Consequently a one-way communication lower
+/// bound of C implies a streaming space lower bound of C / (k-1).
+///
+/// `one_way_via_streaming` executes the reduction: the players' inputs are
+/// laid out as consecutive stream segments, the detector's serialized state
+/// is charged at every hand-off, and the final holder reports the result.
+
+namespace tft {
+
+struct StreamingOneWayReport {
+  std::optional<Triangle> triangle;
+  std::uint64_t communication_bits = 0;  ///< sum of shipped states
+  std::uint64_t peak_memory_bits = 0;
+};
+
+/// Run the reduction over the players in index order.
+[[nodiscard]] StreamingOneWayReport one_way_via_streaming(std::span<const PlayerInput> players,
+                                                          std::uint64_t memory_budget_bits,
+                                                          std::uint64_t seed);
+
+/// Run the detector over a single stream (no hand-offs) — the plain
+/// streaming side of the tradeoff.
+[[nodiscard]] StreamingOneWayReport run_streaming(const EdgeStream& stream,
+                                                  std::uint64_t memory_budget_bits,
+                                                  std::uint64_t seed);
+
+}  // namespace tft

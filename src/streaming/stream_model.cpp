@@ -1,0 +1,29 @@
+#include "streaming/stream_model.h"
+
+#include <stdexcept>
+
+namespace tft {
+
+EdgeStream stream_of(const Graph& g) {
+  return EdgeStream{g.n(), {g.edges().begin(), g.edges().end()}};
+}
+
+EdgeStream shuffled_stream_of(const Graph& g, Rng& rng) {
+  EdgeStream s = stream_of(g);
+  for (std::size_t i = s.edges.size(); i > 1; --i) {
+    std::swap(s.edges[i - 1], s.edges[rng.below(i)]);
+  }
+  return s;
+}
+
+EdgeStream concat(const std::vector<EdgeStream>& parts) {
+  EdgeStream out;
+  for (const auto& p : parts) {
+    if (out.n == 0) out.n = p.n;
+    if (p.n != out.n) throw std::invalid_argument("concat: universe size mismatch");
+    out.edges.insert(out.edges.end(), p.edges.begin(), p.edges.end());
+  }
+  return out;
+}
+
+}  // namespace tft

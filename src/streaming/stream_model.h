@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+/// \file stream_model.h
+/// The one-pass edge-stream model referenced in Section 4.2.2 ("Streaming
+/// Lower Bounds"): the input arrives as an ordered edge sequence read once;
+/// the complexity measure is the peak memory (in bits) held between stream
+/// elements.
+
+namespace tft {
+
+/// An ordered edge stream over a fixed vertex universe.
+struct EdgeStream {
+  Vertex n = 0;
+  std::vector<Edge> edges;
+};
+
+/// Stream the graph's edges in (deterministic) sorted order.
+[[nodiscard]] EdgeStream stream_of(const Graph& g);
+
+/// Stream the graph's edges in uniformly random order.
+[[nodiscard]] EdgeStream shuffled_stream_of(const Graph& g, Rng& rng);
+
+/// Concatenate streams (e.g. the per-player segments of the one-way
+/// reduction). All parts must share the universe size.
+[[nodiscard]] EdgeStream concat(const std::vector<EdgeStream>& parts);
+
+}  // namespace tft

@@ -1,0 +1,74 @@
+#include "streaming/streaming_triangle.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+
+StreamingTriangleDetector::StreamingTriangleDetector(std::uint64_t memory_budget_bits, Vertex n,
+                                                     std::uint64_t seed)
+    : n_(n), budget_bits_(memory_budget_bits), seed_(seed) {}
+
+bool StreamingTriangleDetector::retained(const Edge& e) const noexcept {
+  // Identity-keyed coin: uniform in [0,1) per edge, so halving p_ keeps a
+  // subset of the current sample.
+  const double u =
+      static_cast<double>(mix_hash(seed_, e.key()) >> 11) * 0x1.0p-53;
+  return u < p_;
+}
+
+std::uint64_t StreamingTriangleDetector::memory_bits() const noexcept {
+  return static_cast<std::uint64_t>(stored_edges_) * edge_bits(n_);
+}
+
+std::uint64_t StreamingTriangleDetector::state_bits() const noexcept {
+  // Retained edges plus the current retention level (a small counter).
+  return memory_bits() + count_bits(64);
+}
+
+void StreamingTriangleDetector::subsample() {
+  p_ /= 2.0;
+  std::size_t removed_edges = 0;
+  for (auto& [v, ns] : adj_) {
+    const auto keep_end = std::remove_if(ns.begin(), ns.end(), [&](Vertex w) {
+      return !retained(Edge(v, w));
+    });
+    // Each removed adjacency entry is half an edge (edges appear twice).
+    removed_edges += static_cast<std::size_t>(ns.end() - keep_end);
+    ns.erase(keep_end, ns.end());
+  }
+  stored_edges_ -= removed_edges / 2;
+}
+
+bool StreamingTriangleDetector::offer(const Edge& e) {
+  if (found_) return true;
+
+  // Detection first: does some retained vee close over the arriving edge?
+  const auto it_a = adj_.find(e.u);
+  const auto it_b = adj_.find(e.v);
+  if (it_a != adj_.end() && it_b != adj_.end()) {
+    const auto& small = it_a->second.size() <= it_b->second.size() ? it_a->second : it_b->second;
+    const auto& large = it_a->second.size() <= it_b->second.size() ? it_b->second : it_a->second;
+    for (const Vertex w : small) {
+      if (w == e.u || w == e.v) continue;
+      if (std::find(large.begin(), large.end(), w) != large.end()) {
+        found_ = Triangle(e.u, e.v, w);
+        return true;
+      }
+    }
+  }
+
+  // Retention.
+  if (retained(e)) {
+    adj_[e.u].push_back(e.v);
+    adj_[e.v].push_back(e.u);
+    ++stored_edges_;
+    while (memory_bits() > budget_bits_ && p_ > 1e-12) subsample();
+    peak_bits_ = std::max(peak_bits_, memory_bits());
+  }
+  return false;
+}
+
+}  // namespace tft

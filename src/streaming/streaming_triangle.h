@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file streaming_triangle.h
+/// A one-pass, bounded-memory triangle-edge detector.
+///
+/// Sampling scheme (the edge-sampling half of the Kallaugher-Price-style
+/// hybrid the paper cites as [27]): every edge is retained with probability
+/// p, determined by a hash of its identity so that lowering p keeps a
+/// subset of the previous sample (adaptive "sticky" subsampling — the
+/// detector starts with p = 1 and halves p whenever storage would exceed
+/// the budget). An arriving edge {a, b} is reported as a triangle edge when
+/// two retained edges {w, a}, {w, b} complete a vee over it; the report is
+/// one-sided because all retained edges are real.
+///
+/// Success probability ~ p² per triangle, so memory M detects one of T
+/// edge-disjoint triangles w.h.p. when (M/m)² · T = Omega(1) — the tradeoff
+/// bench_streaming measures against the Omega(n^{1/4}) one-way bound that
+/// Section 4.2.2 transfers to streaming space.
+
+namespace tft {
+
+class StreamingTriangleDetector {
+ public:
+  /// `memory_budget_bits`: peak storage allowed for retained edges (edge ids
+  /// at 2 ceil(log n) bits each). `seed` keys the retention hash.
+  StreamingTriangleDetector(std::uint64_t memory_budget_bits, Vertex n, std::uint64_t seed);
+
+  /// Process the next stream element. Returns true once a triangle edge has
+  /// been found (further offers are no-ops).
+  bool offer(const Edge& e);
+
+  [[nodiscard]] const std::optional<Triangle>& found() const noexcept { return found_; }
+  [[nodiscard]] std::uint64_t memory_bits() const noexcept;
+  [[nodiscard]] std::uint64_t peak_memory_bits() const noexcept { return peak_bits_; }
+  [[nodiscard]] double retention_probability() const noexcept { return p_; }
+
+  /// Size of the serialized state (what the one-way reduction ships when a
+  /// player hands the computation over).
+  [[nodiscard]] std::uint64_t state_bits() const noexcept;
+
+ private:
+  [[nodiscard]] bool retained(const Edge& e) const noexcept;
+  void subsample();
+
+  Vertex n_;
+  std::uint64_t budget_bits_;
+  std::uint64_t seed_;
+  double p_ = 1.0;
+  std::optional<Triangle> found_;
+  std::uint64_t peak_bits_ = 0;
+  std::size_t stored_edges_ = 0;
+  /// Adjacency over retained edges, for O(min deg) vee closing.
+  std::unordered_map<Vertex, std::vector<Vertex>> adj_;
+};
+
+}  // namespace tft

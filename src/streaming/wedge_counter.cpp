@@ -1,0 +1,89 @@
+#include "streaming/wedge_counter.h"
+
+#include <algorithm>
+
+#include "streaming/stream_model.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+
+WedgeSamplingCounter::WedgeSamplingCounter(Vertex n, std::size_t reservoir_size,
+                                           std::uint64_t seed)
+    : n_(n), capacity_(reservoir_size), seed_(seed), degree_(n, 0), adj_(n) {
+  wedges_.reserve(reservoir_size);
+}
+
+void WedgeSamplingCounter::maybe_sample_wedges(const Edge& e) {
+  // The arriving edge forms one new wedge per existing neighbor of each
+  // endpoint (centered at that endpoint). Standard reservoir update.
+  Rng rng(mix_hash(seed_, coins_++));
+  const auto consider = [&](Vertex a, Vertex center, Vertex b) {
+    wedges_seen_ += 1.0;
+    if (wedges_.size() < capacity_) {
+      wedges_.push_back(Wedge{a, center, b});
+    } else if (capacity_ > 0 &&
+               rng.uniform() < static_cast<double>(capacity_) / wedges_seen_) {
+      wedges_[static_cast<std::size_t>(rng.below(capacity_))] = Wedge{a, center, b};
+    }
+  };
+  for (const Vertex w : adj_[e.u]) {
+    if (w != e.v) consider(w, e.u, e.v);
+  }
+  for (const Vertex w : adj_[e.v]) {
+    if (w != e.u) consider(w, e.v, e.u);
+  }
+}
+
+void WedgeSamplingCounter::offer(const Edge& e) {
+  if (e.u >= n_ || e.v >= n_ || e.u == e.v) return;
+  // Ignore duplicate arrivals (the stream of a simple graph).
+  if (std::find(adj_[e.u].begin(), adj_[e.u].end(), e.v) != adj_[e.u].end()) return;
+
+  maybe_sample_wedges(e);
+
+  adj_[e.u].push_back(e.v);
+  adj_[e.v].push_back(e.u);
+  ++degree_[e.u];
+  ++degree_[e.v];
+}
+
+double WedgeSamplingCounter::wedge_count() const {
+  double w = 0.0;
+  for (const auto d : degree_) {
+    w += 0.5 * static_cast<double>(d) * static_cast<double>(d > 0 ? d - 1 : 0);
+  }
+  return w;
+}
+
+double WedgeSamplingCounter::closure_rate() const {
+  if (wedges_.empty()) return 0.0;
+  std::size_t closed = 0;
+  for (const auto& w : wedges_) {
+    const auto& ns = adj_[w.a];
+    closed += std::find(ns.begin(), ns.end(), w.b) != ns.end() ? 1 : 0;
+  }
+  return static_cast<double>(closed) / static_cast<double>(wedges_.size());
+}
+
+double WedgeSamplingCounter::triangle_estimate() const {
+  // Every triangle owns exactly three closed wedges (see header).
+  return closure_rate() * wedge_count() / 3.0;
+}
+
+std::uint64_t WedgeSamplingCounter::memory_bits() const noexcept {
+  // Degrees (n counters) + reservoir (3 vertex ids + flag each).
+  return static_cast<std::uint64_t>(n_) * count_bits(n_) +
+         static_cast<std::uint64_t>(wedges_.size()) * 3 * vertex_bits(n_);
+}
+
+double estimate_triangles_streaming(const Graph& g, std::size_t reservoir_size,
+                                    std::uint64_t seed, std::uint64_t order_seed) {
+  Rng order_rng(order_seed);
+  const EdgeStream stream = shuffled_stream_of(g, order_rng);
+  WedgeSamplingCounter counter(g.n(), reservoir_size, seed);
+  for (const Edge& e : stream.edges) counter.offer(e);
+  return counter.triangle_estimate();
+}
+
+}  // namespace tft

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file wedge_counter.h
+/// One-pass triangle *counting* via wedge sampling (Jha-Seshadhri-Pinar
+/// style; the counting problem the paper's Section 4.4 reduction source
+/// [27] studies).
+///
+/// The stream is consumed once. The counter maintains
+///   * exact vertex degrees (O(n log) memory — the cheap part),
+///   * a reservoir of `reservoir_size` uniformly random wedges among all
+///     wedges formed so far (a wedge is created when an arriving edge
+///     shares an endpoint with an already-seen edge).
+/// Closure is evaluated at query time against the stored adjacency (as in
+/// JSP), which avoids the eviction bias of flagging during the stream. The
+/// estimate is T ≈ κ · W / 3: W = Σ_v d(v)(d(v)-1)/2 is the exact final
+/// wedge count, κ the closed fraction of the reservoir, and every triangle
+/// owns exactly three closed wedges.
+
+namespace tft {
+
+class WedgeSamplingCounter {
+ public:
+  WedgeSamplingCounter(Vertex n, std::size_t reservoir_size, std::uint64_t seed);
+
+  void offer(const Edge& e);
+
+  /// Estimated number of triangles given everything seen so far.
+  [[nodiscard]] double triangle_estimate() const;
+
+  /// Exact total wedge count from the tracked degrees.
+  [[nodiscard]] double wedge_count() const;
+
+  /// Fraction of reservoir wedges closed in the graph seen so far.
+  [[nodiscard]] double closure_rate() const;
+
+  [[nodiscard]] std::size_t reservoir_fill() const noexcept { return wedges_.size(); }
+
+  /// Memory consumed: degrees + reservoir, in bits.
+  [[nodiscard]] std::uint64_t memory_bits() const noexcept;
+
+ private:
+  struct Wedge {
+    Vertex a = 0;
+    Vertex center = 0;
+    Vertex b = 0;
+  };
+
+  void maybe_sample_wedges(const Edge& e);
+
+  Vertex n_;
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::uint64_t coins_ = 0;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::vector<Vertex>> adj_;  ///< full adjacency (degrees exact)
+  std::vector<Wedge> wedges_;
+  double wedges_seen_ = 0.0;  ///< total wedges formed so far (for reservoir math)
+};
+
+/// Convenience: run over a full stream and return the estimate.
+[[nodiscard]] double estimate_triangles_streaming(const Graph& g, std::size_t reservoir_size,
+                                                  std::uint64_t seed, std::uint64_t order_seed);
+
+}  // namespace tft

@@ -1,0 +1,45 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace tft {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::get_string(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
+
+}  // namespace tft

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// \file flags.h
+/// Minimal `--key=value` command-line parsing for examples and benches.
+/// Not a general-purpose parser; just enough to make binaries scriptable.
+
+namespace tft {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tft

@@ -1,0 +1,19 @@
+#include "util/rng.h"
+
+namespace tft {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling with rejection, giving an
+  // exactly uniform result for any bound >= 1.
+  if (bound <= 1) return 0;
+  const std::uint64_t threshold = (0ULL - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    // Use 128-bit multiply-shift to map r into [0, bound).
+    const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+}  // namespace tft

@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tft {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::ci95() const noexcept {
+  return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx <= 0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+  }
+  fit.r2 = syy > 0 ? 1.0 - ss_res / syy : 1.0;
+  return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0 && ys[i] > 0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+namespace {
+// Wilson score interval bound for z = 1.96.
+double wilson(double p, double n, int sign) {
+  if (n <= 0) return sign < 0 ? 0.0 : 1.0;
+  constexpr double z = 1.96;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  const double v = (center + sign * margin) / denom;
+  return std::min(1.0, std::max(0.0, v));
+}
+}  // namespace
+
+double SuccessRate::wilson_low() const noexcept {
+  return wilson(rate(), static_cast<double>(trials), -1);
+}
+
+double SuccessRate::wilson_high() const noexcept {
+  return wilson(rate(), static_cast<double>(trials), +1);
+}
+
+std::string format_row(const std::vector<std::pair<std::string, double>>& cells) {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : cells) {
+    std::snprintf(buf, sizeof(buf), "  %s=%-12.6g", name.c_str(), value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tft

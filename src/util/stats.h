@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file stats.h
+/// Summary statistics and log-log regression used by the benchmark harness
+/// to recover empirical scaling exponents from communication measurements.
+
+namespace tft {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of a ~95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Least-squares fit of y against x. Requires xs.size() == ys.size() >= 2.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit log(y) = a + b*log(x); `slope` is the empirical power-law exponent.
+/// All xs and ys must be strictly positive.
+[[nodiscard]] LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fraction of successes with a Wilson-score 95% interval, for reporting
+/// empirical protocol success probabilities.
+struct SuccessRate {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+  [[nodiscard]] double rate() const noexcept {
+    return trials > 0 ? static_cast<double>(successes) / static_cast<double>(trials) : 0.0;
+  }
+  [[nodiscard]] double wilson_low() const noexcept;
+  [[nodiscard]] double wilson_high() const noexcept;
+};
+
+/// Render a fixed-width table row for bench output, e.g. "  n=4096  bits=1.2e4".
+[[nodiscard]] std::string format_row(const std::vector<std::pair<std::string, double>>& cells);
+
+}  // namespace tft

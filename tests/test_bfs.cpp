@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/building_blocks.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Reference single-machine BFS depths.
+std::vector<std::uint32_t> reference_depths(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> depth(g.n(), UINT32_MAX);
+  std::queue<Vertex> q;
+  depth[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const Vertex w : g.neighbors(v)) {
+      if (depth[w] == UINT32_MAX) {
+        depth[w] = depth[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+TEST(DistributedBfs, DepthsMatchReferenceUnderDuplication) {
+  Rng rng(1);
+  const Graph g = gen::gnp(200, 0.02, rng);
+  const auto players = partition_duplicated(g, 4, 2.0, rng);
+  Transcript t(4, g.n());
+  const auto bfs = distributed_bfs(players, t, 0);
+  const auto ref = reference_depths(g, 0);
+  for (Vertex v = 0; v < g.n(); ++v) EXPECT_EQ(bfs.depth[v], ref[v]) << "vertex " << v;
+  // Parent edges are real graph edges.
+  for (const Vertex v : bfs.order) {
+    if (v != 0) {
+      EXPECT_TRUE(g.has_edge(v, bfs.parent[v]));
+    }
+  }
+}
+
+TEST(DistributedBfs, VisitOrderIsLevelMonotone) {
+  Rng rng(2);
+  const Graph g = gen::random_tree(300, rng);
+  const auto players = partition_random(g, 3, rng);
+  Transcript t(3, g.n());
+  const auto bfs = distributed_bfs(players, t, 0);
+  EXPECT_EQ(bfs.order.size(), g.n());  // tree is connected
+  for (std::size_t i = 1; i < bfs.order.size(); ++i) {
+    EXPECT_GE(bfs.depth[bfs.order[i]], bfs.depth[bfs.order[i - 1]]);
+  }
+}
+
+TEST(DistributedBfs, MaxVisitsTruncates) {
+  Rng rng(3);
+  const Graph g = gen::random_tree(500, rng);
+  const auto players = partition_random(g, 3, rng);
+  Transcript t(3, g.n());
+  const auto bfs = distributed_bfs(players, t, 0, 17);
+  EXPECT_EQ(bfs.order.size(), 17u);
+}
+
+TEST(DistributedBfs, CostScalesWithComponentEdges) {
+  // O(n log n) per the paper: charges are proportional to posted adjacency.
+  Rng rng(4);
+  const Graph small = gen::cycle(64);
+  const Graph large = gen::cycle(1024);
+  std::uint64_t small_bits = 0;
+  std::uint64_t large_bits = 0;
+  {
+    const auto players = partition_random(small, 3, rng);
+    Transcript t(3, small.n());
+    (void)distributed_bfs(players, t, 0);
+    small_bits = t.total_bits();
+  }
+  {
+    const auto players = partition_random(large, 3, rng);
+    Transcript t(3, large.n());
+    (void)distributed_bfs(players, t, 0);
+    large_bits = t.total_bits();
+  }
+  EXPECT_GT(large_bits, small_bits * 8);   // ~16x more vertices
+  EXPECT_LT(large_bits, small_bits * 40);  // but only linearly + log factor
+}
+
+TEST(DistributedOddCycle, BipartiteComponentsReportNone) {
+  Rng rng(5);
+  for (const Graph& g : {gen::cycle(100), gen::random_tree(200, rng),
+                         gen::complete_bipartite(20, 30)}) {
+    const auto players = partition_duplicated(g, 3, 1.5, rng);
+    Transcript t(3, g.n());
+    EXPECT_FALSE(distributed_odd_cycle(players, t, 0).has_value());
+  }
+}
+
+TEST(DistributedOddCycle, FindsRealOddCycle) {
+  Rng rng(6);
+  for (const Vertex len : {3u, 5u, 9u, 101u}) {
+    const Graph g = gen::cycle(len);
+    const auto players = partition_random(g, 3, rng);
+    Transcript t(3, g.n());
+    const auto cycle = distributed_odd_cycle(players, t, 0);
+    ASSERT_TRUE(cycle.has_value()) << "len " << len;
+    // Verify: odd length, consecutive vertices adjacent, closed.
+    EXPECT_EQ(cycle->size() % 2, 1u);
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      const Vertex a = (*cycle)[i];
+      const Vertex b = (*cycle)[(i + 1) % cycle->size()];
+      EXPECT_TRUE(g.has_edge(a, b)) << "len " << len << " at " << i;
+    }
+  }
+}
+
+TEST(DistributedOddCycle, TriangleInsideLargerGraph) {
+  Rng rng(7);
+  // Even cycle plus one chord creating an odd cycle.
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < 20; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(0, 19);
+  edges.emplace_back(0, 2);  // creates triangle 0-1-2
+  const Graph g(20, std::move(edges));
+  const auto players = partition_random(g, 2, rng);
+  Transcript t(2, g.n());
+  const auto cycle = distributed_odd_cycle(players, t, 0);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size() % 2, 1u);
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+}
+
+}  // namespace
+}  // namespace tft

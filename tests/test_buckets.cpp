@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/buckets.h"
+
+namespace tft {
+namespace {
+
+TEST(Buckets, BucketOfDegreeBoundaries) {
+  EXPECT_EQ(bucket_of_degree(0), 0u);
+  EXPECT_EQ(bucket_of_degree(1), 1u);
+  EXPECT_EQ(bucket_of_degree(2), 1u);
+  EXPECT_EQ(bucket_of_degree(3), 2u);
+  EXPECT_EQ(bucket_of_degree(8), 2u);
+  EXPECT_EQ(bucket_of_degree(9), 3u);
+  EXPECT_EQ(bucket_of_degree(27), 4u);
+}
+
+TEST(Buckets, MinMaxDegreeInvariants) {
+  for (std::uint32_t i = 1; i < 20; ++i) {
+    const auto lo = bucket_min_degree(i);
+    const auto hi = bucket_max_degree(i);
+    EXPECT_EQ(hi, 3 * lo);
+    // Every degree in [lo, hi) maps back to bucket i.
+    EXPECT_EQ(bucket_of_degree(lo), i);
+    EXPECT_EQ(bucket_of_degree(hi - 1), i);
+    EXPECT_EQ(bucket_of_degree(hi), i + 1);
+  }
+}
+
+TEST(Buckets, NumBucketsCoversAllDegrees) {
+  const auto n = std::uint64_t{10000};
+  const auto b = num_buckets(n);
+  // Max possible degree is n-1; its bucket must be < b.
+  EXPECT_LT(bucket_of_degree(n - 1), b);
+  EXPECT_LT(b, 12u);  // log_3(10000) + 2
+}
+
+TEST(Buckets, BtildeContainsTrueBucketMembers) {
+  // If deg(v) is in bucket i, and a player holds at least deg(v)/k of its
+  // edges, that player's membership test must pass.
+  const std::uint64_t k = 4;
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    const std::uint64_t deg = bucket_min_degree(i);
+    const std::uint64_t local = (deg + k - 1) / k;  // pigeonhole share
+    EXPECT_TRUE(in_btilde(local, i, k)) << "bucket " << i;
+    // The full degree also passes (it is < d+).
+    EXPECT_TRUE(in_btilde(deg, i, k));
+  }
+}
+
+TEST(Buckets, BtildeRejectsFarDegrees) {
+  const std::uint64_t k = 4;
+  // A local degree >= d+(B_i) cannot belong (the global degree would be
+  // at least that).
+  EXPECT_FALSE(in_btilde(bucket_max_degree(3), 3, k));
+  // A local degree far below d-(B_i)/k cannot certify membership.
+  EXPECT_FALSE(in_btilde(0, 3, k));
+  EXPECT_FALSE(in_btilde(1, 5, k));  // d-(B_5)/k = 81/4 > 1
+  // Isolated-vertex bucket is never suspected.
+  EXPECT_FALSE(in_btilde(5, 0, k));
+}
+
+TEST(Buckets, FullVertexThreshold) {
+  // n = 1024 => 12 log n = 120; eps = 0.12 => threshold fraction 0.001.
+  // Vertex of degree 1000 with 1 vee (2 edges, fraction 0.002) is full.
+  EXPECT_TRUE(is_full_vertex(1000, 1, 0.12, 1024));
+  // With zero vees it is not.
+  EXPECT_FALSE(is_full_vertex(1000, 0, 0.12, 1024));
+  EXPECT_FALSE(is_full_vertex(0, 0, 0.12, 1024));
+  // Huge eps demands a larger fraction.
+  EXPECT_FALSE(is_full_vertex(1000, 1, 1.0, 4));
+}
+
+TEST(Buckets, DegreeThresholds) {
+  // d_h = sqrt(nd/eps), d_l = eps d / (2 log n).
+  EXPECT_DOUBLE_EQ(degree_threshold_high(10000, 100.0, 0.1), std::sqrt(1e7));
+  const double dl = degree_threshold_low(1024, 100.0, 0.2);
+  EXPECT_DOUBLE_EQ(dl, 0.2 * 100.0 / (2.0 * 10.0));
+  EXPECT_LT(dl, degree_threshold_high(1024, 100.0, 0.2));
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(ChungLu, AverageDegreeNearTarget) {
+  Rng rng(1);
+  for (const double d : {4.0, 16.0}) {
+    const Graph g = gen::chung_lu(5000, d, 2.5, rng);
+    // Collisions (p capped at 1) lose a little mass; allow 25%.
+    EXPECT_NEAR(g.average_degree(), d, 0.25 * d) << "d=" << d;
+  }
+}
+
+TEST(ChungLu, HeavyTailedDegrees) {
+  Rng rng(2);
+  const Graph g = gen::chung_lu(8000, 8.0, 2.2, rng);
+  // Vertex 0 carries the largest weight: its degree must dwarf the average.
+  EXPECT_GT(g.degree(0), 12 * static_cast<std::uint32_t>(g.average_degree()));
+  // Degrees are (statistically) decreasing with index: compare head vs tail
+  // block averages.
+  double head = 0;
+  double tail = 0;
+  for (Vertex v = 0; v < 100; ++v) head += g.degree(v);
+  for (Vertex v = g.n() - 100; v < g.n(); ++v) tail += g.degree(v);
+  EXPECT_GT(head, 4 * tail);
+}
+
+TEST(ChungLu, BetaControlsSkew) {
+  Rng rng(3);
+  const Graph flat = gen::chung_lu(4000, 8.0, 3.0, rng);
+  const Graph skewed = gen::chung_lu(4000, 8.0, 2.1, rng);
+  EXPECT_GT(skewed.max_degree(), flat.max_degree());
+}
+
+TEST(ChungLu, RejectsBadBeta) {
+  Rng rng(4);
+  EXPECT_THROW((void)gen::chung_lu(100, 4.0, 2.0, rng), std::invalid_argument);
+}
+
+TEST(ChungLu, ContainsTrianglesAtModerateDensity) {
+  // Power-law graphs with beta < 3 and d >= ~8 have many triangles around
+  // the hubs — the realistic far-from-triangle-free workload.
+  Rng rng(5);
+  const Graph g = gen::chung_lu(6000, 10.0, 2.3, rng);
+  EXPECT_GT(count_triangles(g), 100u);
+  EXPECT_TRUE(certify_eps_far(g, 0.005, rng));
+}
+
+TEST(ChungLu, ProtocolsFindTrianglesOnPowerLawWorkloads) {
+  Rng rng(6);
+  const Graph g = gen::chung_lu(6000, 10.0, 2.3, rng);
+  int oblivious_ok = 0;
+  int unrestricted_ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto players = partition_random(g, 4, rng);
+    SimObliviousOptions so;
+    so.c = 4.0;
+    so.seed = 100 + static_cast<std::uint64_t>(t);
+    const auto sr = sim_oblivious_find_triangle(players, so);
+    if (sr.triangle) {
+      EXPECT_TRUE(g.contains(*sr.triangle));
+      ++oblivious_ok;
+    }
+    UnrestrictedOptions uo;
+    uo.consts = ProtocolConstants::practical(0.02, 0.1);
+    uo.seed = 200 + static_cast<std::uint64_t>(t);
+    const auto ur = find_triangle_unrestricted(players, uo);
+    if (ur.triangle) {
+      EXPECT_TRUE(g.contains(*ur.triangle));
+      ++unrestricted_ok;
+    }
+  }
+  EXPECT_GE(oblivious_ok, 6);
+  EXPECT_GE(unrestricted_ok, 6);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "comm/cost.h"
+#include "comm/shared_randomness.h"
+#include "comm/transcript.h"
+
+namespace tft {
+namespace {
+
+TEST(CostMeter, Accumulates) {
+  CostMeter m;
+  m.add_flag();
+  m.add_vertex(1024);
+  m.add_edge(1024);
+  m.add_edges(1024, 3);
+  m.add_count(7);
+  EXPECT_EQ(m.bits(), 1u + 10 + 20 + 60 + 4);
+  m.reset();
+  EXPECT_EQ(m.bits(), 0u);
+}
+
+TEST(Transcript, PerPlayerAndDirectionTallies) {
+  Transcript t(3, 1024);
+  t.charge(0, Direction::kPlayerToCoordinator, 10, 1);
+  t.charge(1, Direction::kPlayerToCoordinator, 20, 1);
+  t.charge(0, Direction::kCoordinatorToPlayer, 5, 2);
+  EXPECT_EQ(t.total_bits(), 35u);
+  EXPECT_EQ(t.upstream_bits(), 30u);
+  EXPECT_EQ(t.downstream_bits(), 5u);
+  EXPECT_EQ(t.player_bits(0), 15u);
+  EXPECT_EQ(t.player_bits(2), 0u);
+  EXPECT_EQ(t.upstream_messages(0), 1u);
+  EXPECT_EQ(t.downstream_messages(0), 1u);
+  EXPECT_EQ(t.phase_bits(1), 30u);
+  EXPECT_EQ(t.phase_bits(2), 5u);
+  EXPECT_EQ(t.events().size(), 3u);
+}
+
+TEST(Transcript, BroadcastChargesEveryPlayer) {
+  Transcript t(4, 16);
+  t.charge_broadcast(7, 3);
+  EXPECT_EQ(t.total_bits(), 28u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(t.downstream_bits(j), 7u);
+}
+
+TEST(Transcript, ConvenienceChargesUseUniverse) {
+  Transcript t(1, 1024);
+  t.charge_vertex(0, Direction::kPlayerToCoordinator);
+  EXPECT_EQ(t.total_bits(), 10u);
+  t.charge_edges(0, Direction::kPlayerToCoordinator, 2);
+  EXPECT_EQ(t.total_bits(), 50u);
+}
+
+TEST(Transcript, OutOfRangePlayerThrows) {
+  Transcript t(2, 16);
+  EXPECT_THROW(t.charge(2, Direction::kPlayerToCoordinator, 1), std::out_of_range);
+}
+
+TEST(SharedRandomness, DeterministicAcrossInstances) {
+  const SharedRandomness a(99);
+  const SharedRandomness b(99);
+  const SharedTag tag{1, 2, 3};
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.value(tag, i), b.value(tag, i));
+    EXPECT_EQ(a.bernoulli(tag, i, 0.3), b.bernoulli(tag, i, 0.3));
+  }
+}
+
+TEST(SharedRandomness, DifferentTagsDiffer) {
+  const SharedRandomness sr(7);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (sr.value(SharedTag{1, 0, 0}, i) == sr.value(SharedTag{2, 0, 0}, i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SharedRandomness, PermutationIsTotalOrder) {
+  const SharedRandomness sr(13);
+  const SharedTag tag{5, 0, 0};
+  // Antisymmetry + totality on a sample of pairs.
+  for (std::uint64_t u = 0; u < 20; ++u) {
+    for (std::uint64_t v = 0; v < 20; ++v) {
+      if (u == v) continue;
+      EXPECT_NE(sr.precedes(tag, u, v), sr.precedes(tag, v, u));
+    }
+  }
+}
+
+TEST(SharedRandomness, PermutationMinIsUniform) {
+  // The argmin of the priority over a fixed set should be uniform across
+  // tags: the basis of Algorithm 1's unbiasedness.
+  const SharedRandomness sr(21);
+  std::vector<int> wins(8, 0);
+  for (std::uint64_t trial = 0; trial < 8000; ++trial) {
+    const SharedTag tag{trial, 1, 0};
+    std::uint64_t best = 0;
+    for (std::uint64_t v = 1; v < 8; ++v) {
+      if (sr.precedes(tag, v, best)) best = v;
+    }
+    ++wins[best];
+  }
+  for (const int w : wins) EXPECT_NEAR(w, 1000, 150);
+}
+
+TEST(SharedRandomness, BernoulliRate) {
+  const SharedRandomness sr(31);
+  const SharedTag tag{9, 0, 0};
+  int hits = 0;
+  for (std::uint64_t v = 0; v < 20000; ++v) hits += sr.bernoulli(tag, v, 0.1) ? 1 : 0;
+  EXPECT_NEAR(hits, 2000, 200);
+  EXPECT_FALSE(sr.bernoulli(tag, 0, 0.0));
+  EXPECT_TRUE(sr.bernoulli(tag, 0, 1.0));
+}
+
+TEST(SharedRandomness, UniformVertexInRange) {
+  const SharedRandomness sr(41);
+  std::vector<int> counts(5, 0);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const auto v = sr.uniform_vertex(SharedTag{3, 0, 0}, i, 5);
+    ASSERT_LT(v, 5u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 220);
+}
+
+TEST(SharedRandomness, SampleVerticesMatchesBernoulli) {
+  const SharedRandomness sr(51);
+  const SharedTag tag{77, 0, 0};
+  const auto sample = sr.sample_vertices(tag, 1000, 0.2);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  for (const auto v : sample) EXPECT_TRUE(sr.bernoulli(tag, v, 0.2));
+  EXPECT_NEAR(static_cast<double>(sample.size()), 200.0, 60.0);
+}
+
+}  // namespace
+}  // namespace tft

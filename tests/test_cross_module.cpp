@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "lower_bounds/boolean_matching.h"
+#include "lower_bounds/mu_distribution.h"
+#include "streaming/reduction.h"
+#include "streaming/stream_model.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Cross-module behaviors: hard instances from lower_bounds driven through
+/// protocols and streaming from other modules.
+
+TEST(CrossModule, StreamingDetectorOnBooleanMatchingPromise) {
+  Rng rng(1);
+  const auto far_inst = sample_bm(2000, /*zero_case=*/true, rng);
+  const auto free_inst = sample_bm(2000, /*zero_case=*/false, rng);
+  const Graph far_g = bm_graph(far_inst);
+  const Graph free_g = bm_graph(free_inst);
+  const std::uint64_t mem = 4000 * edge_bits(far_g.n());  // generous
+
+  int far_ok = 0;
+  for (int t = 0; t < 6; ++t) {
+    Rng order(10 + t);
+    auto s = shuffled_stream_of(far_g, order);
+    far_ok += run_streaming(s, mem, 100 + t).triangle ? 1 : 0;
+  }
+  EXPECT_GE(far_ok, 5);
+
+  for (int t = 0; t < 6; ++t) {
+    Rng order(20 + t);
+    auto s = shuffled_stream_of(free_g, order);
+    EXPECT_FALSE(run_streaming(s, mem, 200 + t).triangle.has_value());
+  }
+}
+
+TEST(CrossModule, UnrestrictedProtocolOnMu) {
+  // The unrestricted tester on the lower-bound distribution: mu at moderate
+  // side is eps-far with overwhelming probability, so the protocol finds a
+  // triangle — the hard distribution is only hard for *restricted* models.
+  Rng rng(2);
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto mu = sample_mu(400, 0.9, rng);
+    const auto players = partition_mu_three(mu);
+    UnrestrictedOptions o;
+    o.consts = ProtocolConstants::practical(0.05, 0.1);
+    o.seed = 30 + static_cast<std::uint64_t>(t);
+    const auto r = find_triangle_unrestricted(players, o);
+    if (r.triangle) {
+      EXPECT_TRUE(mu.graph.contains(*r.triangle));
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 6);
+}
+
+TEST(CrossModule, ObliviousOnMuThreePlayerSplit) {
+  Rng rng(3);
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto mu = sample_mu(400, 0.9, rng);
+    const auto players = partition_mu_three(mu);
+    SimObliviousOptions o;
+    o.c = 3.0;
+    o.seed = 40 + static_cast<std::uint64_t>(t);
+    const auto r = sim_oblivious_find_triangle(players, o);
+    if (r.triangle) {
+      EXPECT_TRUE(mu.graph.contains(*r.triangle));
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 6);
+}
+
+TEST(CrossModule, UnrestrictedScansAllBucketsOnTriangleFreeInput) {
+  // On a triangle-free input the protocol cannot exit early: it must sweep
+  // the whole bucket range (worst case of Theorem 3.20).
+  Rng rng(4);
+  const Graph g = gen::bipartite_gnp(2000, 0.01, rng);
+  const auto players = partition_random(g, 4, rng);
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 5;
+  const auto r = find_triangle_unrestricted(players, o);
+  EXPECT_FALSE(r.triangle.has_value());
+  EXPECT_GE(r.buckets_tried, 3u);
+}
+
+TEST(CrossModule, ObliviousDenseLocalViewRunsOnlyHighInstances) {
+  // A player whose local average degree already exceeds sqrt(n) never
+  // guesses below sqrt(n), so it runs zero AlgLow instances.
+  const Vertex n = 400;  // sqrt(n) = 20
+  Rng rng(5);
+  const Graph dense = gen::gnp(n, 0.2, rng);  // local d ~ 80 > 20
+  PlayerInput p{0, 2, dense};
+  SimObliviousOptions o;
+  o.seed = 6;
+  SimObliviousStats stats;
+  (void)sim_oblivious_message(p, o, &stats);
+  EXPECT_EQ(stats.low_instances, 0u);
+  EXPECT_GT(stats.high_instances, 0u);
+}
+
+TEST(CrossModule, ObliviousSparseLocalViewRunsBothKinds) {
+  const Vertex n = 10000;  // sqrt(n) = 100
+  Rng rng(6);
+  const Graph sparse = gen::gnp(n, 3.0 / n, rng);  // local d ~ 3
+  PlayerInput p{0, 8, sparse};
+  SimObliviousOptions o;
+  o.eps = 0.05;  // ladder top (4k/eps) d̄ = 640 d̄ > sqrt(n)
+  o.seed = 7;
+  SimObliviousStats stats;
+  (void)sim_oblivious_message(p, o, &stats);
+  EXPECT_GT(stats.low_instances, 0u);
+  EXPECT_GT(stats.high_instances, 0u);
+}
+
+}  // namespace
+}  // namespace tft

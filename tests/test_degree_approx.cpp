@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/degree_approx.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Median of `runs` estimates of deg(v) under duplication.
+double median_estimate(const Graph& g, Vertex v, std::size_t k, double dup, double alpha,
+                       std::size_t runs, std::uint64_t seed) {
+  std::vector<double> estimates;
+  Rng rng(seed);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto players = partition_duplicated(g, k, dup, rng);
+    Transcript t(k, g.n());
+    const SharedRandomness sr(seed * 1000 + r);
+    DegreeApproxOptions opts;
+    opts.alpha = alpha;
+    opts.min_experiments = 96;
+    const auto res = approx_degree(players, t, sr, SharedTag{0xAA, r, 0}, v, opts);
+    estimates.push_back(res.estimate);
+  }
+  std::sort(estimates.begin(), estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+TEST(DegreeApprox, IsolatedVertexGivesZero) {
+  const Graph g(5, {{0, 1}});
+  Rng rng(1);
+  const auto players = partition_random(g, 3, rng);
+  Transcript t(3, g.n());
+  const SharedRandomness sr(2);
+  const auto res = approx_degree(players, t, sr, SharedTag{1, 0, 0}, 4);
+  EXPECT_EQ(res.estimate, 0.0);
+  EXPECT_EQ(res.msb_upper, 0.0);
+}
+
+TEST(DegreeApprox, MsbUpperBrackets) {
+  // Phase-1 invariant: true degree <= msb_upper <= 2k * true degree.
+  const Graph g = gen::star(1000);
+  Rng rng(3);
+  for (const std::size_t k : {2, 4, 8}) {
+    const auto players = partition_duplicated(g, k, 1.8, rng);
+    Transcript t(k, g.n());
+    const SharedRandomness sr(4);
+    const auto res = approx_degree(players, t, sr, SharedTag{2, k, 0}, 0);
+    EXPECT_GE(res.msb_upper, 999.0);
+    EXPECT_LE(res.msb_upper, 2.0 * k * 999.0 * 2.0);  // extra 2 for rounding
+  }
+}
+
+TEST(DegreeApprox, MedianEstimateWithinFactorAlpha) {
+  const double alpha = 3.0;
+  for (const Vertex hub_degree : {30u, 200u, 999u}) {
+    const Graph g = gen::star(hub_degree + 1);
+    const double med = median_estimate(g, 0, 4, 2.0, alpha, 9, hub_degree);
+    const double d = static_cast<double>(hub_degree);
+    EXPECT_GE(med, d * 0.55) << "degree " << hub_degree;     // > d up to one step slack
+    EXPECT_LE(med, d * alpha * 1.9) << "degree " << hub_degree;
+  }
+}
+
+TEST(DegreeApprox, OverEstimatesMoreOftenThanNot) {
+  // The protocol's guarantee is one-sided (deg <= estimate w.h.p.); check
+  // the direction statistically.
+  const Graph g = gen::star(500);
+  Rng rng(7);
+  int over = 0;
+  constexpr int kRuns = 15;
+  for (int r = 0; r < kRuns; ++r) {
+    const auto players = partition_duplicated(g, 4, 2.0, rng);
+    Transcript t(4, g.n());
+    const SharedRandomness sr(100 + r);
+    DegreeApproxOptions opts;
+    opts.min_experiments = 96;
+    const auto res = approx_degree(players, t, sr, SharedTag{3, static_cast<std::uint64_t>(r), 0}, 0, opts);
+    if (res.estimate >= 500.0 * 0.57) ++over;  // within one sqrt(alpha) step below d
+  }
+  EXPECT_GE(over, kRuns - 2);
+}
+
+TEST(DegreeApproxNoDup, UnderEstimatesWithinAlpha) {
+  const Graph g = gen::star(777);
+  Rng rng(9);
+  for (const std::size_t k : {2, 4, 8}) {
+    const auto players = partition_random(g, k, rng);
+    Transcript t(k, g.n());
+    const auto res = approx_degree_no_duplication(players, t, 0, 1.25);
+    EXPECT_LE(res.estimate, 777.0);
+    EXPECT_GE(res.estimate, 777.0 / 1.25);
+  }
+}
+
+TEST(DegreeApproxNoDup, ExactForSmallCounts) {
+  // Counts that fit in the kept bits are transmitted exactly.
+  const Graph g = gen::star(6);  // center degree 5
+  Rng rng(10);
+  const auto players = partition_random(g, 2, rng);
+  Transcript t(2, g.n());
+  const auto res = approx_degree_no_duplication(players, t, 0, 1.25);
+  EXPECT_DOUBLE_EQ(res.estimate, 5.0);
+}
+
+TEST(DegreeApproxNoDup, CheaperThanDuplicationPath) {
+  const Graph g = gen::star(1 << 12);
+  Rng rng(11);
+  const auto players = partition_random(g, 4, rng);
+  const SharedRandomness sr(12);
+
+  Transcript t_dup(4, g.n());
+  DegreeApproxOptions dup_opts;
+  (void)approx_degree(players, t_dup, sr, SharedTag{4, 0, 0}, 0, dup_opts);
+
+  Transcript t_nodup(4, g.n());
+  (void)approx_degree_no_duplication(players, t_nodup, 0, 1.25);
+
+  EXPECT_LT(t_nodup.total_bits(), t_dup.total_bits());
+  // The no-dup path is O(k log log d): tiny.
+  EXPECT_LT(t_nodup.total_bits(), 4 * 32u);
+}
+
+TEST(DegreeApprox, CostGrowsSubLinearlyInDegree) {
+  // Cost should scale like k log k loglog + k loglog d — way below linear.
+  Rng rng(13);
+  std::uint64_t bits_small = 0;
+  std::uint64_t bits_large = 0;
+  {
+    const Graph g = gen::star(64);
+    const auto players = partition_duplicated(g, 4, 2.0, rng);
+    Transcript t(4, g.n());
+    const SharedRandomness sr(14);
+    (void)approx_degree(players, t, sr, SharedTag{5, 0, 0}, 0);
+    bits_small = t.total_bits();
+  }
+  {
+    const Graph g = gen::star(1 << 14);
+    const auto players = partition_duplicated(g, 4, 2.0, rng);
+    Transcript t(4, g.n());
+    const SharedRandomness sr(15);
+    (void)approx_degree(players, t, sr, SharedTag{6, 0, 0}, 0);
+    bits_large = t.total_bits();
+  }
+  // Degree grew by 256x; cost must grow by far less than 8x.
+  EXPECT_LT(bits_large, bits_small * 8);
+  EXPECT_LT(bits_large, std::uint64_t{1} << 14);  // far below deg(v) bits
+}
+
+TEST(DistinctEdges, EstimatesUnionSizeUnderDuplication) {
+  Rng rng(17);
+  const Graph g = gen::gnp(300, 0.05, rng);
+  const double m = static_cast<double>(g.num_edges());
+  std::vector<double> estimates;
+  for (int r = 0; r < 9; ++r) {
+    const auto players = partition_duplicated(g, 4, 2.5, rng);
+    Transcript t(4, g.n());
+    const SharedRandomness sr(18 + r);
+    DegreeApproxOptions opts;
+    opts.min_experiments = 96;
+    const auto res = approx_distinct_edges(players, t, sr, SharedTag{7, static_cast<std::uint64_t>(r), 0}, opts);
+    estimates.push_back(res.estimate);
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double med = estimates[estimates.size() / 2];
+  EXPECT_GE(med, m * 0.55);
+  EXPECT_LE(med, m * 3.0 * 1.9);
+}
+
+TEST(DistinctEdges, EmptyInputs) {
+  std::vector<PlayerInput> players;
+  players.push_back(PlayerInput{0, 2, Graph(10, {})});
+  players.push_back(PlayerInput{1, 2, Graph(10, {})});
+  Transcript t(2, 10);
+  const SharedRandomness sr(19);
+  const auto res = approx_distinct_edges(players, t, sr, SharedTag{8, 0, 0});
+  EXPECT_EQ(res.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Edge-case and failure-injection coverage across the protocol stack.
+
+TEST(EdgeCases, SinglePlayerProtocols) {
+  // k = 1 degenerates gracefully: the lone player holds everything.
+  Rng rng(1);
+  const Graph g = gen::planted_triangles(600, 100, rng);
+  const auto players = partition_random(g, 1, rng);
+
+  UnrestrictedOptions uo;
+  uo.consts = ProtocolConstants::practical();
+  uo.seed = 2;
+  const auto ur = find_triangle_unrestricted(players, uo);
+  if (ur.triangle) {
+    EXPECT_TRUE(g.contains(*ur.triangle));
+  }
+
+  SimObliviousOptions so;
+  so.seed = 3;
+  const auto sr = sim_oblivious_find_triangle(players, so);
+  if (sr.triangle) {
+    EXPECT_TRUE(g.contains(*sr.triangle));
+  }
+}
+
+TEST(EdgeCases, SomePlayersEmpty) {
+  // Failure injection: half the players lost their shard.
+  Rng rng(2);
+  const Graph g = gen::planted_triangles(800, 120, rng);
+  auto players = partition_random(g, 2, rng);
+  // Re-index to 4 players where 2 are empty.
+  std::vector<PlayerInput> padded;
+  padded.push_back(PlayerInput{0, 4, players[0].local});
+  padded.push_back(PlayerInput{1, 4, Graph(g.n(), {})});
+  padded.push_back(PlayerInput{2, 4, players[1].local});
+  padded.push_back(PlayerInput{3, 4, Graph(g.n(), {})});
+
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    SimObliviousOptions o;
+    o.c = 5.0;
+    o.seed = 10 + static_cast<std::uint64_t>(t);
+    const auto r = sim_oblivious_find_triangle(padded, o);
+    if (r.triangle) {
+      EXPECT_TRUE(g.contains(*r.triangle));
+      ++ok;
+    }
+    EXPECT_EQ(r.per_player_bits[1], r.per_player_bits[1] & 0xF);  // header only
+  }
+  EXPECT_GE(ok, 6);
+}
+
+TEST(EdgeCases, AllPlayersHoldEverything) {
+  // Full duplication (dup factor = k): every player has the whole graph.
+  Rng rng(3);
+  const Graph g = gen::planted_triangles(500, 80, rng);
+  std::vector<PlayerInput> players;
+  for (std::size_t j = 0; j < 4; ++j) {
+    players.push_back(PlayerInput{j, 4, g});
+  }
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 4;
+  const auto r = find_triangle_unrestricted(players, o);
+  ASSERT_TRUE(r.triangle.has_value());
+  EXPECT_TRUE(g.contains(*r.triangle));
+}
+
+TEST(EdgeCases, TinyGraphs) {
+  Rng rng(4);
+  // Single triangle: the smallest far instance.
+  const Graph tri(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto players = partition_random(tri, 3, rng);
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    UnrestrictedOptions o;
+    o.consts = ProtocolConstants::practical(0.5, 0.1);
+    o.seed = 20 + static_cast<std::uint64_t>(t);
+    ok += find_triangle_unrestricted(players, o).triangle.has_value() ? 1 : 0;
+  }
+  EXPECT_GE(ok, 8);
+
+  // Single edge: trivially triangle-free.
+  const Graph one_edge(2, {{0, 1}});
+  const auto pe = partition_random(one_edge, 2, rng);
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 5;
+  EXPECT_FALSE(find_triangle_unrestricted(pe, o).triangle.has_value());
+}
+
+TEST(EdgeCases, SampleUniformWhereCustomPredicate) {
+  Rng rng(5);
+  const Graph g = gen::star(50);
+  const auto players = partition_duplicated(g, 3, 2.0, rng);
+  const SharedRandomness sr(6);
+  Transcript t(3, g.n());
+  // Predicate: local degree exactly 1 (the leaves).
+  const auto leaf = +[](const PlayerInput& p, Vertex v) { return p.local_degree(v) == 1; };
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto v = sample_uniform_where(players, t, sr, SharedTag{9, i, 0}, leaf);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(*v, 0u);  // the hub has local degree > 1 somewhere... or 0
+    EXPECT_EQ(g.degree(*v), 1u);
+  }
+}
+
+TEST(EdgeCases, TranscriptPhaseAccumulatorSurvivesEventsOff) {
+  Transcript t(2, 100);
+  t.set_record_events(false);
+  t.charge(0, Direction::kPlayerToCoordinator, 10, phase::kVeeSample);
+  t.charge(1, Direction::kPlayerToCoordinator, 5, phase::kVeeSample);
+  t.charge(0, Direction::kCoordinatorToPlayer, 3, phase::kCloseVee);
+  EXPECT_EQ(t.phase_bits(phase::kVeeSample), 15u);
+  EXPECT_EQ(t.phase_bits(phase::kCloseVee), 3u);
+  EXPECT_EQ(t.phase_bits(99), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(EdgeCases, UnrestrictedCostSplitSumsToTotal) {
+  Rng rng(7);
+  const Graph g = gen::hub_matching(1000, 3, rng);
+  const auto players = partition_random(g, 4, rng);
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 8;
+  const auto r = find_triangle_unrestricted(players, o);
+  EXPECT_EQ(r.edge_sampling_bits + r.overhead_bits, r.total_bits);
+  EXPECT_GT(r.edge_sampling_bits, 0u);
+}
+
+TEST(EdgeCases, SimMessageEncodedSizeNeverExceedsCharged) {
+  Rng rng(8);
+  const Graph g = gen::gnp(800, 0.03, rng);
+  const auto players = partition_random(g, 4, rng);
+  SimLowOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 9;
+  for (const auto& p : players) {
+    const auto msg = sim_low_message(p, o);
+    EXPECT_LE(msg.encoded_bits(g.n()), msg.bits(g.n()));
+  }
+}
+
+TEST(EdgeCases, DisconnectedFarGraph) {
+  // Triangles spread over many components; protocols must not assume
+  // connectivity.
+  Rng rng(9);
+  Graph g = gen::planted_triangles(300, 50, rng);
+  g = gen::disjoint_union(g, gen::planted_triangles(300, 50, rng));
+  g = gen::disjoint_union(g, gen::random_tree(200, rng));
+  const auto players = partition_random(g, 4, rng);
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 5.0;
+    o.seed = 40 + static_cast<std::uint64_t>(t);
+    ok += sim_low_find_triangle(players, o).triangle.has_value() ? 1 : 0;
+  }
+  EXPECT_GE(ok, 6);
+}
+
+TEST(EdgeCases, VeryHighDuplicationFactor) {
+  Rng rng(10);
+  const Graph g = gen::planted_triangles(400, 60, rng);
+  const auto players = partition_duplicated(g, 8, 8.0, rng);  // everyone ~everything
+  EXPECT_FALSE(is_duplication_free(players));
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 11;
+  const auto r = find_triangle_unrestricted(players, o);
+  if (r.triangle) {
+    EXPECT_TRUE(g.contains(*r.triangle));
+  }
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comm/wire.h"
+#include "core/tester.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(FacadeExtra, NoDuplicationFlagReducesUnrestrictedCost) {
+  // The no-duplication promise switches the cheap Lemma 3.2 degree
+  // estimation in, which must lower the cost on a duplication-free split.
+  Rng rng(1);
+  const Graph g = gen::planted_triangles(1500, 200, rng);
+  const auto players = partition_random(g, 4, rng);  // duplication-free
+  TesterOptions with_promise;
+  with_promise.protocol = ProtocolKind::kUnrestricted;
+  with_promise.no_duplication = true;
+  with_promise.seed = 2;
+  TesterOptions without;
+  without.protocol = ProtocolKind::kUnrestricted;
+  without.seed = 2;
+  const auto a = test_triangle_freeness(players, with_promise);
+  const auto b = test_triangle_freeness(players, without);
+  EXPECT_LT(a.bits, b.bits);
+}
+
+TEST(FacadeExtra, EpsilonPropagates) {
+  // Smaller eps widens the bucket range and raises sampling probabilities,
+  // so the triangle-free full sweep costs more.
+  Rng rng(2);
+  const Graph g = gen::bipartite_gnp(1500, 0.005, rng);
+  const auto players = partition_random(g, 4, rng);
+  TesterOptions strict;
+  strict.protocol = ProtocolKind::kUnrestricted;
+  strict.eps = 0.02;
+  strict.seed = 3;
+  TesterOptions loose;
+  loose.protocol = ProtocolKind::kUnrestricted;
+  loose.eps = 0.4;
+  loose.seed = 3;
+  const auto a = test_triangle_freeness(players, strict);
+  const auto b = test_triangle_freeness(players, loose);
+  EXPECT_FALSE(a.triangle.has_value());
+  EXPECT_FALSE(b.triangle.has_value());
+  EXPECT_GE(a.bits, b.bits);
+}
+
+TEST(FacadeExtra, SeedsChangeOutcomeNotCorrectness) {
+  Rng rng(3);
+  const Graph g = gen::planted_triangles(800, 100, rng);
+  const auto players = partition_random(g, 3, rng);
+  std::uint64_t distinct_bits = 0;
+  std::uint64_t last = 0;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    TesterOptions o;
+    o.protocol = ProtocolKind::kSimOblivious;
+    o.seed = s;
+    const auto r = test_triangle_freeness(players, o);
+    if (r.triangle) {
+      EXPECT_TRUE(g.contains(*r.triangle));
+    }
+    if (r.bits != last) ++distinct_bits;
+    last = r.bits;
+  }
+  EXPECT_GE(distinct_bits, 2u);  // randomness actually varies the samples
+}
+
+TEST(FacadeExtra, GraphIoThenProtocolEndToEnd) {
+  // Full pipeline: generate -> serialize -> parse -> partition -> test.
+  Rng rng(4);
+  const Graph g = gen::hub_matching(1000, 3, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph loaded = read_graph(ss);
+  const auto players = partition_duplicated(loaded, 4, 1.5, rng);
+  TesterOptions o;
+  o.protocol = ProtocolKind::kSimOblivious;
+  o.seed = 5;
+  const auto r = test_triangle_freeness(players, o);
+  if (r.triangle) {
+    EXPECT_TRUE(g.contains(*r.triangle));
+  }
+}
+
+TEST(FacadeExtra, VertexListCodecHandlesExtremes) {
+  BitWriter w;
+  const std::vector<Vertex> vs{0, 0, 4294967294u};
+  encode_vertex_list(w, 4294967295u, vs);
+  BitReader r(w.bytes(), w.bit_size());
+  const auto decoded = decode_vertex_list(r, 4294967295u);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], 0u);
+  EXPECT_EQ(decoded[2], 4294967294u);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "comm/wire.h"
+#include "core/subgraph_freeness.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Randomized differential / round-trip sweeps ("fuzz-lite": deterministic
+/// seeds, adversarially-shaped random inputs).
+
+TEST(Fuzz, WireEdgeListRoundTripRandomShapes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vertex n = 2 + static_cast<Vertex>(rng.below(2000));
+    std::vector<Edge> edges;
+    const std::size_t m = rng.below(200);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto u = static_cast<Vertex>(rng.below(n));
+      auto v = static_cast<Vertex>(rng.below(n));
+      if (u == v) v = (v + 1) % n;
+      edges.emplace_back(u, v);
+    }
+    // Adversarial shapes: duplicates, clustered endpoints.
+    if (trial % 3 == 0 && !edges.empty()) edges.push_back(edges.front());
+    std::sort(edges.begin(), edges.end());
+    BitWriter w;
+    encode_edge_list(w, n, edges);
+    BitReader r(w.bytes(), w.bit_size());
+    const auto decoded = decode_edge_list(r, n);
+    EXPECT_EQ(decoded, edges) << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Fuzz, WireGammaRandomValues) {
+  Rng rng(2);
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng() >> static_cast<int>(rng.below(60));
+    values.push_back(v);
+    w.put_gamma(v);
+  }
+  BitReader r(w.bytes(), w.bit_size());
+  for (const auto v : values) ASSERT_EQ(r.get_gamma(), v);
+}
+
+TEST(Fuzz, SubgraphTriangleSearchMatchesCounterOnRandomGraphs) {
+  // Differential: find_subgraph(K3) agrees with count_triangles > 0 across
+  // densities and sizes.
+  Rng rng(3);
+  const Graph k3 = pattern_clique(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vertex n = 10 + static_cast<Vertex>(rng.below(120));
+    const double p = rng.uniform() * 0.25;
+    const Graph g = gen::gnp(n, p, rng);
+    const bool has = count_triangles(g) > 0;
+    EXPECT_EQ(contains_subgraph(g, k3), has) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, GreedyPackingNeverExceedsTriangleCount) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex n = 20 + static_cast<Vertex>(rng.below(150));
+    const Graph g = gen::gnp(n, rng.uniform() * 0.2, rng);
+    const auto packing = greedy_triangle_packing(g, rng);
+    EXPECT_LE(packing.size(), count_triangles(g));
+  }
+}
+
+TEST(Fuzz, GraphConstructionIdempotent) {
+  // Rebuilding a graph from its own edge list is the identity.
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::gnp(200, rng.uniform() * 0.1, rng);
+    const Graph h(g.n(), {g.edges().begin(), g.edges().end()});
+    ASSERT_EQ(h.num_edges(), g.num_edges());
+    for (Vertex v = 0; v < g.n(); ++v) ASSERT_EQ(h.degree(v), g.degree(v));
+  }
+}
+
+TEST(Fuzz, BarabasiAlbertBasicInvariants) {
+  Rng rng(6);
+  for (const std::uint32_t m : {1u, 3u, 5u}) {
+    const Graph g = gen::barabasi_albert(2000, m, rng);
+    EXPECT_EQ(g.n(), 2000u);
+    // ~m edges per arriving vertex.
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), 2000.0 * m, 2000.0 * m * 0.15);
+    // Early vertices are hubs.
+    EXPECT_GT(g.degree(0), 4 * m);
+  }
+  EXPECT_THROW((void)gen::barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(Fuzz, BarabasiAlbertIsTriangleRich) {
+  Rng rng(7);
+  const Graph g = gen::barabasi_albert(3000, 4, rng);
+  EXPECT_GT(count_triangles(g), 50u);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "lower_bounds/information.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(Information, BinaryEntropyShape) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), binary_entropy(0.89), 1e-12);  // symmetry
+  EXPECT_GT(binary_entropy(0.3), binary_entropy(0.1));
+}
+
+TEST(Information, EntropyOfUniformAndPoint) {
+  const std::array<double, 4> uniform{1, 1, 1, 1};
+  EXPECT_NEAR(entropy(uniform), 2.0, 1e-12);
+  const std::array<double, 4> point{1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(entropy(point), 0.0);
+  const std::array<double, 2> unnormalized{3, 3};
+  EXPECT_NEAR(entropy(unnormalized), 1.0, 1e-12);
+}
+
+TEST(Information, KlBernoulliProperties) {
+  EXPECT_DOUBLE_EQ(kl_bernoulli(0.3, 0.3), 0.0);
+  EXPECT_GT(kl_bernoulli(0.9, 0.1), 0.0);
+  // Divergence grows with separation.
+  EXPECT_GT(kl_bernoulli(0.9, 0.1), kl_bernoulli(0.5, 0.1));
+  // Absolute-continuity failure is a large sentinel.
+  EXPECT_GT(kl_bernoulli(0.5, 0.0), 1e17);
+  EXPECT_THROW((void)kl_bernoulli(1.5, 0.5), std::invalid_argument);
+}
+
+TEST(Information, KlDiscreteMatchesBernoulli) {
+  const std::array<double, 2> mu{0.2, 0.8};
+  const std::array<double, 2> eta{0.5, 0.5};
+  EXPECT_NEAR(kl_discrete(mu, eta), kl_bernoulli(0.8, 0.5), 1e-12);
+  EXPECT_THROW((void)kl_discrete(mu, std::array<double, 3>{1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Information, MutualInformationKnownCases) {
+  // Independent: I = 0.
+  EXPECT_NEAR(mutual_information({{0.25, 0.25}, {0.25, 0.25}}), 0.0, 1e-12);
+  // Perfectly correlated bit: I = 1.
+  EXPECT_NEAR(mutual_information({{0.5, 0.0}, {0.0, 0.5}}), 1.0, 1e-12);
+  // Y = X with noise.
+  const double mi = mutual_information({{0.4, 0.1}, {0.1, 0.4}});
+  EXPECT_NEAR(mi, 1.0 - binary_entropy(0.2), 1e-9);
+}
+
+TEST(Information, Lemma43HoldsOnGrid) {
+  // D(q || p) >= q - 2p for p < 1/2, q >= 2p (Lemma 4.3).
+  EXPECT_GE(lemma_4_3_min_slack(250), 0.0);
+}
+
+TEST(Information, SuperAdditivityOnIndependentBits) {
+  // M reveals both of two independent bits: sum_e I(M; X_e) = 2 = H(M).
+  Rng rng(1);
+  const InformationSample sample = [&rng](std::size_t) {
+    const std::uint8_t a = rng.below(2) ? 1 : 0;
+    const std::uint8_t b = rng.below(2) ? 1 : 0;
+    const std::uint64_t message = a * 2 + b;
+    return std::make_pair(message, std::vector<std::uint8_t>{a, b});
+  };
+  const auto est = empirical_edge_information(sample, 20000, 2);
+  EXPECT_NEAR(est.total_information_bits, 2.0, 0.02);
+  EXPECT_NEAR(est.message_entropy_bits, 2.0, 0.02);
+  EXPECT_EQ(est.distinct_messages, 4u);
+}
+
+TEST(Information, SuperAdditivityBoundRespected) {
+  // A 1-bit message about 8 independent bits: sum_e I <= H(M) <= 1.
+  Rng rng(2);
+  const InformationSample sample = [&rng](std::size_t) {
+    std::vector<std::uint8_t> bits(8);
+    int parity = 0;
+    for (auto& b : bits) {
+      b = rng.below(2) ? 1 : 0;
+      parity ^= b;
+    }
+    return std::make_pair(static_cast<std::uint64_t>(parity), bits);
+  };
+  const auto est = empirical_edge_information(sample, 20000, 8);
+  // Parity of 8 bits reveals ~0 about each single bit.
+  EXPECT_LE(est.total_information_bits, 0.05);
+  EXPECT_NEAR(est.message_entropy_bits, 1.0, 0.01);
+}
+
+TEST(Information, PartialRevelation) {
+  // Message = first bit only: I(M; X_0) = 1, I(M; X_1) = 0.
+  Rng rng(3);
+  const InformationSample sample = [&rng](std::size_t) {
+    const std::uint8_t a = rng.below(2) ? 1 : 0;
+    const std::uint8_t b = rng.below(2) ? 1 : 0;
+    return std::make_pair(static_cast<std::uint64_t>(a), std::vector<std::uint8_t>{a, b});
+  };
+  const auto est = empirical_edge_information(sample, 20000, 1 + 1);
+  EXPECT_NEAR(est.total_information_bits, 1.0, 0.02);
+}
+
+TEST(Information, MismatchedSlotsThrow) {
+  const InformationSample bad = [](std::size_t) {
+    return std::make_pair(std::uint64_t{0}, std::vector<std::uint8_t>{1});
+  };
+  EXPECT_THROW((void)empirical_edge_information(bad, 3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tft

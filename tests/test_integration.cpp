@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_baseline.h"
+#include "core/tester.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// End-to-end: families x protocols x partition modes, verifying the
+/// one-sided contract everywhere and success on far inputs with repetition.
+
+struct Workload {
+  const char* name;
+  Graph graph;
+  bool is_far;  ///< far from triangle-free (vs exactly triangle-free)
+};
+
+std::vector<Workload> make_workloads() {
+  Rng rng(2024);
+  std::vector<Workload> w;
+  w.push_back({"planted", gen::planted_triangles(1200, 180, rng), true});
+  w.push_back({"hub", gen::hub_matching(1200, 3, rng), true});
+  w.push_back({"gnp-dense", gen::gnp(700, 0.08, rng), true});
+  w.push_back({"bipartite", gen::bipartite_gnp(1000, 0.01, rng), false});
+  w.push_back({"c5-blowup", gen::c5_blowup(400), false});
+  w.push_back({"tree", gen::random_tree(900, rng), false});
+  return w;
+}
+
+TEST(Integration, AllProtocolsHonorOneSidednessOnAllWorkloads) {
+  Rng rng(1);
+  for (const auto& w : make_workloads()) {
+    for (const double dup : {1.0, 2.0}) {
+      const auto players = dup > 1.0 ? partition_duplicated(w.graph, 4, dup, rng)
+                                     : partition_random(w.graph, 4, rng);
+      for (const auto kind : {ProtocolKind::kUnrestricted, ProtocolKind::kSimLow,
+                              ProtocolKind::kSimHigh, ProtocolKind::kSimOblivious,
+                              ProtocolKind::kExact}) {
+        TesterOptions o;
+        o.protocol = kind;
+        o.seed = 17;
+        o.known_average_degree = std::max(1.0, w.graph.average_degree());
+        const auto report = test_triangle_freeness(players, o);
+        if (!w.is_far) {
+          EXPECT_FALSE(report.triangle.has_value())
+              << w.name << " / " << to_string(kind) << " reported a triangle on a "
+              << "triangle-free input";
+        } else if (report.triangle) {
+          EXPECT_TRUE(w.graph.contains(*report.triangle))
+              << w.name << " / " << to_string(kind) << " fabricated a triangle";
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, RepeatedTrialsSucceedOnFarInputs) {
+  // Each far workload must be rejected by its degree-appropriate protocol
+  // in at least 8/10 independent runs.
+  Rng rng(3);
+  const auto workloads = make_workloads();
+  for (const auto& w : workloads) {
+    if (!w.is_far) continue;
+    const double d = w.graph.average_degree();
+    const bool dense = d * d >= static_cast<double>(w.graph.n());
+    int ok = 0;
+    for (int t = 0; t < 10; ++t) {
+      const auto players = partition_random(w.graph, 4, rng);
+      TesterOptions o;
+      o.protocol = dense ? ProtocolKind::kSimHigh : ProtocolKind::kSimLow;
+      o.seed = 1000 + static_cast<std::uint64_t>(t);
+      o.known_average_degree = std::max(1.0, d);
+      o.eps = 0.05;
+      ok += test_triangle_freeness(players, o).triangle.has_value() ? 1 : 0;
+    }
+    EXPECT_GE(ok, 8) << w.name;
+  }
+}
+
+TEST(Integration, TestersAreCheaperThanExactOnLargeDenseInputs) {
+  // The paper's headline gap (Section 5): property testing beats the
+  // Omega(k m) exact baseline.
+  Rng rng(4);
+  const Graph g = gen::gnp(3000, 0.04, rng);  // m ~ 180k, d ~ 120
+  const auto players = partition_random(g, 4, rng);
+  const auto exact = exact_find_triangle(players);
+  ASSERT_TRUE(exact.triangle.has_value());
+
+  TesterOptions o;
+  o.protocol = ProtocolKind::kSimHigh;
+  o.known_average_degree = g.average_degree();
+  o.seed = 5;
+  const auto sim = test_triangle_freeness(players, o);
+  EXPECT_LT(sim.bits * 10, exact.total_bits);
+
+  UnrestrictedOptions uo;
+  uo.consts = ProtocolConstants::practical();
+  uo.seed = 5;
+  const auto unres = find_triangle_unrestricted(players, uo);
+  EXPECT_LT(unres.total_bits * 10, exact.total_bits);
+}
+
+TEST(Integration, DuplicationDoesNotBreakCorrectness) {
+  Rng rng(5);
+  const Graph g = gen::planted_triangles(1500, 220, rng);
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto players = partition_duplicated(g, 6, 3.0, rng);
+    TesterOptions o;
+    o.protocol = ProtocolKind::kSimOblivious;
+    o.seed = 50 + static_cast<std::uint64_t>(t);
+    const auto report = test_triangle_freeness(players, o);
+    if (report.triangle) {
+      EXPECT_TRUE(g.contains(*report.triangle));
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(Integration, AdversarialPartitionSkewStillWorks) {
+  Rng rng(6);
+  const Graph g = gen::planted_triangles(1500, 220, rng);
+  PartitionOptions popts;
+  popts.heavy_fraction = 0.9;  // player 0 hoards 90% of the edges
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto players = partition_edges(g, 4, popts, rng);
+    TesterOptions o;
+    o.protocol = ProtocolKind::kSimOblivious;
+    o.seed = 60 + static_cast<std::uint64_t>(t);
+    ok += test_triangle_freeness(players, o).triangle.has_value() ? 1 : 0;
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(Integration, VertexLocalityPartitionStillWorks) {
+  Rng rng(7);
+  const Graph g = gen::hub_matching(1500, 3, rng);
+  PartitionOptions popts;
+  popts.by_vertex = true;
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto players = partition_edges(g, 4, popts, rng);
+    UnrestrictedOptions o;
+    o.consts = ProtocolConstants::practical();
+    o.seed = 70 + static_cast<std::uint64_t>(t);
+    const auto r = find_triangle_unrestricted(players, o);
+    ok += r.triangle.has_value() ? 1 : 0;
+  }
+  EXPECT_GE(ok, 8);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(1);
+  const Graph g = gen::gnp(300, 0.03, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  ASSERT_EQ(h.n(), g.n());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) EXPECT_EQ(h.edge(i), g.edge(i));
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream ss;
+  write_graph(ss, Graph(7, {}));
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.n(), 7u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST(GraphIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss("# a comment\n\nn 4 m 2\n# another\n0 1\n\n2 3\n");
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.n(), 4u);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(2, 3));
+}
+
+TEST(GraphIo, MalformedHeaderThrows) {
+  std::stringstream ss("vertices 4 edges 2\n");
+  EXPECT_THROW((void)read_graph(ss), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW((void)read_graph(empty), std::runtime_error);
+}
+
+TEST(GraphIo, OutOfRangeEndpointThrows) {
+  std::stringstream ss("n 3 m 1\n0 3\n");
+  EXPECT_THROW((void)read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, TruncatedEdgeListThrows) {
+  std::stringstream ss("n 5 m 3\n0 1\n");
+  EXPECT_THROW((void)read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const Graph g = gen::planted_triangles(120, 20, rng);
+  const std::string path = testing::TempDir() + "/tft_io_test.graph";
+  save_graph(path, g);
+  const Graph h = load_graph(path);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_THROW((void)load_graph(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/oneway_vee.h"
+#include "lower_bounds/mu_distribution.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tft {
+namespace {
+
+TEST(MiscCoverage, FormatRowRendersAllCells) {
+  const auto row = format_row({{"n", 4096.0}, {"bits", 1.25e4}});
+  EXPECT_NE(row.find("n=4096"), std::string::npos);
+  EXPECT_NE(row.find("bits=12500"), std::string::npos);
+}
+
+TEST(MiscCoverage, LinearFitDegenerateInputs) {
+  // All-equal x: slope 0, intercept = mean(y).
+  const std::vector<double> xs{2, 2, 2};
+  const std::vector<double> ys{1, 2, 3};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(MiscCoverage, OneWayHubsExceedBudget) {
+  // hubs > budget: per-hub budget clamps to 1 instead of 0.
+  Rng rng(1);
+  const auto mu = sample_mu(200, 0.9, rng);
+  const auto players = partition_mu_three(mu);
+  OneWayOptions o;
+  o.seed = 2;
+  o.hubs = 16;
+  o.budget_edges_per_player = 4;  // < hubs
+  const auto r = oneway_vee_find_edge(players, mu.layout, o);
+  if (r.triangle_edge) {
+    EXPECT_TRUE(is_triangle_edge(mu.graph, *r.triangle_edge));
+  }
+  EXPECT_GT(r.total_bits, 0u);
+}
+
+TEST(MiscCoverage, OneWayOnEmptyInputs) {
+  std::vector<PlayerInput> players;
+  for (std::size_t j = 0; j < 3; ++j) players.push_back(PlayerInput{j, 3, Graph(30, {})});
+  const TripartiteLayout layout{10};
+  OneWayOptions o;
+  o.budget_edges_per_player = 8;
+  const auto r = oneway_vee_find_edge(players, layout, o);
+  EXPECT_FALSE(r.triangle_edge.has_value());
+}
+
+TEST(MiscCoverage, TripartiteLayoutPredicates) {
+  const TripartiteLayout layout{5};
+  EXPECT_TRUE(layout.in_u(0));
+  EXPECT_TRUE(layout.in_u(4));
+  EXPECT_FALSE(layout.in_u(5));
+  EXPECT_TRUE(layout.in_v1(5));
+  EXPECT_TRUE(layout.in_v1(9));
+  EXPECT_FALSE(layout.in_v1(10));
+  EXPECT_TRUE(layout.in_v2(10));
+  EXPECT_TRUE(layout.in_v2(14));
+  EXPECT_FALSE(layout.in_v2(15));
+}
+
+TEST(MiscCoverage, SummarySingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace tft

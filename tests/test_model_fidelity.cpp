@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "comm/wire.h"
+#include "core/sim_high.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "lower_bounds/symmetrization.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Fidelity invariants of the simultaneous model that the lower-bound
+/// reductions lean on.
+
+TEST(ModelFidelity, IdenticalInputsProduceIdenticalMessages) {
+  // A simultaneous player's message is a function of (its input, shared
+  // randomness) only — the crux of Theorem 4.15's Charlie simulation.
+  Rng rng(1);
+  const Graph x = gen::gnp(400, 0.03, rng);
+  PlayerInput a{2, 6, x};
+  PlayerInput b{4, 6, x};  // different id, same input
+
+  SimLowOptions lo;
+  lo.average_degree = 6.0;
+  lo.seed = 9;
+  const auto ma = sim_low_message(a, lo);
+  const auto mb = sim_low_message(b, lo);
+  EXPECT_EQ(ma.edges, mb.edges);
+
+  SimHighOptions ho;
+  ho.average_degree = 30.0;
+  ho.seed = 9;
+  EXPECT_EQ(sim_high_message(a, ho).edges, sim_high_message(b, ho).edges);
+
+  SimObliviousOptions oo;
+  oo.seed = 9;
+  EXPECT_EQ(sim_oblivious_message(a, oo).edges, sim_oblivious_message(b, oo).edges);
+}
+
+TEST(ModelFidelity, MessageDependsOnlyOnOwnInput) {
+  // Changing another player's input must not change this player's message.
+  Rng rng(2);
+  const Graph g = gen::planted_triangles(500, 60, rng);
+  const auto players_a = partition_random(g, 3, rng);
+  SimLowOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 4;
+  const auto msg0 = sim_low_message(players_a[0], o);
+  // Same player-0 input inside a completely different cast.
+  std::vector<PlayerInput> players_b;
+  players_b.push_back(players_a[0]);
+  players_b.push_back(PlayerInput{1, 3, Graph(g.n(), {})});
+  players_b.push_back(PlayerInput{2, 3, gen::star(g.n())});
+  const auto msg0b = sim_low_message(players_b[0], o);
+  EXPECT_EQ(msg0.edges, msg0b.edges);
+}
+
+TEST(ModelFidelity, DeterministicSymmetrizationRatioIsThreeOverK) {
+  const Vertex n = 300;
+  const ThreePartSampler sampler = [n](Rng& rng) {
+    const double p = 4.0 / n;
+    return std::array<Graph, 3>{gen::gnp(n, p, rng), gen::gnp(n, p, rng),
+                                gen::gnp(n, p, rng)};
+  };
+  // Fixed seed => deterministic protocol (a function of the input only).
+  const SimProtocol protocol = [](std::span<const PlayerInput> players) {
+    SimLowOptions o;
+    o.average_degree = 4.0;
+    o.c = 4.0;
+    o.seed = 777;
+    return sim_low_find_triangle(players, o);
+  };
+  for (const std::size_t k : {4u, 8u, 16u}) {
+    const auto report = run_symmetrization_deterministic(sampler, protocol, k, 50, 5 * k);
+    const double expected = 3.0 / static_cast<double>(k);
+    EXPECT_NEAR(report.ratio(), expected, 0.4 * expected) << "k=" << k;
+  }
+}
+
+TEST(ModelFidelity, AllProtocolMessagesSurviveWireRoundTrip) {
+  // Every protocol's messages are legal wire payloads: encode + decode
+  // reproduces the edge multiset (sorted).
+  Rng rng(3);
+  const Graph g = gen::gnp(600, 0.04, rng);
+  const auto players = partition_random(g, 4, rng);
+  const auto check = [&](SimMessage msg) {
+    std::sort(msg.edges.begin(), msg.edges.end());
+    BitWriter w;
+    encode_edge_list(w, g.n(), msg.edges);
+    BitReader r(w.bytes(), w.bit_size());
+    const auto decoded = decode_edge_list(r, g.n());
+    EXPECT_EQ(decoded, msg.edges);
+    EXPECT_LE(w.bit_size(), msg.bits(g.n()));
+  };
+  SimLowOptions lo;
+  lo.average_degree = g.average_degree();
+  lo.seed = 6;
+  SimHighOptions ho;
+  ho.average_degree = g.average_degree();
+  ho.seed = 6;
+  SimObliviousOptions oo;
+  oo.seed = 6;
+  for (const auto& p : players) {
+    check(sim_low_message(p, lo));
+    check(sim_high_message(p, ho));
+    check(sim_oblivious_message(p, oo));
+  }
+}
+
+TEST(ModelFidelity, ObliviousInstancesAlignAcrossPlayers) {
+  // Two players with similar local densities must use the SAME shared
+  // samples for overlapping degree guesses — otherwise the referee's union
+  // would not contain whole triangles. Witness: on a far graph where each
+  // player alone holds no triangle, the referee still finds one.
+  Rng rng(4);
+  const Graph g = gen::planted_triangles(1200, 160, rng);
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto players = partition_random(g, 3, rng);
+    SimObliviousOptions o;
+    o.c = 5.0;
+    o.seed = 50 + static_cast<std::uint64_t>(t);
+    const auto r = sim_oblivious_find_triangle(players, o);
+    ok += r.triangle ? 1 : 0;
+  }
+  EXPECT_GE(ok, 6);
+}
+
+}  // namespace
+}  // namespace tft

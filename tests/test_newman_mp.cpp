@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "comm/message_passing.h"
+#include "comm/newman.h"
+#include "core/sim_low.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+// ---------- Newman's theorem ----------
+
+TEST(Newman, TableIsDeterministicAndSized) {
+  const NewmanTable a(42, /*n=*/4096, /*k=*/8, /*delta=*/0.1);
+  const NewmanTable b(42, 4096, 8, 0.1);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 8u * 12u / 1u);  // k log n / delta^2 scale
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(a.seed(i), b.seed(i));
+  EXPECT_NE(a.seed(0), a.seed(1));
+  EXPECT_THROW((void)a.seed(a.size()), std::out_of_range);
+  EXPECT_THROW(NewmanTable(1, 100, 2, 0.0), std::invalid_argument);
+}
+
+TEST(Newman, AnnounceCostIsLogarithmic) {
+  const NewmanTable t(7, 1024);
+  // index fits in count_bits(1023) bits, relayed to all k players.
+  EXPECT_EQ(t.announce_cost_bits(4), count_bits(1023) * 4);
+}
+
+TEST(Newman, EmpiricalSuccessConcentrates) {
+  // The derandomized protocol's success over the fixed table should be close
+  // to the fresh-randomness success probability.
+  Rng rng(3);
+  const Graph g = gen::planted_triangles(1200, 160, rng);
+  const auto players = partition_random(g, 4, rng);
+  const auto protocol = [&](std::uint64_t seed) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 5.0;
+    o.seed = seed;
+    return sim_low_find_triangle(players, o).triangle.has_value();
+  };
+  const NewmanTable table(99, g.n(), 4, 0.1, /*scale=*/0.25);  // keep test fast
+  const auto rate = table.empirical_success(protocol);
+  // Fresh-randomness success is ~1 on this instance; the table average must
+  // be close (Newman: the loss is at most delta).
+  EXPECT_GE(rate.rate(), 0.85);
+}
+
+TEST(Newman, TableAverageTracksTrueRateOnMarginalInstances) {
+  // Use a protocol with interior success probability and compare the table
+  // estimate against a fresh-seed estimate.
+  Rng rng(4);
+  const Graph g = gen::planted_triangles(2000, 120, rng);  // sparse successes
+  const auto players = partition_random(g, 4, rng);
+  const auto protocol = [&](std::uint64_t seed) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 3.0;
+    o.seed = seed;
+    return sim_low_find_triangle(players, o).triangle.has_value();
+  };
+  SuccessRate fresh;
+  fresh.trials = 200;
+  Rng seeder(5);
+  for (std::size_t i = 0; i < fresh.trials; ++i) {
+    if (protocol(seeder())) ++fresh.successes;
+  }
+  const NewmanTable table(123, 200);
+  const auto fixed = table.empirical_success(protocol);
+  EXPECT_NEAR(fixed.rate(), fresh.rate(), 0.15);
+}
+
+// ---------- message passing <-> coordinator ----------
+
+TEST(MessagePassing, DeliverChargesHeaderAndForwarding) {
+  MessagePassingSimulator sim(8, 1024);
+  sim.deliver({2, 5, 100});
+  EXPECT_EQ(sim.mp_bits(), 100u);
+  // Upstream: 100 + ceil(log2 8) = 103; downstream: 100.
+  EXPECT_EQ(sim.coordinator_bits(), 100 + vertex_bits(8) + 100);
+  EXPECT_EQ(sim.transcript().upstream_bits(2), 100 + vertex_bits(8));
+  EXPECT_EQ(sim.transcript().downstream_bits(5), 100u);
+}
+
+TEST(MessagePassing, OverheadWithinBound) {
+  Rng rng(6);
+  for (const std::size_t k : {2u, 8u, 64u}) {
+    MessagePassingSimulator sim(k, 4096);
+    for (int i = 0; i < 200; ++i) {
+      const auto from = static_cast<std::size_t>(rng.below(k));
+      auto to = static_cast<std::size_t>(rng.below(k - 1));
+      if (to >= from) ++to;
+      const std::uint64_t bits = 1 + rng.below(64);
+      sim.deliver({from, to, bits});
+    }
+    EXPECT_LE(sim.overhead_factor(), MessagePassingSimulator::overhead_bound(1, k));
+    EXPECT_GE(sim.overhead_factor(), 2.0);  // forwarding at least doubles
+  }
+}
+
+TEST(MessagePassing, RejectsBadMessages) {
+  MessagePassingSimulator sim(3, 16);
+  EXPECT_THROW(sim.deliver({0, 3, 1}), std::out_of_range);
+  EXPECT_THROW(sim.deliver({1, 1, 1}), std::invalid_argument);
+}
+
+TEST(MessagePassing, BatchHelper) {
+  const double overhead = simulate_message_passing_overhead(
+      4, 256, {{0, 1, 50}, {1, 2, 50}, {2, 3, 50}});
+  EXPECT_GT(overhead, 2.0);
+  EXPECT_LT(overhead, 2.1);  // 2 + 2/50
+}
+
+}  // namespace
+}  // namespace tft

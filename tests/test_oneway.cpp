@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/oneway_vee.h"
+#include "lower_bounds/mu_distribution.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(OneWayVee, RequiresThreePlayers) {
+  std::vector<PlayerInput> two;
+  two.push_back(PlayerInput{0, 2, Graph(3, {})});
+  two.push_back(PlayerInput{1, 2, Graph(3, {})});
+  EXPECT_THROW({ (void)oneway_vee_find_edge(two, TripartiteLayout{1}, OneWayOptions{}); },
+               std::invalid_argument);
+}
+
+TEST(OneWayVee, OutputIsAlwaysATriangleEdge) {
+  // One-sidedness: whenever the protocol outputs an edge, that edge is in
+  // Charlie's input and closes a triangle with the hub's vee.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mu = sample_mu(400, 0.9, rng);
+    const auto players = partition_mu_three(mu);
+    OneWayOptions o;
+    o.seed = 100 + static_cast<std::uint64_t>(trial);
+    o.budget_edges_per_player = 160;
+    const auto r = oneway_vee_find_edge(players, mu.layout, o);
+    if (r.triangle_edge) {
+      EXPECT_TRUE(is_triangle_edge(mu.graph, *r.triangle_edge));
+    }
+  }
+}
+
+TEST(OneWayVee, SucceedsWithAdequateBudgetOnMu) {
+  // b ~ n^{1/4} per hub suffices (the birthday paradox); with budget
+  // several times that, success should be near-certain.
+  Rng rng(2);
+  const Vertex side = 900;
+  const double gamma = 0.9;
+  int ok = 0;
+  constexpr int kTrials = 15;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto mu = sample_mu(side, gamma, rng);
+    const auto players = partition_mu_three(mu);
+    OneWayOptions o;
+    o.seed = 200 + static_cast<std::uint64_t>(trial);
+    o.hubs = 6;
+    // ~6 hubs x 25 = 150 >> n^{1/4} ~ 5.5 per hub needed... use a budget
+    // comfortably above the threshold regime.
+    o.budget_edges_per_player = 6 * 24;
+    const auto r = oneway_vee_find_edge(players, mu.layout, o);
+    if (r.triangle_edge) ++ok;
+  }
+  EXPECT_GE(ok, kTrials - 3);
+}
+
+TEST(OneWayVee, FailsWithTinyBudget) {
+  Rng rng(3);
+  const Vertex side = 900;
+  int ok = 0;
+  constexpr int kTrials = 15;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto mu = sample_mu(side, 0.9, rng);
+    const auto players = partition_mu_three(mu);
+    OneWayOptions o;
+    o.seed = 300 + static_cast<std::uint64_t>(trial);
+    o.hubs = 1;
+    o.budget_edges_per_player = 1;  // a single neighbor each: ~gamma/sqrt(n) hit rate
+    const auto r = oneway_vee_find_edge(players, mu.layout, o);
+    if (r.triangle_edge) ++ok;
+  }
+  EXPECT_LE(ok, 4);
+}
+
+TEST(OneWayVee, BitsAreBudgetBounded) {
+  Rng rng(4);
+  const auto mu = sample_mu(500, 0.9, rng);
+  const auto players = partition_mu_three(mu);
+  OneWayOptions o;
+  o.seed = 5;
+  o.hubs = 4;
+  o.budget_edges_per_player = 100;
+  const auto r = oneway_vee_find_edge(players, mu.layout, o);
+  // Alice + Bob each send at most budget vertex ids plus per-hub headers.
+  const std::uint64_t per_player_max =
+      100 * vertex_bits(mu.graph.n()) + 4 * count_bits(100);
+  EXPECT_LE(r.total_bits, 2 * per_player_max);
+  EXPECT_GT(r.total_bits, 0u);
+}
+
+TEST(OneWayVee, MoreBudgetNeverReducesSuccessMaterially) {
+  // Success must be (statistically) monotone in budget: compare a small and
+  // a large budget across common instances.
+  Rng rng(6);
+  int small_ok = 0;
+  int large_ok = 0;
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto mu = sample_mu(700, 0.9, rng);
+    const auto players = partition_mu_three(mu);
+    for (const bool large : {false, true}) {
+      OneWayOptions o;
+      o.seed = 700 + static_cast<std::uint64_t>(trial);
+      o.hubs = 4;
+      o.budget_edges_per_player = large ? 200 : 8;
+      const auto r = oneway_vee_find_edge(players, mu.layout, o);
+      (large ? large_ok : small_ok) += r.triangle_edge ? 1 : 0;
+    }
+  }
+  EXPECT_GE(large_ok, small_ok);
+  EXPECT_GE(large_ok, kTrials - 3);
+}
+
+}  // namespace
+}  // namespace tft

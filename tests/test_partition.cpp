@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+Graph make_test_graph(Rng& rng) { return gen::gnp(200, 0.05, rng); }
+
+TEST(Partition, RandomPartitionCoversAllEdgesExactlyOnce) {
+  Rng rng(1);
+  const Graph g = make_test_graph(rng);
+  const auto players = partition_random(g, 4, rng);
+  ASSERT_EQ(players.size(), 4u);
+  EXPECT_TRUE(is_duplication_free(players));
+  std::size_t total = 0;
+  for (const auto& p : players) {
+    total += p.local.num_edges();
+    EXPECT_EQ(p.n(), g.n());
+    EXPECT_EQ(p.k, 4u);
+  }
+  EXPECT_EQ(total, g.num_edges());
+  const Graph u = union_graph(players);
+  EXPECT_EQ(u.num_edges(), g.num_edges());
+}
+
+TEST(Partition, UnionReconstructsGraph) {
+  Rng rng(2);
+  const Graph g = make_test_graph(rng);
+  const auto players = partition_duplicated(g, 5, 2.5, rng);
+  const Graph u = union_graph(players);
+  ASSERT_EQ(u.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) EXPECT_EQ(u.edge(i), g.edge(i));
+}
+
+TEST(Partition, DuplicationFactorIsRespected) {
+  Rng rng(3);
+  const Graph g = make_test_graph(rng);
+  const double dup = 2.0;
+  const auto players = partition_duplicated(g, 8, dup, rng);
+  EXPECT_FALSE(is_duplication_free(players));
+  std::size_t total = 0;
+  for (const auto& p : players) total += p.local.num_edges();
+  const double expected = dup * static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(total), expected, 0.15 * expected);
+}
+
+TEST(Partition, EveryEdgeAppearsSomewhereUnderDuplication) {
+  Rng rng(4);
+  const Graph g = make_test_graph(rng);
+  const auto players = partition_duplicated(g, 3, 1.7, rng);
+  const Graph u = union_graph(players);
+  EXPECT_EQ(u.num_edges(), g.num_edges());
+}
+
+TEST(Partition, ByVertexColocatesEdges) {
+  Rng rng(5);
+  const Graph g = gen::star(100);  // all edges share vertex 0
+  PartitionOptions opts;
+  opts.by_vertex = true;
+  const auto players = partition_edges(g, 4, opts, rng);
+  // All star edges have min endpoint 0, so exactly one player owns them all.
+  std::size_t owners = 0;
+  for (const auto& p : players) owners += p.local.num_edges() > 0 ? 1 : 0;
+  EXPECT_EQ(owners, 1u);
+}
+
+TEST(Partition, HeavyFractionSkewsPlayerZero) {
+  Rng rng(6);
+  const Graph g = make_test_graph(rng);
+  PartitionOptions opts;
+  opts.heavy_fraction = 0.8;
+  const auto players = partition_edges(g, 4, opts, rng);
+  EXPECT_GT(players[0].local.num_edges(), g.num_edges() / 2);
+}
+
+TEST(Partition, SinglePlayerGetsEverything) {
+  Rng rng(7);
+  const Graph g = make_test_graph(rng);
+  const auto players = partition_random(g, 1, rng);
+  EXPECT_EQ(players[0].local.num_edges(), g.num_edges());
+}
+
+TEST(Partition, InvalidArguments) {
+  Rng rng(8);
+  const Graph g = make_test_graph(rng);
+  EXPECT_THROW(partition_random(g, 0, rng), std::invalid_argument);
+  PartitionOptions bad;
+  bad.dup_factor = 0.5;
+  EXPECT_THROW(partition_edges(g, 2, bad, rng), std::invalid_argument);
+  bad.dup_factor = 1.0;
+  bad.heavy_fraction = 1.0;
+  EXPECT_THROW(partition_edges(g, 2, bad, rng), std::invalid_argument);
+}
+
+TEST(PlayerInput, LocalDegreeMatchesLocalGraph) {
+  Rng rng(9);
+  const Graph g = make_test_graph(rng);
+  const auto players = partition_random(g, 3, rng);
+  // Sum of local degrees equals the true degree (no duplication).
+  for (Vertex v = 0; v < g.n(); ++v) {
+    std::uint32_t sum = 0;
+    for (const auto& p : players) sum += p.local_degree(v);
+    EXPECT_EQ(sum, g.degree(v));
+  }
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/buckets.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// Parameterized property sweeps: invariants that must hold for every
+/// (k, duplication factor) combination.
+
+class ModelSweep : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ModelSweep, PartitionUnionAlwaysReconstructs) {
+  const auto [k, dup] = GetParam();
+  Rng rng(100 + k);
+  const Graph g = gen::gnp(400, 0.03, rng);
+  const auto players = partition_duplicated(g, k, dup, rng);
+  ASSERT_EQ(players.size(), k);
+  EXPECT_EQ(union_graph(players).num_edges(), g.num_edges());
+  if (dup == 1.0) {
+    EXPECT_TRUE(is_duplication_free(players));
+  }
+}
+
+TEST_P(ModelSweep, SimLowNeverFabricatesTriangles) {
+  const auto [k, dup] = GetParam();
+  Rng rng(200 + k);
+  const Graph g = gen::bipartite_gnp(600, 0.01, rng);
+  const auto players = partition_duplicated(g, k, dup, rng);
+  SimLowOptions o;
+  o.average_degree = std::max(1.0, g.average_degree());
+  o.seed = 7 * k + static_cast<std::uint64_t>(10 * dup);
+  EXPECT_FALSE(sim_low_find_triangle(players, o).triangle.has_value());
+}
+
+TEST_P(ModelSweep, SimMessageBitsAreConsistent) {
+  const auto [k, dup] = GetParam();
+  Rng rng(300 + k);
+  const Graph g = gen::planted_triangles(800, 100, rng);
+  const auto players = partition_duplicated(g, k, dup, rng);
+  SimObliviousOptions o;
+  o.seed = 13;
+  std::uint64_t expected = 0;
+  std::vector<SimMessage> messages;
+  for (const auto& p : players) {
+    auto msg = sim_oblivious_message(p, o);
+    // Bit cost formula: header + payload.
+    EXPECT_EQ(msg.bits(g.n()), count_bits(msg.edges.size()) + msg.edges.size() * edge_bits(g.n()));
+    // All sent edges are real input edges (no fabrication at message level).
+    for (const Edge& e : msg.edges) EXPECT_TRUE(p.local.has_edge(e));
+    expected += msg.bits(g.n());
+    messages.push_back(std::move(msg));
+  }
+  const auto r = finalize_simultaneous(g.n(), std::move(messages));
+  EXPECT_EQ(r.total_bits, expected);
+  std::uint64_t per_player_sum = 0;
+  for (const auto b : r.per_player_bits) per_player_sum += b;
+  EXPECT_EQ(per_player_sum, expected);
+}
+
+TEST_P(ModelSweep, UnrestrictedTriangleIsAlwaysReal) {
+  const auto [k, dup] = GetParam();
+  Rng rng(400 + k);
+  const Graph g = gen::planted_triangles(700, 110, rng);
+  const auto players = partition_duplicated(g, k, dup, rng);
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical();
+  o.seed = 5 * k + 1;
+  const auto r = find_triangle_unrestricted(players, o);
+  if (r.triangle) {
+    EXPECT_TRUE(g.contains(*r.triangle));
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<std::tuple<std::size_t, double>>& info) {
+  return "k" + std::to_string(std::get<0>(info.param)) + "_dup" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(KAndDuplication, ModelSweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 8),
+                                            ::testing::Values(1.0, 1.5, 3.0)),
+                         sweep_name);
+
+/// Bucket arithmetic properties over a degree sweep.
+class BucketSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BucketSweep, DegreeRoundTripsThroughItsBucket) {
+  const std::uint64_t deg = GetParam();
+  const auto b = bucket_of_degree(deg);
+  EXPECT_GE(deg, bucket_min_degree(b));
+  EXPECT_LT(deg, bucket_max_degree(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BucketSweep,
+                         ::testing::Values(1, 2, 3, 5, 9, 26, 27, 100, 1000, 59049, 1000000));
+
+/// Success-probability sweep for the sim-low protocol as farness grows: more
+/// planted triangles must not hurt.
+class FarnessSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FarnessSweep, SimLowSuccessGrowsWithPlantedMass) {
+  const std::uint32_t planted = GetParam();
+  Rng rng(500 + planted);
+  const Graph g = gen::planted_triangles(2000, planted, rng);
+  int ok = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto players = partition_random(g, 4, rng);
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 5.0;
+    o.seed = 900 + static_cast<std::uint64_t>(t);
+    ok += sim_low_find_triangle(players, o).triangle.has_value() ? 1 : 0;
+  }
+  if (planted >= 250) {
+    EXPECT_GE(ok, 6) << "planted=" << planted;
+  }
+  // For any planted count, reported triangles were verified inside the run
+  // implicitly by construction; nothing to assert on small counts (success
+  // is legitimately probabilistic there).
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedCounts, FarnessSweep, ::testing::Values(50, 150, 250, 400, 600));
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/shared_randomness.h"
+#include "core/sim_high.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+template <typename RunFn>
+int run_trials(const Graph& g, std::size_t k, int trials, std::uint64_t seed, RunFn&& run) {
+  Rng rng(seed);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto players = partition_random(g, k, rng);
+    const SimResult r = run(players, seed * 31 + static_cast<std::uint64_t>(t));
+    if (r.triangle) {
+      EXPECT_TRUE(g.contains(*r.triangle));
+      ++ok;
+    }
+  }
+  return ok;
+}
+
+// ---------- SimLow ----------
+
+TEST(SimLow, OneSidedOnTriangleFree) {
+  Rng rng(1);
+  const Graph g = gen::bipartite_gnp(1000, 0.004, rng);
+  const int ok = run_trials(g, 4, 5, 2, [&](auto players, std::uint64_t s) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.seed = s;
+    return sim_low_find_triangle(players, o);
+  });
+  EXPECT_EQ(ok, 0);
+}
+
+TEST(SimLow, FindsTrianglesInSparseFarGraphs) {
+  Rng rng(2);
+  const Graph g = gen::planted_triangles(2000, 250, rng);
+  const int ok = run_trials(g, 4, 10, 3, [&](auto players, std::uint64_t s) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 5.0;
+    o.seed = s;
+    return sim_low_find_triangle(players, o);
+  });
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimLow, FindsHubConcentratedTriangles) {
+  // The instance the S-set exists for: few high-degree triangle sources.
+  Rng rng(3);
+  const Graph g = gen::hub_matching(2000, 2, rng);
+  const int ok = run_trials(g, 4, 10, 4, [&](auto players, std::uint64_t s) {
+    SimLowOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 5.0;
+    o.seed = s;
+    return sim_low_find_triangle(players, o);
+  });
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimLow, RespectsExplicitCap) {
+  Rng rng(4);
+  const Graph g = gen::planted_triangles(2000, 250, rng);
+  const auto players = partition_random(g, 4, rng);
+  SimLowOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 9;
+  o.cap_edges_per_player = 7;
+  const auto r = sim_low_find_triangle(players, o);
+  for (const auto bits : r.per_player_bits) {
+    EXPECT_LE(bits, count_bits(7) + 7 * edge_bits(g.n()));
+  }
+}
+
+TEST(SimLow, PaperCapRarelyTruncates) {
+  Rng rng(5);
+  const Graph g = gen::planted_triangles(2000, 200, rng);
+  const auto players = partition_random(g, 4, rng);
+  SimLowOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 10;
+  const auto r = sim_low_find_triangle(players, o);
+  EXPECT_FALSE(r.any_truncated);
+}
+
+// ---------- SimHigh ----------
+
+TEST(SimHigh, OneSidedOnTriangleFree) {
+  const Graph g = gen::c5_blowup(600);  // dense triangle-free
+  const int ok = run_trials(g, 3, 5, 6, [&](auto players, std::uint64_t s) {
+    SimHighOptions o;
+    o.average_degree = g.average_degree();
+    o.seed = s;
+    return sim_high_find_triangle(players, o);
+  });
+  EXPECT_EQ(ok, 0);
+}
+
+TEST(SimHigh, FindsTrianglesInDenseRandomGraphs) {
+  Rng rng(7);
+  const Vertex n = 1200;
+  const double d = std::sqrt(static_cast<double>(n));
+  const Graph g = gen::gnp(n, d / static_cast<double>(n), rng);
+  const int ok = run_trials(g, 3, 10, 8, [&](auto players, std::uint64_t s) {
+    SimHighOptions o;
+    o.average_degree = g.average_degree();
+    o.eps = 0.1;
+    o.c = 3.0;
+    o.seed = s;
+    return sim_high_find_triangle(players, o);
+  });
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimHigh, SampleSizeFormula) {
+  SimHighOptions o;
+  o.average_degree = 64.0;
+  o.eps = 0.1;
+  o.c = 3.0;
+  const double s = sim_high_sample_size(4096, o);
+  EXPECT_NEAR(s, 3.0 * std::cbrt(4096.0 * 4096.0 / (0.1 * 64.0)), 1e-9);
+  // Clamp to n.
+  o.average_degree = 1e-9;
+  EXPECT_LE(sim_high_sample_size(64, o), 64.0);
+}
+
+TEST(SimHigh, MessageContainsOnlySampledInducedEdges) {
+  Rng rng(9);
+  const Graph g = gen::gnp(500, 0.05, rng);
+  const auto players = partition_random(g, 3, rng);
+  SimHighOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 11;
+  o.cap_edges_per_player = SimHighOptions::kUncapped;
+  const SharedRandomness sr(o.seed);
+  const double s = sim_high_sample_size(g.n(), o);
+  const double p = s / static_cast<double>(g.n());
+  const SharedTag tag{0x51, 0x94, 0};
+  for (const auto& player : players) {
+    const auto msg = sim_high_message(player, o);
+    for (const Edge& e : msg.edges) {
+      EXPECT_TRUE(player.local.has_edge(e));
+      EXPECT_TRUE(sr.bernoulli(tag, e.u, p));
+      EXPECT_TRUE(sr.bernoulli(tag, e.v, p));
+    }
+  }
+}
+
+// ---------- SimOblivious ----------
+
+TEST(SimOblivious, OneSidedOnTriangleFree) {
+  Rng rng(10);
+  const Graph families[] = {
+      gen::bipartite_gnp(800, 0.01, rng),
+      gen::c5_blowup(400),
+      gen::random_tree(500, rng),
+  };
+  for (const Graph& g : families) {
+    const int ok = run_trials(g, 4, 3, 12, [&](auto players, std::uint64_t s) {
+      SimObliviousOptions o;
+      o.seed = s;
+      return sim_oblivious_find_triangle(players, o);
+    });
+    EXPECT_EQ(ok, 0);
+  }
+}
+
+TEST(SimOblivious, FindsTrianglesWithoutKnowingDegreeSparse) {
+  Rng rng(11);
+  const Graph g = gen::planted_triangles(2000, 250, rng);
+  const int ok = run_trials(g, 4, 10, 13, [&](auto players, std::uint64_t s) {
+    SimObliviousOptions o;
+    o.c = 5.0;
+    o.seed = s;
+    return sim_oblivious_find_triangle(players, o);
+  });
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimOblivious, FindsTrianglesWithoutKnowingDegreeDense) {
+  Rng rng(12);
+  const Vertex n = 1000;
+  const Graph g = gen::gnp(n, 0.06, rng);  // d ~ 60 > sqrt(n)
+  const int ok = run_trials(g, 4, 10, 14, [&](auto players, std::uint64_t s) {
+    SimObliviousOptions o;
+    o.c = 3.0;
+    o.seed = s;
+    return sim_oblivious_find_triangle(players, o);
+  });
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimOblivious, RunsBothInstanceKinds) {
+  Rng rng(13);
+  const Vertex n = 900;
+  const Graph g = gen::gnp(n, 0.05, rng);
+  const auto players = partition_random(g, 4, rng);
+  SimObliviousOptions o;
+  o.seed = 15;
+  SimObliviousStats stats;
+  (void)sim_oblivious_message(players[0], o, &stats);
+  // d ~ 45, sqrt(n) = 30: the ladder [d̄, 4k/eps d̄] must cross sqrt(n).
+  EXPECT_GT(stats.high_instances, 0u);
+  // Player's own d̄ < sqrt(n) can happen; low instances exist when the
+  // ladder starts below sqrt(n).
+  EXPECT_GT(stats.high_instances + stats.low_instances, 3u);
+}
+
+TEST(SimOblivious, EmptyPlayerSendsNothing) {
+  PlayerInput empty{0, 4, Graph(100, {})};
+  SimObliviousOptions o;
+  const auto msg = sim_oblivious_message(empty, o);
+  EXPECT_TRUE(msg.edges.empty());
+}
+
+TEST(SimOblivious, ExplicitTotalCapRespected) {
+  Rng rng(14);
+  const Graph g = gen::gnp(800, 0.05, rng);
+  const auto players = partition_random(g, 4, rng);
+  SimObliviousOptions o;
+  o.seed = 16;
+  o.cap_edges_per_player = 11;
+  for (const auto& p : players) {
+    const auto msg = sim_oblivious_message(p, o);
+    EXPECT_LE(msg.edges.size(), 11u);
+  }
+}
+
+// ---------- Structural invariants of the simultaneous model ----------
+
+TEST(SimModel, ExactlyOneMessagePerPlayerAndBitsMatchPayload) {
+  Rng rng(15);
+  const Graph g = gen::planted_triangles(1000, 120, rng);
+  const auto players = partition_random(g, 5, rng);
+  SimLowOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 17;
+  std::vector<SimMessage> messages;
+  std::uint64_t expected_total = 0;
+  for (const auto& p : players) {
+    auto msg = sim_low_message(p, o);
+    EXPECT_EQ(msg.player_id, p.player_id);
+    expected_total += msg.bits(g.n());
+    messages.push_back(std::move(msg));
+  }
+  const auto r = finalize_simultaneous(g.n(), std::move(messages));
+  EXPECT_EQ(r.total_bits, expected_total);
+  EXPECT_EQ(r.per_player_bits.size(), 5u);
+}
+
+TEST(SimModel, RefereeTriangleIsFromReceivedEdges) {
+  const Graph g(4, {{0, 1}, {1, 2}, {0, 2}});
+  std::vector<SimMessage> msgs(1);
+  msgs[0].player_id = 0;
+  msgs[0].edges = {Edge(0, 1), Edge(1, 2), Edge(0, 2)};
+  const auto tri = referee_find_triangle(4, msgs);
+  ASSERT_TRUE(tri.has_value());
+  EXPECT_EQ(*tri, Triangle(0, 1, 2));
+}
+
+TEST(SimModel, ApplyCapMarksTruncation) {
+  SimMessage m;
+  m.edges = {Edge(0, 1), Edge(1, 2), Edge(2, 3)};
+  apply_cap(m, 2);
+  EXPECT_EQ(m.edges.size(), 2u);
+  EXPECT_TRUE(m.truncated);
+  SimMessage m2;
+  m2.edges = {Edge(0, 1)};
+  apply_cap(m2, 2);
+  EXPECT_FALSE(m2.truncated);
+  apply_cap(m2, 0);  // 0 = no cap
+  EXPECT_EQ(m2.edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tft

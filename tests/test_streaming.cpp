@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "streaming/reduction.h"
+#include "streaming/stream_model.h"
+#include "streaming/streaming_triangle.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(StreamModel, StreamOfPreservesEdges) {
+  Rng rng(1);
+  const Graph g = gen::gnp(100, 0.1, rng);
+  const auto s = stream_of(g);
+  EXPECT_EQ(s.n, g.n());
+  EXPECT_EQ(s.edges.size(), g.num_edges());
+}
+
+TEST(StreamModel, ShuffledStreamIsPermutation) {
+  Rng rng(2);
+  const Graph g = gen::gnp(100, 0.1, rng);
+  auto s = shuffled_stream_of(g, rng);
+  std::sort(s.edges.begin(), s.edges.end());
+  EXPECT_TRUE(std::equal(s.edges.begin(), s.edges.end(), g.edges().begin()));
+}
+
+TEST(StreamModel, ConcatChecksUniverse) {
+  const EdgeStream a{10, {Edge(0, 1)}};
+  const EdgeStream b{10, {Edge(2, 3)}};
+  const auto c = concat({a, b});
+  EXPECT_EQ(c.edges.size(), 2u);
+  const EdgeStream bad{20, {}};
+  EXPECT_THROW(concat({a, bad}), std::invalid_argument);
+}
+
+TEST(StreamingDetector, UnlimitedMemoryAlwaysDetects) {
+  // With memory >> m the detector keeps everything; the last edge of any
+  // triangle in stream order closes a retained vee.
+  Rng rng(3);
+  const Graph g = gen::planted_triangles(300, 40, rng);
+  const auto s = shuffled_stream_of(g, rng);
+  StreamingTriangleDetector det(1ULL << 40, g.n(), 7);
+  bool hit = false;
+  for (const Edge& e : s.edges) hit = det.offer(e) || hit;
+  ASSERT_TRUE(det.found().has_value());
+  EXPECT_TRUE(g.contains(*det.found()));
+}
+
+TEST(StreamingDetector, NeverDetectsOnTriangleFree) {
+  Rng rng(4);
+  const Graph g = gen::bipartite_gnp(400, 0.05, rng);
+  const auto s = shuffled_stream_of(g, rng);
+  StreamingTriangleDetector det(1ULL << 40, g.n(), 8);
+  for (const Edge& e : s.edges) det.offer(e);
+  EXPECT_FALSE(det.found().has_value());
+}
+
+TEST(StreamingDetector, RespectsMemoryBudget) {
+  Rng rng(5);
+  const Graph g = gen::gnp(500, 0.05, rng);
+  const auto s = shuffled_stream_of(g, rng);
+  const std::uint64_t budget = 200 * edge_bits(g.n());
+  StreamingTriangleDetector det(budget, g.n(), 9);
+  for (const Edge& e : s.edges) {
+    det.offer(e);
+    ASSERT_LE(det.memory_bits(), budget);
+  }
+  EXPECT_LE(det.peak_memory_bits(), budget);
+  EXPECT_LT(det.retention_probability(), 1.0);  // must have subsampled
+}
+
+TEST(StreamingDetector, FoundTriangleIsReal) {
+  Rng rng(6);
+  const Graph g = gen::gnp(400, 0.08, rng);
+  for (int t = 0; t < 5; ++t) {
+    auto s = shuffled_stream_of(g, rng);
+    StreamingTriangleDetector det(400 * edge_bits(g.n()), g.n(), 10 + t);
+    for (const Edge& e : s.edges) {
+      if (det.offer(e)) break;
+    }
+    if (det.found()) {
+      EXPECT_TRUE(g.contains(*det.found()));
+    }
+  }
+}
+
+TEST(StreamingDetector, MoreMemoryDetectsMoreOften) {
+  Rng rng(7);
+  const Graph g = gen::planted_triangles(4000, 300, rng);
+  int small_ok = 0;
+  int large_ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    auto s = shuffled_stream_of(g, rng);
+    StreamingTriangleDetector small(60 * edge_bits(g.n()), g.n(), 50 + t);
+    StreamingTriangleDetector large(3000 * edge_bits(g.n()), g.n(), 50 + t);
+    for (const Edge& e : s.edges) {
+      small.offer(e);
+      large.offer(e);
+    }
+    small_ok += small.found() ? 1 : 0;
+    large_ok += large.found() ? 1 : 0;
+  }
+  EXPECT_GT(large_ok, small_ok);
+  EXPECT_GE(large_ok, 8);
+}
+
+TEST(Reduction, CommunicationEqualsShippedStates) {
+  Rng rng(8);
+  const Graph g = gen::planted_triangles(600, 80, rng);
+  const auto players = partition_random(g, 4, rng);
+  const auto report = one_way_via_streaming(players, 1ULL << 30, 11);
+  // 3 hand-offs; communication is the sum of three state sizes, each at
+  // most the peak memory plus the counter overhead.
+  EXPECT_GT(report.communication_bits, 0u);
+  EXPECT_LE(report.communication_bits, 3 * (report.peak_memory_bits + 16));
+  ASSERT_TRUE(report.triangle.has_value());
+  EXPECT_TRUE(g.contains(*report.triangle));
+}
+
+TEST(Reduction, MatchesPlainStreamingOutcome) {
+  // Same seed, same edge order (players concatenated) => same detection
+  // result as the single-stream run.
+  Rng rng(9);
+  const Graph g = gen::gnp(300, 0.06, rng);
+  const auto players = partition_random(g, 3, rng);
+  std::vector<EdgeStream> segments;
+  for (const auto& p : players) segments.push_back(stream_of(p.local));
+  const auto combined = concat(segments);
+
+  const std::uint64_t budget = 150 * edge_bits(g.n());
+  const auto a = one_way_via_streaming(players, budget, 13);
+  const auto b = run_streaming(combined, budget, 13);
+  EXPECT_EQ(a.triangle.has_value(), b.triangle.has_value());
+  if (a.triangle) {
+    EXPECT_EQ(*a.triangle, *b.triangle);
+  }
+  EXPECT_EQ(a.peak_memory_bits, b.peak_memory_bits);
+}
+
+TEST(Reduction, EmptyPlayersThrow) {
+  EXPECT_THROW({ (void)one_way_via_streaming({}, 1024, 1); }, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tft

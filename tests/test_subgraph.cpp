@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/subgraph_freeness.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(Patterns, BasicShapes) {
+  EXPECT_EQ(pattern_clique(4).num_edges(), 6u);
+  EXPECT_EQ(pattern_cycle(5).num_edges(), 5u);
+  EXPECT_EQ(pattern_path(4).num_edges(), 3u);
+  EXPECT_THROW(pattern_cycle(2), std::invalid_argument);
+}
+
+/// Verify a witness mapping against host and pattern.
+void check_witness(const Graph& host, const Graph& pattern,
+                   const std::vector<Vertex>& witness) {
+  ASSERT_EQ(witness.size(), pattern.n());
+  for (const Edge& e : pattern.edges()) {
+    EXPECT_TRUE(host.has_edge(witness[e.u], witness[e.v]))
+        << "pattern edge (" << e.u << "," << e.v << ") unmapped";
+  }
+  // Injectivity.
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    for (std::size_t j = i + 1; j < witness.size(); ++j) {
+      EXPECT_NE(witness[i], witness[j]);
+    }
+  }
+}
+
+TEST(FindSubgraph, TriangleAgreesWithDedicatedFinder) {
+  Rng rng(1);
+  for (int t = 0; t < 10; ++t) {
+    const Graph g = gen::gnp(80, 0.08, rng);
+    const auto tri = find_triangle(g);
+    const auto iso = find_subgraph(g, pattern_clique(3));
+    EXPECT_EQ(tri.has_value(), iso.has_value());
+    if (iso) check_witness(g, pattern_clique(3), *iso);
+  }
+}
+
+TEST(FindSubgraph, CliqueDetection) {
+  // K5 planted inside noise.
+  Rng rng(2);
+  Graph k5 = pattern_clique(5);
+  const Graph g = gen::overlay(gen::embed_with_isolated(k5, 200),
+                               gen::bipartite_gnp(200, 0.05, rng));
+  const auto found = find_subgraph(g, pattern_clique(5));
+  ASSERT_TRUE(found.has_value());
+  check_witness(g, pattern_clique(5), *found);
+  // No K5 in the bipartite part alone.
+  EXPECT_FALSE(contains_subgraph(gen::bipartite_gnp(200, 0.05, rng), pattern_clique(3)));
+}
+
+TEST(FindSubgraph, OddCyclesAbsentFromBipartite) {
+  Rng rng(3);
+  const Graph g = gen::bipartite_gnp(300, 0.05, rng);
+  EXPECT_FALSE(contains_subgraph(g, pattern_cycle(5)));
+  EXPECT_FALSE(contains_subgraph(g, pattern_cycle(7)));
+  // Even cycles exist in dense bipartite graphs.
+  EXPECT_TRUE(contains_subgraph(g, pattern_cycle(4)));
+}
+
+TEST(FindSubgraph, C5InBlowup) {
+  const Graph g = gen::c5_blowup(50);
+  const auto found = find_subgraph(g, pattern_cycle(5));
+  ASSERT_TRUE(found.has_value());
+  check_witness(g, pattern_cycle(5), *found);
+  // The blow-up is triangle-free.
+  EXPECT_FALSE(contains_subgraph(g, pattern_clique(3)));
+}
+
+TEST(FindSubgraph, PathAlwaysFoundInConnectedGraph) {
+  Rng rng(4);
+  const Graph g = gen::random_tree(50, rng);
+  EXPECT_TRUE(contains_subgraph(g, pattern_path(2)));
+  const auto p3 = find_subgraph(g, pattern_path(3));
+  ASSERT_TRUE(p3.has_value());
+  check_witness(g, pattern_path(3), *p3);
+}
+
+TEST(FindSubgraph, EmptyAndOversizedPatterns) {
+  const Graph g(5, {{0, 1}});
+  EXPECT_TRUE(find_subgraph(g, Graph(0, {})).has_value());
+  EXPECT_FALSE(find_subgraph(g, pattern_clique(6)).has_value());
+}
+
+TEST(PlantedCopies, ExactCountAndNoExtras) {
+  Rng rng(5);
+  const Graph g = planted_copies(400, pattern_clique(4), 20, rng);
+  // Exactly 20 K4s (the noise matching cannot form one).
+  std::uint64_t k4s = 0;
+  for (Vertex base = 0; base < 80; base += 4) {
+    bool all = true;
+    for (Vertex u = 0; u < 4; ++u) {
+      for (Vertex v = u + 1; v < 4; ++v) all = all && g.has_edge(base + u, base + v);
+    }
+    k4s += all ? 1 : 0;
+  }
+  EXPECT_EQ(k4s, 20u);
+  EXPECT_TRUE(contains_subgraph(g, pattern_clique(4)));
+  EXPECT_THROW(planted_copies(10, pattern_clique(4), 5, rng), std::invalid_argument);
+}
+
+TEST(SimSubgraph, OneSidedOnPatternFreeInputs) {
+  Rng rng(6);
+  // Bipartite inputs: no C5 and no K3 can ever be reported.
+  const Graph g = gen::bipartite_gnp(600, 0.04, rng);
+  const auto players = partition_random(g, 4, rng);
+  for (const Graph& pat : {pattern_cycle(5), pattern_clique(3)}) {
+    SimSubgraphOptions o;
+    o.average_degree = g.average_degree();
+    o.seed = 7;
+    const auto r = sim_subgraph_find(players, pat, o);
+    EXPECT_FALSE(r.witness.has_value());
+  }
+}
+
+TEST(SimSubgraph, FindsPlantedK4s) {
+  Rng rng(7);
+  const Graph g = planted_copies(1200, pattern_clique(4), 120, rng);
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto players = partition_random(g, 4, rng);
+    SimSubgraphOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 4.0;
+    o.seed = 100 + static_cast<std::uint64_t>(t);
+    const auto r = sim_subgraph_find(players, pattern_clique(4), o);
+    if (r.witness) {
+      check_witness(g, pattern_clique(4), *r.witness);
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimSubgraph, FindsPlantedC5s) {
+  Rng rng(8);
+  const Graph g = planted_copies(1500, pattern_cycle(5), 150, rng);
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto players = partition_random(g, 4, rng);
+    SimSubgraphOptions o;
+    o.average_degree = g.average_degree();
+    o.c = 4.0;
+    o.seed = 200 + static_cast<std::uint64_t>(t);
+    const auto r = sim_subgraph_find(players, pattern_cycle(5), o);
+    if (r.witness) {
+      check_witness(g, pattern_cycle(5), *r.witness);
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(SimSubgraph, TriangleSpecialCaseMatchesSimHighShape) {
+  // For H = K3 the sampler is AlgHigh; sample size formulas agree in shape.
+  SimSubgraphOptions o;
+  o.average_degree = 64.0;
+  o.eps = 0.1;
+  const double s3 = subgraph_sample_size(4096, 3, o);
+  const double s5 = subgraph_sample_size(4096, 5, o);
+  EXPECT_GT(s5, s3);  // bigger pattern needs a bigger sample
+  EXPECT_LE(s5, 4096.0);
+}
+
+TEST(SimSubgraph, CapRespected) {
+  Rng rng(9);
+  const Graph g = planted_copies(800, pattern_clique(4), 80, rng);
+  const auto players = partition_random(g, 3, rng);
+  SimSubgraphOptions o;
+  o.average_degree = g.average_degree();
+  o.seed = 5;
+  o.cap_edges_per_player = 3;
+  const auto r = sim_subgraph_find(players, pattern_clique(4), o);
+  EXPECT_LE(r.edges_received, 9u);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/sim_low.h"
+#include "graph/generators.h"
+#include "lower_bounds/mu_distribution.h"
+#include "lower_bounds/symmetrization.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+/// A symmetric 3-part sampler: each part is an independent sparse G(n, p)
+/// edge set over a common universe (symmetric marginals by construction).
+ThreePartSampler symmetric_gnp_sampler(Vertex n, double p) {
+  return [n, p](Rng& rng) {
+    return std::array<Graph, 3>{gen::gnp(n, p, rng), gen::gnp(n, p, rng), gen::gnp(n, p, rng)};
+  };
+}
+
+SimProtocol sim_low_protocol(double avg_degree, std::uint64_t seed) {
+  return [avg_degree, seed](std::span<const PlayerInput> players) {
+    SimLowOptions o;
+    o.average_degree = avg_degree;
+    o.c = 4.0;
+    o.seed = seed;
+    return sim_low_find_triangle(players, o);
+  };
+}
+
+TEST(EmbedThree, AssignsPartsCorrectly) {
+  Rng rng(1);
+  const std::array<Graph, 3> x{gen::star(20), gen::cycle(20), gen::random_matching(20, rng)};
+  const auto players = embed_three(x, 6, 1, 3);
+  ASSERT_EQ(players.size(), 6u);
+  EXPECT_EQ(players[1].local.num_edges(), x[0].num_edges());
+  EXPECT_EQ(players[3].local.num_edges(), x[1].num_edges());
+  for (const std::size_t p : {0u, 2u, 4u, 5u}) {
+    EXPECT_EQ(players[p].local.num_edges(), x[2].num_edges());
+  }
+}
+
+TEST(EmbedThree, RejectsBadIndices) {
+  const std::array<Graph, 3> x{Graph(5, {}), Graph(5, {}), Graph(5, {})};
+  EXPECT_THROW(embed_three(x, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(embed_three(x, 5, 2, 2), std::invalid_argument);
+  EXPECT_THROW(embed_three(x, 5, 4, 1), std::invalid_argument);  // i = k-1 forbidden
+}
+
+TEST(Symmetrization, RatioIsTwoOverK) {
+  // Theorem 4.15's accounting identity: because a simultaneous player's
+  // message distribution depends only on its input marginal, and the
+  // embedded distribution is symmetric, the expected one-way cost equals
+  // (2/k) * expected total cost.
+  const Vertex n = 300;
+  const double p = 4.0 / n;
+  for (const std::size_t k : {4u, 8u}) {
+    const auto report = run_symmetrization(symmetric_gnp_sampler(n, p),
+                                           sim_low_protocol(4.0, 99), k, 60, 1234 + k);
+    EXPECT_GT(report.avg_sim_total_bits, 0.0);
+    const double expected = 2.0 / static_cast<double>(k);
+    EXPECT_NEAR(report.ratio(), expected, 0.5 * expected) << "k = " << k;
+  }
+}
+
+TEST(Symmetrization, RatioShrinksWithK) {
+  const Vertex n = 300;
+  const double p = 4.0 / n;
+  const auto r4 = run_symmetrization(symmetric_gnp_sampler(n, p), sim_low_protocol(4.0, 5), 4,
+                                     40, 77);
+  const auto r12 = run_symmetrization(symmetric_gnp_sampler(n, p), sim_low_protocol(4.0, 5), 12,
+                                      40, 78);
+  EXPECT_GT(r4.ratio(), r12.ratio());
+}
+
+TEST(Symmetrization, MuSamplerWorksEndToEnd) {
+  // Use the actual hard distribution's three parts as the symmetric inputs
+  // (the parts have equal marginals up to relabeling; good enough for the
+  // plumbing test — the bench uses it at scale).
+  const ThreePartSampler mu_sampler = [](Rng& rng) {
+    const auto mu = sample_mu(100, 0.8, rng);
+    const auto players = partition_mu_three(mu);
+    return std::array<Graph, 3>{players[0].local, players[1].local, players[2].local};
+  };
+  const auto report =
+      run_symmetrization(mu_sampler, sim_low_protocol(10.0, 6), 5, 20, 99);
+  EXPECT_EQ(report.trials, 20u);
+  EXPECT_GT(report.avg_sim_total_bits, 0.0);
+  EXPECT_GT(report.avg_one_way_bits, 0.0);
+}
+
+}  // namespace
+}  // namespace tft

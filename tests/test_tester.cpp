@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/tester.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(Tester, DispatchesEveryProtocolOnFarInput) {
+  Rng rng(1);
+  const Graph g = gen::gnp(800, 0.05, rng);  // d ~ 40 > sqrt(800) ~ 28
+  const auto players = partition_random(g, 4, rng);
+  for (const auto kind :
+       {ProtocolKind::kUnrestricted, ProtocolKind::kSimLow, ProtocolKind::kSimHigh,
+        ProtocolKind::kSimOblivious, ProtocolKind::kExact}) {
+    TesterOptions o;
+    o.protocol = kind;
+    o.seed = 5;
+    o.known_average_degree = g.average_degree();
+    const auto report = test_triangle_freeness(players, o);
+    EXPECT_EQ(report.protocol, kind);
+    EXPECT_GT(report.bits, 0u);
+    if (report.triangle) {
+      EXPECT_TRUE(g.contains(*report.triangle));
+      EXPECT_TRUE(report.rejects_triangle_freeness());
+    }
+  }
+}
+
+TEST(Tester, ExactAlwaysDecidesCorrectly) {
+  Rng rng(2);
+  const Graph far = gen::planted_triangles(300, 50, rng);
+  const Graph free = gen::bipartite_gnp(300, 0.05, rng);
+  TesterOptions o;
+  o.protocol = ProtocolKind::kExact;
+  EXPECT_TRUE(test_triangle_freeness(partition_random(far, 3, rng), o).triangle.has_value());
+  EXPECT_FALSE(test_triangle_freeness(partition_random(free, 3, rng), o).triangle.has_value());
+}
+
+TEST(Tester, SimProtocolsRequireKnownDegree) {
+  Rng rng(3);
+  const Graph g = gen::gnp(200, 0.1, rng);
+  const auto players = partition_random(g, 3, rng);
+  TesterOptions o;
+  o.protocol = ProtocolKind::kSimLow;
+  EXPECT_THROW((void)test_triangle_freeness(players, o), std::invalid_argument);
+  o.protocol = ProtocolKind::kSimHigh;
+  EXPECT_THROW((void)test_triangle_freeness(players, o), std::invalid_argument);
+}
+
+TEST(Tester, ObliviousNeedsNoDegree) {
+  Rng rng(4);
+  const Graph g = gen::planted_triangles(1500, 220, rng);
+  const auto players = partition_random(g, 4, rng);
+  TesterOptions o;
+  o.protocol = ProtocolKind::kSimOblivious;
+  o.seed = 6;
+  const auto report = test_triangle_freeness(players, o);
+  EXPECT_GT(report.bits, 0u);
+}
+
+TEST(Tester, OneSidedAcrossAllProtocols) {
+  Rng rng(5);
+  const Graph g = gen::c5_blowup(300);  // dense, triangle-free
+  const auto players = partition_duplicated(g, 4, 2.0, rng);
+  for (const auto kind :
+       {ProtocolKind::kUnrestricted, ProtocolKind::kSimLow, ProtocolKind::kSimHigh,
+        ProtocolKind::kSimOblivious, ProtocolKind::kExact}) {
+    TesterOptions o;
+    o.protocol = kind;
+    o.seed = 7;
+    o.known_average_degree = g.average_degree();
+    const auto report = test_triangle_freeness(players, o);
+    EXPECT_FALSE(report.triangle.has_value()) << to_string(kind);
+    EXPECT_FALSE(report.rejects_triangle_freeness());
+  }
+}
+
+TEST(Tester, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(ProtocolKind::kUnrestricted), "unrestricted");
+  EXPECT_STREQ(to_string(ProtocolKind::kSimLow), "sim-low");
+  EXPECT_STREQ(to_string(ProtocolKind::kSimHigh), "sim-high");
+  EXPECT_STREQ(to_string(ProtocolKind::kSimOblivious), "sim-oblivious");
+  EXPECT_STREQ(to_string(ProtocolKind::kExact), "exact");
+}
+
+TEST(Tester, ThrowsOnEmptyPlayers) {
+  TesterOptions o;
+  EXPECT_THROW((void)test_triangle_freeness({}, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+UnrestrictedOptions base_options(std::uint64_t seed) {
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::practical(0.1, 0.1);
+  o.seed = seed;
+  return o;
+}
+
+/// Success count of the protocol over `trials` fresh partitions.
+int successes(const Graph& g, std::size_t k, double dup, const UnrestrictedOptions& base,
+              int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto players =
+        dup > 1.0 ? partition_duplicated(g, k, dup, rng) : partition_random(g, k, rng);
+    UnrestrictedOptions o = base;
+    o.seed = seed * 7919 + static_cast<std::uint64_t>(t);
+    const auto r = find_triangle_unrestricted(players, o);
+    if (r.triangle) {
+      EXPECT_TRUE(g.contains(*r.triangle));  // one-sided: must be real
+      ++ok;
+    }
+  }
+  return ok;
+}
+
+TEST(Unrestricted, OneSidedOnTriangleFreeFamilies) {
+  Rng rng(1);
+  const Graph families[] = {
+      gen::bipartite_gnp(400, 0.05, rng),
+      gen::random_tree(400, rng),
+      gen::c5_blowup(200),
+      gen::star(300),
+      gen::cycle(256),
+  };
+  for (const Graph& g : families) {
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      const auto players = partition_duplicated(g, 4, 1.6, rng);
+      const auto r = find_triangle_unrestricted(players, base_options(s));
+      EXPECT_FALSE(r.triangle.has_value());
+    }
+  }
+}
+
+TEST(Unrestricted, FindsPlantedTriangles) {
+  Rng rng(2);
+  const Graph g = gen::planted_triangles(900, 150, rng);
+  const int ok = successes(g, 4, 1.0, base_options(3), 10, 42);
+  EXPECT_GE(ok, 9);
+}
+
+TEST(Unrestricted, FindsHubConcentratedTriangles) {
+  // The adversarial instance of Section 3.4.2: all triangles go through a
+  // few hubs; bucket-targeted sampling must still find them.
+  Rng rng(3);
+  const Graph g = gen::hub_matching(1200, 3, rng);
+  const int ok = successes(g, 4, 1.5, base_options(4), 10, 43);
+  EXPECT_GE(ok, 9);
+}
+
+TEST(Unrestricted, FindsTrianglesInDenseRandomGraphs) {
+  Rng rng(4);
+  const Graph g = gen::gnp(500, 0.1, rng);
+  const int ok = successes(g, 6, 2.0, base_options(5), 10, 44);
+  EXPECT_GE(ok, 9);
+}
+
+TEST(Unrestricted, WorksWithKnownDegree) {
+  Rng rng(5);
+  const Graph g = gen::planted_triangles(600, 120, rng);
+  UnrestrictedOptions o = base_options(6);
+  o.known_average_degree = g.average_degree();
+  const int ok = successes(g, 4, 1.0, o, 10, 45);
+  EXPECT_GE(ok, 9);
+}
+
+TEST(Unrestricted, KnownDegreeSkipsEstimationCost) {
+  Rng rng(6);
+  const Graph g = gen::bipartite_gnp(600, 0.03, rng);  // triangle-free: full run
+  const auto players = partition_random(g, 4, rng);
+  UnrestrictedOptions unknown = base_options(7);
+  UnrestrictedOptions known = base_options(7);
+  known.known_average_degree = g.average_degree();
+  const auto r_unknown = find_triangle_unrestricted(players, unknown);
+  const auto r_known = find_triangle_unrestricted(players, known);
+  EXPECT_LT(r_known.total_bits, r_unknown.total_bits);
+}
+
+TEST(Unrestricted, NoDuplicationPathWorks) {
+  Rng rng(7);
+  const Graph g = gen::planted_triangles(600, 120, rng);
+  UnrestrictedOptions o = base_options(8);
+  o.no_duplication = true;
+  const int ok = successes(g, 4, 1.0, o, 10, 46);
+  EXPECT_GE(ok, 9);
+}
+
+TEST(Unrestricted, BlackboardIsCheaperOnDuplicatedInputs) {
+  Rng rng(8);
+  const Graph g = gen::hub_matching(1200, 3, rng);
+  const auto players = partition_duplicated(g, 8, 3.0, rng);
+  UnrestrictedOptions coord = base_options(9);
+  UnrestrictedOptions board = base_options(9);
+  board.blackboard = true;
+  const auto r_coord = find_triangle_unrestricted(players, coord);
+  const auto r_board = find_triangle_unrestricted(players, board);
+  ASSERT_TRUE(r_coord.triangle.has_value());
+  ASSERT_TRUE(r_board.triangle.has_value());
+  EXPECT_LT(r_board.total_bits, r_coord.total_bits);
+}
+
+TEST(Unrestricted, BucketingBeatsNaiveSamplingOnHubFamily) {
+  // Ablation (DESIGN.md E-ABL): naive uniform vertex sampling cannot target
+  // the degree band where the triangle sources live when they are few,
+  // while bucketing finds them reliably.
+  Rng rng(9);
+  // Embedded dense core: all triangle activity on 24 of 80000 vertices, so
+  // a uniform vertex sample almost never lands on the core, while the
+  // core's degree bucket contains nothing else.
+  const Graph core = gen::gnp(24, 0.6, rng);
+  const Graph g = gen::embed_with_isolated(core, 80000);
+  UnrestrictedOptions with_buckets = base_options(10);
+  UnrestrictedOptions naive = base_options(10);
+  naive.use_bucketing = false;
+
+  const int bucket_ok = successes(g, 4, 1.0, with_buckets, 8, 47);
+  const int naive_ok = successes(g, 4, 1.0, naive, 8, 47);
+  EXPECT_GE(bucket_ok, 7);
+  EXPECT_LE(naive_ok, bucket_ok - 3);  // naive misses most of the time
+}
+
+TEST(Unrestricted, EmptyGraphAcceptsCheaply) {
+  std::vector<PlayerInput> players;
+  for (std::size_t j = 0; j < 3; ++j) players.push_back(PlayerInput{j, 3, Graph(100, {})});
+  const auto r = find_triangle_unrestricted(players, base_options(11));
+  EXPECT_FALSE(r.triangle.has_value());
+  EXPECT_LT(r.total_bits, 1000u);
+}
+
+TEST(Unrestricted, ThrowsOnNoPlayers) {
+  EXPECT_THROW({ (void)find_triangle_unrestricted({}, base_options(1)); },
+               std::invalid_argument);
+}
+
+TEST(Unrestricted, TheoryConstantsStillCorrectOnTinyInputs) {
+  Rng rng(10);
+  const Graph g = gen::planted_triangles(120, 30, rng);
+  const auto players = partition_random(g, 3, rng);
+  UnrestrictedOptions o;
+  o.consts = ProtocolConstants::theory(0.2, 0.1);
+  o.seed = 12;
+  const auto r = find_triangle_unrestricted(players, o);
+  ASSERT_TRUE(r.triangle.has_value());
+  EXPECT_TRUE(g.contains(*r.triangle));
+}
+
+TEST(ProtocolConstantsTest, TheoryLargerThanPractical) {
+  const auto prac = ProtocolConstants::practical();
+  const auto theo = ProtocolConstants::theory();
+  EXPECT_GT(theo.samples_per_bucket(4096, 8), prac.samples_per_bucket(4096, 8));
+  EXPECT_GT(theo.candidate_cap(4096), prac.candidate_cap(4096));
+  EXPECT_GE(theo.edge_sample_probability(4096, 100.0),
+            prac.edge_sample_probability(4096, 100.0));
+}
+
+TEST(ProtocolConstantsTest, EdgeSampleProbabilityDecreasesWithDegree) {
+  const auto c = ProtocolConstants::practical();
+  EXPECT_GT(c.edge_sample_probability(4096, 10.0), c.edge_sample_probability(4096, 1000.0));
+  EXPECT_LE(c.edge_sample_probability(4096, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace tft

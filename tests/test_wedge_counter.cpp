@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "streaming/wedge_counter.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+TEST(WedgeCounter, ExactOnTinyGraphsWithFullReservoir) {
+  // Reservoir >= total wedges: the estimate is exact (kappa W / 3 = T).
+  const Graph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  WedgeSamplingCounter c(4, 1000, 1);
+  for (const Edge& e : k4.edges()) c.offer(e);
+  EXPECT_DOUBLE_EQ(c.wedge_count(), 12.0);  // 4 vertices of degree 3: 4*3 = 12
+  EXPECT_DOUBLE_EQ(c.closure_rate(), 1.0);  // every wedge of K4 is closed
+  EXPECT_DOUBLE_EQ(c.triangle_estimate(), 4.0);
+}
+
+TEST(WedgeCounter, ZeroOnTriangleFree) {
+  Rng rng(1);
+  const Graph g = gen::bipartite_gnp(300, 0.05, rng);
+  WedgeSamplingCounter c(g.n(), 500, 2);
+  for (const Edge& e : g.edges()) c.offer(e);
+  EXPECT_GT(c.wedge_count(), 0.0);
+  EXPECT_DOUBLE_EQ(c.triangle_estimate(), 0.0);
+}
+
+TEST(WedgeCounter, EstimateWithinFactorTwoOnRandomGraphs) {
+  Rng rng(2);
+  const Graph g = gen::gnp(800, 0.03, rng);
+  const double truth = static_cast<double>(count_triangles(g));
+  ASSERT_GT(truth, 100.0);
+  // Median of several independent runs for robustness.
+  std::vector<double> estimates;
+  for (int r = 0; r < 7; ++r) {
+    estimates.push_back(estimate_triangles_streaming(g, 2000, 10 + r, 100 + r));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double med = estimates[estimates.size() / 2];
+  EXPECT_GT(med, truth / 2.0);
+  EXPECT_LT(med, truth * 2.0);
+}
+
+TEST(WedgeCounter, PlantedInstancesScaleLinearly) {
+  // Doubling the planted triangles ~doubles the estimate.
+  Rng rng(3);
+  const Graph g1 = gen::planted_triangles(3000, 200, rng);
+  const Graph g2 = gen::planted_triangles(3000, 400, rng);
+  const double e1 = estimate_triangles_streaming(g1, 4000, 5, 6);
+  const double e2 = estimate_triangles_streaming(g2, 4000, 5, 6);
+  EXPECT_GT(e1, 100.0);
+  EXPECT_NEAR(e2 / e1, 2.0, 0.8);
+}
+
+TEST(WedgeCounter, IgnoresDuplicatesAndLoops) {
+  WedgeSamplingCounter c(5, 100, 4);
+  c.offer(Edge(0, 1));
+  c.offer(Edge(0, 1));  // duplicate
+  c.offer(Edge(2, 2));  // loop (invalid, ignored)
+  EXPECT_DOUBLE_EQ(c.wedge_count(), 0.0);
+  c.offer(Edge(1, 2));
+  EXPECT_DOUBLE_EQ(c.wedge_count(), 1.0);
+}
+
+TEST(WedgeCounter, ReservoirBoundedAndMemoryTracked) {
+  Rng rng(5);
+  const Graph g = gen::gnp(400, 0.05, rng);
+  WedgeSamplingCounter c(g.n(), 64, 6);
+  for (const Edge& e : g.edges()) {
+    c.offer(e);
+    ASSERT_LE(c.reservoir_fill(), 64u);
+  }
+  EXPECT_EQ(c.reservoir_fill(), 64u);
+  EXPECT_GT(c.memory_bits(), 64u * 3 * 9);
+}
+
+}  // namespace
+}  // namespace tft
