@@ -18,6 +18,7 @@
 #include "graph/generators.h"
 #include "graph/partition.h"
 #include "lower_bounds/embedding.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -25,6 +26,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 8));
 
   bench::header("E-ABL bench_ablations", "design-choice ablations (see DESIGN.md E-ABL)");
@@ -34,11 +36,15 @@ int main(int argc, char** argv) {
     Rng rng(1);
     const Graph core = gen::gnp(24, 0.6, rng);
     const Graph g = gen::embed_with_isolated(core, 80000);
-    int bucket_ok = 0;
-    int naive_ok = 0;
-    Summary bucket_bits, naive_bits;
-    for (int t = 0; t < trials; ++t) {
-      const auto players = partition_random(g, 4, rng);
+    struct Trial {
+      double bucket_bits = 0.0;
+      double naive_bits = 0.0;
+      bool bucket_ok = false;
+      bool naive_ok = false;
+    };
+    const auto results = bench::run_trials(trials, 1, [&](Rng& trng, std::size_t t) {
+      const auto players = partition_random(g, 4, trng);
+      Trial out;
       for (const bool use_buckets : {true, false}) {
         UnrestrictedOptions o;
         o.consts = ProtocolConstants::practical();
@@ -46,18 +52,23 @@ int main(int argc, char** argv) {
         o.use_bucketing = use_buckets;
         const auto r = find_triangle_unrestricted(players, o);
         if (use_buckets) {
-          bucket_ok += r.triangle ? 1 : 0;
-          bucket_bits.add(static_cast<double>(r.total_bits));
+          out.bucket_ok = r.triangle.has_value();
+          out.bucket_bits = static_cast<double>(r.total_bits);
         } else {
-          naive_ok += r.triangle ? 1 : 0;
-          naive_bits.add(static_cast<double>(r.total_bits));
+          out.naive_ok = r.triangle.has_value();
+          out.naive_bits = static_cast<double>(r.total_bits);
         }
       }
-    }
-    bench::row({{"bucket_success", static_cast<double>(bucket_ok) / trials},
-                {"naive_success", static_cast<double>(naive_ok) / trials},
-                {"bucket_bits", bucket_bits.mean()},
-                {"naive_bits", naive_bits.mean()}});
+      return out;
+    });
+    bench::row({{"bucket_success",
+                 bench::success_rate(results, [](const Trial& r) { return r.bucket_ok; })},
+                {"naive_success",
+                 bench::success_rate(results, [](const Trial& r) { return r.naive_ok; })},
+                {"bucket_bits",
+                 bench::summarize(results, [](const Trial& r) { return r.bucket_bits; }).mean()},
+                {"naive_bits",
+                 bench::summarize(results, [](const Trial& r) { return r.naive_bits; }).mean()}});
   }
 
   std::printf("\n-- A2: cap tightness sweep (sim-high, heavy player holds 90%% of edges) --\n");
@@ -76,26 +87,30 @@ int main(int argc, char** argv) {
     const double s_size = sim_high_sample_size(n, probe);
     const double expected_edges =
         (s_size / n) * (s_size / n) * static_cast<double>(g.num_edges());
+    int beta_index = 0;
     for (const double beta : {0.25, 0.5, 1.0, 2.0, 0.0 /* = paper cap */}) {
-      int ok = 0;
-      Summary worst;
-      for (int t = 0; t < trials; ++t) {
-        const auto players = partition_edges(g, 4, popts, rng);
-        SimHighOptions o;
-        o.average_degree = g.average_degree();
-        o.seed = 200 + static_cast<std::uint64_t>(t);
-        o.cap_edges_per_player =
-            beta > 0 ? static_cast<std::uint64_t>(beta * expected_edges) + 1
-                     : SimHighOptions::kPaperCap;
-        const auto r = sim_high_find_triangle(players, o);
-        ok += r.triangle ? 1 : 0;
-        double mx = 0;
-        for (const auto b : r.per_player_bits) mx = std::max(mx, static_cast<double>(b));
-        worst.add(mx);
-      }
+      struct Trial {
+        double worst = 0.0;
+        bool ok = false;
+      };
+      const auto results =
+          bench::run_trials(trials, 2000 + beta_index++, [&](Rng& trng, std::size_t t) {
+            const auto players = partition_edges(g, 4, popts, trng);
+            SimHighOptions o;
+            o.average_degree = g.average_degree();
+            o.seed = 200 + static_cast<std::uint64_t>(t);
+            o.cap_edges_per_player =
+                beta > 0 ? static_cast<std::uint64_t>(beta * expected_edges) + 1
+                         : SimHighOptions::kPaperCap;
+            const auto r = sim_high_find_triangle(players, o);
+            double mx = 0;
+            for (const auto b : r.per_player_bits) mx = std::max(mx, static_cast<double>(b));
+            return Trial{mx, r.triangle.has_value()};
+          });
       bench::row({{"beta", beta > 0 ? beta : -1.0},
-                  {"success", static_cast<double>(ok) / trials},
-                  {"worst_player_bits", worst.mean()}});
+                  {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })},
+                  {"worst_player_bits",
+                   bench::summarize(results, [](const Trial& r) { return r.worst; }).mean()}});
     }
   }
 
@@ -104,21 +119,23 @@ int main(int argc, char** argv) {
     Rng rng(3);
     const Graph g = gen::planted_triangles(65536, 8192, rng);
     for (const double dup : {1.0, 2.0, 4.0, 8.0}) {
-      Summary bits;
-      int ok = 0;
-      for (int t = 0; t < trials; ++t) {
-        const auto players = partition_duplicated(g, 8, dup, rng);
-        SimLowOptions o;
-        o.average_degree = g.average_degree();
-        o.c = 4.0;
-        o.seed = 300 + static_cast<std::uint64_t>(t);
-        const auto r = sim_low_find_triangle(players, o);
-        bits.add(static_cast<double>(r.total_bits));
-        ok += r.triangle ? 1 : 0;
-      }
+      struct Trial {
+        double bits = 0.0;
+        bool ok = false;
+      };
+      const auto results = bench::run_trials(
+          trials, 3000 + static_cast<std::uint64_t>(dup), [&](Rng& trng, std::size_t t) {
+            const auto players = partition_duplicated(g, 8, dup, trng);
+            SimLowOptions o;
+            o.average_degree = g.average_degree();
+            o.c = 4.0;
+            o.seed = 300 + static_cast<std::uint64_t>(t);
+            const auto r = sim_low_find_triangle(players, o);
+            return Trial{static_cast<double>(r.total_bits), r.triangle.has_value()};
+          });
       bench::row({{"dup", dup},
-                  {"bits", bits.mean()},
-                  {"success", static_cast<double>(ok) / trials}});
+                  {"bits", bench::summarize(results, [](const Trial& r) { return r.bits; }).mean()},
+                  {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
     }
   }
 
@@ -130,20 +147,35 @@ int main(int argc, char** argv) {
     Rng rng(4);
     const auto inst = embed_dense_core(65536, 8.0, 0.5, rng);
     for (const std::size_t k : {4u, 8u, 16u}) {
-      Summary coord_sampling, board_sampling, coord_total, board_total;
-      for (int t = 0; t < trials; ++t) {
-        const auto players = partition_duplicated(inst.graph, k, 3.0, rng);
+      struct Trial {
+        double coord_sampling = 0.0;
+        double board_sampling = 0.0;
+        double coord_total = 0.0;
+        double board_total = 0.0;
+      };
+      const auto results = bench::run_trials(trials, 4000 + k, [&](Rng& trng, std::size_t t) {
+        const auto players = partition_duplicated(inst.graph, k, 3.0, trng);
+        Trial out;
         for (const bool board : {false, true}) {
           UnrestrictedOptions o;
           o.consts = ProtocolConstants::practical();
           o.seed = 400 + static_cast<std::uint64_t>(t);
           o.blackboard = board;
           const auto r = find_triangle_unrestricted(players, o);
-          (board ? board_sampling : coord_sampling)
-              .add(static_cast<double>(r.edge_sampling_bits));
-          (board ? board_total : coord_total).add(static_cast<double>(r.total_bits));
+          (board ? out.board_sampling : out.coord_sampling) =
+              static_cast<double>(r.edge_sampling_bits);
+          (board ? out.board_total : out.coord_total) = static_cast<double>(r.total_bits);
         }
-      }
+        return out;
+      });
+      const Summary coord_sampling =
+          bench::summarize(results, [](const Trial& r) { return r.coord_sampling; });
+      const Summary board_sampling =
+          bench::summarize(results, [](const Trial& r) { return r.board_sampling; });
+      const Summary coord_total =
+          bench::summarize(results, [](const Trial& r) { return r.coord_total; });
+      const Summary board_total =
+          bench::summarize(results, [](const Trial& r) { return r.board_total; });
       bench::row({{"k", static_cast<double>(k)},
                   {"coord_sampling_bits", coord_sampling.mean()},
                   {"board_sampling_bits", board_sampling.mean()},

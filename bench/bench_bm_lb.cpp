@@ -16,6 +16,7 @@
 #include "graph/triangles.h"
 #include "lower_bounds/boolean_matching.h"
 #include "lower_bounds/budget_search.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -41,6 +42,7 @@ BudgetTrial make_trial(const std::vector<BmInstance>* pool) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
 
   bench::header("T1-R6 bench_bm_lb",
@@ -93,17 +95,17 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- one-sidedness on the triangle-free case (never errs) --\n");
   {
-    Rng rng(7);
-    int false_positives = 0;
-    for (int t = 0; t < 50; ++t) {
-      const auto inst = sample_bm(4096, false, rng);
+    const auto results = bench::run_trials(50, 7, [&](Rng& trng, std::size_t t) {
+      const auto inst = sample_bm(4096, false, trng);
       const auto players = bm_two_players(inst);
       SimLowOptions o;
       o.average_degree = 2.0;
       o.c = 4.0;
       o.seed = 0xF00 + static_cast<std::uint64_t>(t);
-      if (sim_low_find_triangle(players, o).triangle) ++false_positives;
-    }
+      return sim_low_find_triangle(players, o).triangle.has_value();
+    });
+    int false_positives = 0;
+    for (const bool fp : results) false_positives += fp ? 1 : 0;
     bench::row({{"trials", 50.0}, {"false_positives", static_cast<double>(false_positives)}});
   }
   return 0;

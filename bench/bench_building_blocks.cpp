@@ -18,6 +18,8 @@
 #include "graph/triangles.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 using namespace tft;
@@ -134,7 +136,9 @@ void print_bit_cost_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&argc, argv);  // strips --benchmark_* flags first
+  const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_bit_cost_table();

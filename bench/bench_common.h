@@ -13,6 +13,10 @@
 /// predicted exponents. Absolute constants are not expected to match the
 /// paper (our substrate is a simulator); the *shape* is the claim under
 /// test.
+///
+/// Trial execution lives in runner.h: benches fan their trials across the
+/// thread pool with `run_trials` (see the determinism contract there) and
+/// aggregate with `summarize` / `success_rate`.
 
 namespace tft::bench {
 

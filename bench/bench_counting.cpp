@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "graph/generators.h"
 #include "graph/triangles.h"
+#include "runner.h"
 #include "streaming/wedge_counter.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -19,6 +20,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 7));
 
   bench::header("E-COUNT bench_counting",
@@ -48,12 +50,13 @@ int main(int argc, char** argv) {
       return wedges;
     }());
     for (const std::size_t reservoir : {64u, 256u, 1024u, 4096u}) {
-      Summary rel_err;
-      for (int t = 0; t < trials; ++t) {
+      // The estimator's randomness is already counter-style in t.
+      const auto errs = bench::run_trials(trials, reservoir, [&](Rng&, std::size_t t) {
         const double est =
             estimate_triangles_streaming(w.graph, reservoir, 10 + t, 100 + t);
-        rel_err.add(std::abs(est - truth) / std::max(1.0, truth));
-      }
+        return std::abs(est - truth) / std::max(1.0, truth);
+      });
+      const Summary rel_err = bench::summarize(errs, [](double e) { return e; });
       bench::row({{"reservoir", static_cast<double>(reservoir)},
                   {"mean_rel_err", rel_err.mean()},
                   {"max_rel_err", rel_err.max()}});

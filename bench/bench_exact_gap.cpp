@@ -12,6 +12,7 @@
 #include "core/unrestricted.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -19,6 +20,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
   const int trials = static_cast<int>(flags.get_int("trials", 3));
 
@@ -30,26 +32,33 @@ int main(int argc, char** argv) {
               "unrestricted", "sim_oblivious", "gap(x)");
   std::vector<double> ns, gaps;
   for (Vertex n = 4096; n <= static_cast<Vertex>(flags.get_int("nmax", 131072)); n *= 2) {
-    Rng rng(5 + n);
     const double d = std::sqrt(static_cast<double>(n));
-    Summary exact_bits, unres_bits, obl_bits;
-    double m_mean = 0;
-    for (int t = 0; t < trials; ++t) {
+    struct Trial {
+      double exact = 0.0;
+      double unres = 0.0;
+      double obl = 0.0;
+      double edges = 0.0;
+    };
+    const auto results = bench::run_trials(trials, 5 + n, [&](Rng& rng, std::size_t t) {
       const Graph g = gen::gnp(n, d / static_cast<double>(n), rng);
-      m_mean += static_cast<double>(g.num_edges()) / trials;
       const auto players = partition_random(g, k, rng);
-
-      exact_bits.add(static_cast<double>(exact_find_triangle(players).total_bits));
 
       UnrestrictedOptions uo;
       uo.consts = ProtocolConstants::practical();
-      uo.seed = 17 + static_cast<std::uint64_t>(t);
-      unres_bits.add(static_cast<double>(find_triangle_unrestricted(players, uo).total_bits));
+      uo.seed = 17 + t;
 
       SimObliviousOptions oo;
-      oo.seed = 23 + static_cast<std::uint64_t>(t);
-      obl_bits.add(static_cast<double>(sim_oblivious_find_triangle(players, oo).total_bits));
-    }
+      oo.seed = 23 + t;
+
+      return Trial{static_cast<double>(exact_find_triangle(players).total_bits),
+                   static_cast<double>(find_triangle_unrestricted(players, uo).total_bits),
+                   static_cast<double>(sim_oblivious_find_triangle(players, oo).total_bits),
+                   static_cast<double>(g.num_edges())};
+    });
+    const Summary exact_bits = bench::summarize(results, [](const Trial& r) { return r.exact; });
+    const Summary unres_bits = bench::summarize(results, [](const Trial& r) { return r.unres; });
+    const Summary obl_bits = bench::summarize(results, [](const Trial& r) { return r.obl; });
+    const double m_mean = bench::summarize(results, [](const Trial& r) { return r.edges; }).mean();
     const double gap = exact_bits.mean() / std::max(1.0, unres_bits.mean());
     std::printf("%-10u %-12.0f %-14.4g %-16.4g %-16.4g %-10.1f\n", n, m_mean,
                 exact_bits.mean(), unres_bits.mean(), obl_bits.mean(), gap);

@@ -18,6 +18,7 @@
 #include "core/oneway_vee.h"
 #include "lower_bounds/information.h"
 #include "lower_bounds/mu_distribution.h"
+#include "runner.h"
 #include "util/bits.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -26,6 +27,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const auto side = static_cast<Vertex>(flags.get_int("side", 10));
   const double gamma = flags.get_double("gamma", 1.2);
   const std::size_t samples = static_cast<std::size_t>(flags.get_int("samples", 30000));

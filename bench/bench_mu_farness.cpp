@@ -11,12 +11,14 @@
 
 #include "bench_common.h"
 #include "lower_bounds/mu_distribution.h"
+#include "runner.h"
 #include "util/flags.h"
 
 using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);  // mu_farness_stats fans trials internally
   const std::size_t trials = static_cast<std::size_t>(flags.get_int("trials", 20));
 
   bench::header("E-MU bench_mu_farness",

@@ -16,6 +16,7 @@
 #include "core/sim_oblivious.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -23,6 +24,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const Vertex n = static_cast<Vertex>(flags.get_int("n", 16384));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
   const int trials = static_cast<int>(flags.get_int("trials", 5));
@@ -38,45 +40,54 @@ int main(int argc, char** argv) {
 
   for (const double exp : {0.0, 0.25, 0.5, 0.65, 0.8}) {
     const double d = std::max(2.0, std::pow(static_cast<double>(n), exp));
-    Summary aware_bits, obl_bits;
-    int aware_ok = 0;
-    int obl_ok = 0;
-    Rng rng(91 + static_cast<std::uint64_t>(100 * exp));
-    for (int t = 0; t < trials; ++t) {
-      const Graph g = gen::gnp(n, d / static_cast<double>(n), rng);
-      const auto players = partition_random(g, k, rng);
-      const double true_d = std::max(1.0, g.average_degree());
-      const std::uint64_t seed = 555 + static_cast<std::uint64_t>(t);
+    struct Trial {
+      double aware_bits = 0.0;
+      double obl_bits = 0.0;
+      bool aware_ok = false;
+      bool obl_ok = false;
+    };
+    const auto results = bench::run_trials(
+        trials, 91 + static_cast<std::uint64_t>(100 * exp), [&](Rng& rng, std::size_t t) {
+          const Graph g = gen::gnp(n, d / static_cast<double>(n), rng);
+          const auto players = partition_random(g, k, rng);
+          const double true_d = std::max(1.0, g.average_degree());
+          const std::uint64_t seed = 555 + static_cast<std::uint64_t>(t);
 
-      if (true_d >= sqrt_n) {
-        SimHighOptions o;
-        o.average_degree = true_d;
-        o.c = 3.0;
-        o.seed = seed;
-        const auto r = sim_high_find_triangle(players, o);
-        aware_bits.add(static_cast<double>(r.total_bits));
-        aware_ok += r.triangle ? 1 : 0;
-      } else {
-        SimLowOptions o;
-        o.average_degree = true_d;
-        o.c = 4.0;
-        o.seed = seed;
-        const auto r = sim_low_find_triangle(players, o);
-        aware_bits.add(static_cast<double>(r.total_bits));
-        aware_ok += r.triangle ? 1 : 0;
-      }
+          Trial out;
+          if (true_d >= sqrt_n) {
+            SimHighOptions o;
+            o.average_degree = true_d;
+            o.c = 3.0;
+            o.seed = seed;
+            const auto r = sim_high_find_triangle(players, o);
+            out.aware_bits = static_cast<double>(r.total_bits);
+            out.aware_ok = r.triangle.has_value();
+          } else {
+            SimLowOptions o;
+            o.average_degree = true_d;
+            o.c = 4.0;
+            o.seed = seed;
+            const auto r = sim_low_find_triangle(players, o);
+            out.aware_bits = static_cast<double>(r.total_bits);
+            out.aware_ok = r.triangle.has_value();
+          }
 
-      SimObliviousOptions oo;
-      oo.c = 3.0;
-      oo.seed = seed;
-      const auto ro = sim_oblivious_find_triangle(players, oo);
-      obl_bits.add(static_cast<double>(ro.total_bits));
-      obl_ok += ro.triangle ? 1 : 0;
-    }
+          SimObliviousOptions oo;
+          oo.c = 3.0;
+          oo.seed = seed;
+          const auto ro = sim_oblivious_find_triangle(players, oo);
+          out.obl_bits = static_cast<double>(ro.total_bits);
+          out.obl_ok = ro.triangle.has_value();
+          return out;
+        });
+    const Summary aware_bits =
+        bench::summarize(results, [](const Trial& r) { return r.aware_bits; });
+    const Summary obl_bits = bench::summarize(results, [](const Trial& r) { return r.obl_bits; });
     std::printf("%-10.1f %-10s %-14.3g %-12.2f %-14.3g %-12.2f %-8.2f\n", d,
                 d >= sqrt_n ? "high" : "low", aware_bits.mean(),
-                static_cast<double>(aware_ok) / trials, obl_bits.mean(),
-                static_cast<double>(obl_ok) / trials,
+                bench::success_rate(results, [](const Trial& r) { return r.aware_ok; }),
+                obl_bits.mean(),
+                bench::success_rate(results, [](const Trial& r) { return r.obl_ok; }),
                 aware_bits.mean() > 0 ? obl_bits.mean() / aware_bits.mean() : 0.0);
   }
 

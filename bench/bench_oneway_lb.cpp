@@ -15,6 +15,7 @@
 #include "core/oneway_vee.h"
 #include "lower_bounds/budget_search.h"
 #include "lower_bounds/mu_distribution.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -41,6 +42,7 @@ BudgetTrial make_trial(const std::vector<MuInstance>* pool) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const double gamma = flags.get_double("gamma", 0.9);
   const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
 
@@ -90,9 +92,13 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_mu(4096, gamma, rng));
     const auto trial = make_trial(&pool);
     for (std::uint64_t b = 2; b <= 512; b *= 2) {
+      // The trial closure is already counter-seeded in t; the derived rng
+      // is unused.
+      const auto oks =
+          bench::run_trials(30, b, [&](Rng&, std::size_t t) { return trial(b, t); });
       SuccessRate r;
       r.trials = 30;
-      for (std::uint64_t t = 0; t < 30; ++t) r.successes += trial(b, t) ? 1 : 0;
+      for (const bool ok : oks) r.successes += ok ? 1 : 0;
       bench::row({{"budget", static_cast<double>(b)}, {"success", r.rate()}});
     }
   }

@@ -17,6 +17,7 @@
 #include "core/unrestricted.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -24,6 +25,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 8));
   const double d = flags.get_double("d", 12.0);
@@ -37,34 +39,43 @@ int main(int argc, char** argv) {
   std::printf("%-9s %-13s %-9s %-13s %-9s %-13s %-12s\n", "n", "unrestr_bits", "ok",
               "oblivious", "ok", "exact_bits", "gap(x)");
   for (Vertex n = 8192; n <= static_cast<Vertex>(flags.get_int("nmax", 131072)); n *= 2) {
-    Rng rng(9 + n);
-    Summary un_bits, ob_bits, ex_bits;
-    int un_ok = 0;
-    int ob_ok = 0;
-    for (int t = 0; t < trials; ++t) {
+    struct Trial {
+      double un = 0.0;
+      double ob = 0.0;
+      double ex = 0.0;
+      bool un_ok = false;
+      bool ob_ok = false;
+    };
+    const auto results = bench::run_trials(trials, 9 + n, [&](Rng& rng, std::size_t t) {
       const Graph g = gen::chung_lu(n, d, beta, rng);
       const auto players = partition_duplicated(g, k, dup, rng);
 
+      Trial out;
       UnrestrictedOptions uo;
       uo.consts = ProtocolConstants::practical(0.02, 0.1);
       uo.seed = 31 + static_cast<std::uint64_t>(t);
       const auto ur = find_triangle_unrestricted(players, uo);
-      un_bits.add(static_cast<double>(ur.total_bits));
-      un_ok += ur.triangle ? 1 : 0;
+      out.un = static_cast<double>(ur.total_bits);
+      out.un_ok = ur.triangle.has_value();
 
       SimObliviousOptions so;
       so.c = 4.0;
       so.seed = 37 + static_cast<std::uint64_t>(t);
       const auto sr = sim_oblivious_find_triangle(players, so);
-      ob_bits.add(static_cast<double>(sr.total_bits));
-      ob_ok += sr.triangle ? 1 : 0;
+      out.ob = static_cast<double>(sr.total_bits);
+      out.ob_ok = sr.triangle.has_value();
 
-      ex_bits.add(static_cast<double>(exact_find_triangle(players).total_bits));
-    }
+      out.ex = static_cast<double>(exact_find_triangle(players).total_bits);
+      return out;
+    });
+    const Summary un_bits = bench::summarize(results, [](const Trial& r) { return r.un; });
+    const Summary ob_bits = bench::summarize(results, [](const Trial& r) { return r.ob; });
+    const Summary ex_bits = bench::summarize(results, [](const Trial& r) { return r.ex; });
     std::printf("%-9u %-13.4g %-9.2f %-13.4g %-9.2f %-13.4g %-12.1f\n", n, un_bits.mean(),
-                static_cast<double>(un_ok) / trials, ob_bits.mean(),
-                static_cast<double>(ob_ok) / trials, ex_bits.mean(),
-                ex_bits.mean() / std::max(1.0, un_bits.mean()));
+                bench::success_rate(results, [](const Trial& r) { return r.un_ok; }),
+                ob_bits.mean(),
+                bench::success_rate(results, [](const Trial& r) { return r.ob_ok; }),
+                ex_bits.mean(), ex_bits.mean() / std::max(1.0, un_bits.mean()));
   }
 
   std::printf(

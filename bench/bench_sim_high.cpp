@@ -14,6 +14,7 @@
 #include "core/sim_high.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -27,28 +28,30 @@ struct Measurement {
 };
 
 Measurement measure(Vertex n, double d, std::size_t k, int trials, std::uint64_t seed) {
-  Rng rng(seed);
-  Summary bits;
-  int ok = 0;
-  for (int t = 0; t < trials; ++t) {
+  struct Trial {
+    double bits = 0.0;
+    bool found = false;
+  };
+  const auto results = bench::run_trials(trials, seed, [&](Rng& rng, std::size_t t) {
     const Graph g = gen::gnp(n, d / static_cast<double>(n), rng);
     const auto players = partition_random(g, k, rng);
     SimHighOptions o;
     o.average_degree = std::max(1.0, g.average_degree());
     o.eps = 0.1;
     o.c = 3.0;
-    o.seed = seed * 613 + static_cast<std::uint64_t>(t);
+    o.seed = seed * 613 + t;
     const auto r = sim_high_find_triangle(players, o);
-    if (r.triangle) ++ok;
-    bits.add(static_cast<double>(r.total_bits));
-  }
-  return {bits.mean(), static_cast<double>(ok) / trials};
+    return Trial{static_cast<double>(r.total_bits), r.triangle.has_value()};
+  });
+  return {bench::summarize(results, [](const Trial& r) { return r.bits; }).mean(),
+          bench::success_rate(results, [](const Trial& r) { return r.found; })};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 

@@ -12,6 +12,7 @@
 #include "core/sim_high.h"
 #include "lower_bounds/budget_search.h"
 #include "lower_bounds/mu_distribution.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -38,6 +39,7 @@ BudgetTrial make_trial(const std::vector<MuInstance>* pool, double eps) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const double gamma = flags.get_double("gamma", 0.9);
   const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 8));
 

@@ -14,6 +14,7 @@
 #include "core/sim_low.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -29,30 +30,33 @@ struct Measurement {
 
 template <typename MakeGraph>
 Measurement measure(MakeGraph&& make, std::size_t k, int trials, std::uint64_t seed) {
-  Rng rng(seed);
-  Summary bits, maxima;
-  int ok = 0;
-  for (int t = 0; t < trials; ++t) {
+  struct Trial {
+    double bits = 0.0;
+    double max_player = 0.0;
+    bool found = false;
+  };
+  const auto results = bench::run_trials(trials, seed, [&](Rng& rng, std::size_t t) {
     const Graph g = make(rng);
     const auto players = partition_random(g, k, rng);
     SimLowOptions o;
     o.average_degree = std::max(1.0, g.average_degree());
     o.c = 4.0;
-    o.seed = seed * 977 + static_cast<std::uint64_t>(t);
+    o.seed = seed * 977 + t;
     const auto r = sim_low_find_triangle(players, o);
-    if (r.triangle) ++ok;
-    bits.add(static_cast<double>(r.total_bits));
     double mx = 0;
     for (const auto b : r.per_player_bits) mx = std::max(mx, static_cast<double>(b));
-    maxima.add(mx);
-  }
-  return {bits.mean(), maxima.mean(), static_cast<double>(ok) / trials};
+    return Trial{static_cast<double>(r.total_bits), mx, r.triangle.has_value()};
+  });
+  return {bench::summarize(results, [](const Trial& r) { return r.bits; }).mean(),
+          bench::summarize(results, [](const Trial& r) { return r.max_player; }).mean(),
+          bench::success_rate(results, [](const Trial& r) { return r.found; })};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 6));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 

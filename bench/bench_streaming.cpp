@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "graph/partition.h"
 #include "lower_bounds/mu_distribution.h"
+#include "runner.h"
 #include "streaming/reduction.h"
 #include "streaming/stream_model.h"
 #include "util/bits.h"
@@ -23,6 +24,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 12));
 
   bench::header("E-STREAM bench_streaming",
@@ -36,15 +38,16 @@ int main(int argc, char** argv) {
     for (int i = 0; i < trials; ++i) pool.push_back(sample_mu(side, 0.9, rng));
     const std::uint64_t eb = edge_bits(3ULL * side);
     for (const std::uint64_t mem_edges : {8u, 32u, 128u, 512u, 2048u, 8192u}) {
-      int ok = 0;
-      for (int t = 0; t < trials; ++t) {
+      // Stream order and algorithm seeds are already counter-style in t.
+      const auto oks = bench::run_trials(trials, mem_edges, [&](Rng&, std::size_t t) {
         Rng order_rng(100 + t);
         auto stream = shuffled_stream_of(pool[t].graph, order_rng);
         const auto r = run_streaming(stream, mem_edges * eb, 1000 + t);
-        ok += r.triangle ? 1 : 0;
-      }
+        return r.triangle.has_value();
+      });
       bench::row({{"mem_edges", static_cast<double>(mem_edges)},
-                  {"success", static_cast<double>(ok) / trials}});
+                  {"success",
+                   bench::success_rate(oks, [](bool ok) { return ok; })}});
     }
   }
 

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/subgraph_freeness.h"
 #include "graph/partition.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -22,6 +23,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 6));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 
@@ -44,10 +46,11 @@ int main(int argc, char** argv) {
     std::printf("\n-- pattern %s (h=%u) --\n", name, pattern.n());
     std::vector<double> ns, bits;
     for (Vertex n = 2048; n <= static_cast<Vertex>(flags.get_int("nmax", 32768)); n *= 2) {
-      Rng rng(17 + n);
-      Summary b;
-      int ok = 0;
-      for (int t = 0; t < trials; ++t) {
+      struct Trial {
+        double bits = 0.0;
+        bool ok = false;
+      };
+      const auto results = bench::run_trials(trials, 17 + n, [&](Rng& rng, std::size_t t) {
         const Graph g = planted_copies(n, pattern, n / 10 / pattern.n(), rng);
         const auto players = partition_random(g, k, rng);
         SimSubgraphOptions o;
@@ -59,12 +62,12 @@ int main(int argc, char** argv) {
         o.c = 1.5;
         o.seed = 1000 + static_cast<std::uint64_t>(t);
         const auto r = sim_subgraph_find(players, pattern, o);
-        b.add(static_cast<double>(r.total_bits));
-        ok += r.witness ? 1 : 0;
-      }
+        return Trial{static_cast<double>(r.total_bits), r.witness.has_value()};
+      });
+      const Summary b = bench::summarize(results, [](const Trial& r) { return r.bits; });
       bench::row({{"n", static_cast<double>(n)},
                   {"bits", b.mean()},
-                  {"success", static_cast<double>(ok) / trials}});
+                  {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
       ns.push_back(static_cast<double>(n));
       bits.push_back(b.mean());
     }

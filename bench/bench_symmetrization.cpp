@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "lower_bounds/mu_distribution.h"
 #include "lower_bounds/symmetrization.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -22,6 +23,7 @@ using namespace tft;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);  // run_symmetrization fans trials internally
   const std::size_t trials = static_cast<std::size_t>(flags.get_int("trials", 60));
   const Vertex n = static_cast<Vertex>(flags.get_int("n", 2048));
 

@@ -18,6 +18,7 @@
 #include "graph/generators.h"
 #include "graph/partition.h"
 #include "lower_bounds/embedding.h"
+#include "runner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -33,30 +34,39 @@ struct Measurement {
 };
 
 Measurement measure(Vertex n, double d_target, std::size_t k, int trials, std::uint64_t seed) {
-  Rng rng(seed);
-  Summary bits, sampling, overhead;
-  int ok = 0;
-  for (int t = 0; t < trials; ++t) {
+  struct Trial {
+    double bits = 0.0;
+    double sampling = 0.0;
+    double overhead = 0.0;
+    bool found = false;
+  };
+  const auto results = bench::run_trials(trials, seed, [&](Rng& rng, std::size_t t) {
     const auto inst = embed_dense_core(n, d_target, 0.5, rng);
     const auto players = partition_random(inst.graph, k, rng);
     UnrestrictedOptions o;
     o.consts = ProtocolConstants::practical(0.1, 0.1);
-    o.seed = seed * 131 + static_cast<std::uint64_t>(t);
+    o.seed = seed * 131 + t;
     const auto r = find_triangle_unrestricted(players, o);
-    if (r.triangle) {
-      ++ok;
-      bits.add(static_cast<double>(r.total_bits));
-      sampling.add(static_cast<double>(r.edge_sampling_bits));
-      overhead.add(static_cast<double>(r.overhead_bits));
-    }
+    return Trial{static_cast<double>(r.total_bits), static_cast<double>(r.edge_sampling_bits),
+                 static_cast<double>(r.overhead_bits), r.triangle.has_value()};
+  });
+  // Bits are averaged over successful runs only (as in the seed harness).
+  Summary bits, sampling, overhead;
+  for (const Trial& r : results) {
+    if (!r.found) continue;
+    bits.add(r.bits);
+    sampling.add(r.sampling);
+    overhead.add(r.overhead);
   }
-  return {bits.mean(), sampling.mean(), overhead.mean(), static_cast<double>(ok) / trials};
+  return {bits.mean(), sampling.mean(), overhead.mean(),
+          bench::success_rate(results, [](const Trial& r) { return r.found; })};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const double d_target = flags.get_double("d", 8.0);
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));

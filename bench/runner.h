@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+/// \file runner.h
+/// Shared trial harness for the experiment binaries: fans independent
+/// trials across the global thread pool while keeping every printed
+/// measurement row byte-identical at any `--threads` value.
+///
+/// The determinism contract has two halves:
+///   * each trial's randomness is derived counter-style from
+///     (seed, trial_index) via `derive_rng` — never drawn from a shared
+///     mutating stream, whose state would depend on execution order;
+///   * results come back in a trial-indexed vector and are aggregated
+///     serially in trial order (`summarize` / `success_rate`), so even
+///     floating-point accumulation is order-fixed.
+/// A bench that follows both halves may be run with `--threads 1` and
+/// `--threads 64` and diff clean.
+
+namespace tft::bench {
+
+/// Installs the `--threads` flag (0 = all hardware threads) as the global
+/// pool's worker count. Call once at the top of every bench main(), before
+/// the first parallel call.
+inline void configure_threads(const Flags& flags) {
+  set_default_threads(static_cast<int>(flags.get_int("threads", 0)));
+}
+
+/// Runs fn(rng, t) for every t in [0, trials) across the pool and returns
+/// the results in trial order. fn must not touch state shared with other
+/// trials (the library's protocol/generator entry points are all safe).
+template <typename Fn>
+[[nodiscard]] auto run_trials(std::size_t trials, std::uint64_t seed, Fn&& fn) {
+  using R0 = std::decay_t<std::invoke_result_t<Fn&, Rng&, std::size_t>>;
+  // bool would give the bit-packed vector<bool>, whose neighbouring
+  // elements share a byte — not writable concurrently. Store bytes.
+  using R = std::conditional_t<std::is_same_v<R0, bool>, std::uint8_t, R0>;
+  std::vector<R> results(trials);
+  parallel_for(
+      trials,
+      [&](std::size_t t) {
+        Rng rng = derive_rng(seed, t);
+        results[t] = fn(rng, t);
+      },
+      /*grain=*/1);
+  return results;
+}
+
+/// Summary over a projection of per-trial results, folded in trial order.
+template <typename R, typename Proj>
+[[nodiscard]] Summary summarize(const std::vector<R>& results, Proj&& proj) {
+  Summary s;
+  for (const R& r : results) s.add(static_cast<double>(proj(r)));
+  return s;
+}
+
+/// Fraction of trials satisfying pred.
+template <typename R, typename Pred>
+[[nodiscard]] double success_rate(const std::vector<R>& results, Pred&& pred) {
+  if (results.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const R& r : results) ok += pred(r) ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(results.size());
+}
+
+}  // namespace tft::bench

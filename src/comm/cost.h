@@ -21,6 +21,11 @@ class CostMeter {
   void add_edges(std::uint64_t n, std::uint64_t m) noexcept { bits_ += m * edge_bits(n); }
   void add_count(std::uint64_t value) noexcept { bits_ += count_bits(value); }
 
+  /// Absorbs another meter's total, for per-thread meters merged after a
+  /// parallel region (bit totals are integers, so merge order is
+  /// irrelevant to the result).
+  void merge(const CostMeter& other) noexcept { bits_ += other.bits_; }
+
   [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
   void reset() noexcept { bits_ = 0; }
 

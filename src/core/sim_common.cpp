@@ -17,7 +17,10 @@ std::uint64_t SimMessage::encoded_bits(std::uint64_t n) const {
 }
 
 std::optional<Triangle> referee_find_triangle(Vertex n, std::span<const SimMessage> messages) {
+  std::size_t total_edges = 0;
+  for (const auto& m : messages) total_edges += m.edges.size();
   std::vector<Edge> all;
+  all.reserve(total_edges);
   for (const auto& m : messages) all.insert(all.end(), m.edges.begin(), m.edges.end());
   const Graph g(n, std::move(all));
   return find_triangle(g);
@@ -26,7 +29,10 @@ std::optional<Triangle> referee_find_triangle(Vertex n, std::span<const SimMessa
 SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages) {
   SimResult r;
   r.per_player_bits.resize(messages.size(), 0);
+  std::size_t total_edges = 0;
+  for (const auto& m : messages) total_edges += m.edges.size();
   std::vector<Edge> all;
+  all.reserve(total_edges);
   for (const auto& m : messages) {
     const std::uint64_t b = m.bits(n);
     r.per_player_bits[m.player_id] = b;

@@ -34,12 +34,9 @@ Graph::Graph(Vertex n, std::vector<Edge> edges) : n_(n), edges_(std::move(edges)
     adj_[cursor[e.v]++] = e.u;
   }
   // Each row is sorted because edges_ is sorted by (u, v): row u receives v's
-  // in increasing order, but row v receives u's in increasing u order as
-  // well; both insert orders are monotone, so rows are already sorted.
-  // Defensive: sort each row anyway (cheap, and guards future edits).
-  for (Vertex v = 0; v < n_; ++v) {
-    std::sort(adj_.begin() + offsets_[v], adj_.begin() + offsets_[v + 1]);
-  }
+  // in increasing v order, and row v receives u's in increasing u order;
+  // both insert orders are monotone, so rows come out sorted with no
+  // per-row sort pass (tests/test_graph.cpp asserts this invariant).
 }
 
 bool Graph::has_edge(Vertex u, Vertex v) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -70,14 +71,23 @@ class Graph {
   [[nodiscard]] Vertex n() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
   [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
-  [[nodiscard]] const Edge& edge(std::size_t i) const { return edges_.at(i); }
 
-  [[nodiscard]] std::uint32_t degree(Vertex v) const {
-    return offsets_.at(v + 1) - offsets_.at(v);
+  // The accessors below sit on every kernel's innermost loop, so they index
+  // unchecked; passing an out-of-range vertex or edge index is a caller bug
+  // (debug builds assert).
+  [[nodiscard]] const Edge& edge(std::size_t i) const noexcept {
+    assert(i < edges_.size());
+    return edges_[i];
+  }
+
+  [[nodiscard]] std::uint32_t degree(Vertex v) const noexcept {
+    assert(v < n_);
+    return offsets_[v + 1] - offsets_[v];
   }
   /// Sorted neighbor list of v.
-  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
-    return {adj_.data() + offsets_.at(v), adj_.data() + offsets_.at(v + 1)};
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    assert(v < n_);
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
   [[nodiscard]] bool has_edge(const Edge& e) const { return has_edge(e.u, e.v); }

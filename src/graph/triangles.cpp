@@ -2,38 +2,71 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_set>
+
+#include "util/parallel.h"
 
 namespace tft {
 
 namespace {
 
-/// Rank used for degree orientation: lower (degree, id) first.
-struct DegreeRank {
-  const Graph& g;
-  [[nodiscard]] bool lower(Vertex a, Vertex b) const {
-    const auto da = g.degree(a);
-    const auto db = g.degree(b);
-    return da != db ? da < db : a < b;
+/// Out-neighbors of each vertex under degree orientation (edge points from
+/// lower to higher (degree, id) rank), as a flat CSR: one offsets array and
+/// one column array, no per-vertex vectors. Rows inherit the id-sorted
+/// order of the graph's own CSR rows, so no comparison sort is needed.
+struct OrientedCsr {
+  std::vector<std::uint32_t> offsets;  // size n+1
+  std::vector<Vertex> cols;            // size m, id-sorted per row
+
+  [[nodiscard]] std::span<const Vertex> row(Vertex u) const noexcept {
+    return {cols.data() + offsets[u], cols.data() + offsets[u + 1]};
   }
 };
 
-/// Out-neighbors of each vertex under degree orientation, sorted.
-std::vector<std::vector<Vertex>> orient(const Graph& g) {
-  DegreeRank rank{g};
-  std::vector<std::vector<Vertex>> out(g.n());
-  for (const Edge& e : g.edges()) {
-    if (rank.lower(e.u, e.v)) {
-      out[e.u].push_back(e.v);
-    } else {
-      out[e.v].push_back(e.u);
+OrientedCsr orient(const Graph& g) {
+  const std::size_t n = g.n();
+  OrientedCsr csr;
+  csr.offsets.assign(n + 1, 0);
+  csr.cols.resize(g.num_edges());
+  const auto lower = [&g](Vertex a, Vertex b) {
+    const auto da = g.degree(a);
+    const auto db = g.degree(b);
+    return da != db ? da < db : a < b;
+  };
+  // Count pass (parallel, disjoint writes), serial prefix sum, fill pass
+  // (parallel: each worker writes only its own rows' ranges).
+  parallel_for(n, [&](std::size_t u) {
+    std::uint32_t out = 0;
+    for (const Vertex v : g.neighbors(static_cast<Vertex>(u))) {
+      out += lower(static_cast<Vertex>(u), v) ? 1u : 0u;
     }
-  }
-  for (auto& row : out) std::sort(row.begin(), row.end());
-  return out;
+    csr.offsets[u + 1] = out;
+  });
+  for (std::size_t u = 0; u < n; ++u) csr.offsets[u + 1] += csr.offsets[u];
+  parallel_for(n, [&](std::size_t u) {
+    std::uint32_t w = csr.offsets[u];
+    for (const Vertex v : g.neighbors(static_cast<Vertex>(u))) {
+      if (lower(static_cast<Vertex>(u), v)) csr.cols[w++] = v;
+    }
+  });
+  return csr;
 }
 
-std::uint64_t intersect_count(const std::vector<Vertex>& a, const std::vector<Vertex>& b) {
+/// Reusable per-thread scratch for mark-based intersections (one byte per
+/// vertex: byte loads beat a bit-packed bitmap here — the scratch stays
+/// cache-resident and the bitmap's shift/mask ALU work costs more than the
+/// footprint saves). Zeroed between uses by the code that sets marks, so
+/// repeated kernel calls allocate only on first use (or growth) per thread.
+std::vector<std::uint8_t>& mark_scratch(std::size_t n) {
+  thread_local std::vector<std::uint8_t> mark;
+  if (mark.size() < n) mark.assign(n, 0);
+  return mark;
+}
+
+/// Rows at least this long take the mark-scan path in count_triangles;
+/// shorter rows use the two-pointer merge (marking cost would dominate).
+constexpr std::size_t kMarkThreshold = 8;
+
+std::uint64_t intersect_count(std::span<const Vertex> a, std::span<const Vertex> b) noexcept {
   std::uint64_t c = 0;
   auto ia = a.begin();
   auto ib = b.begin();
@@ -54,25 +87,57 @@ std::uint64_t intersect_count(const std::vector<Vertex>& a, const std::vector<Ve
 }  // namespace
 
 std::uint64_t count_triangles(const Graph& g) {
-  const auto out = orient(g);
-  std::uint64_t total = 0;
-  for (Vertex u = 0; u < g.n(); ++u) {
-    for (Vertex v : out[u]) {
-      total += intersect_count(out[u], out[v]);
-    }
-  }
-  return total;
+  const OrientedCsr out = orient(g);
+  // Integer sums are order-independent, and parallel_reduce folds chunk
+  // partials in chunk order anyway, so the count is exact and identical at
+  // any thread count.
+  return parallel_reduce(
+      g.n(), std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint8_t>& mark = mark_scratch(g.n());
+        const std::uint8_t* const marks = mark.data();
+        std::uint64_t total = 0;
+        for (std::size_t u = begin; u < end; ++u) {
+          const auto row_u = out.row(static_cast<Vertex>(u));
+          if (row_u.size() < 2) continue;
+          if (row_u.size() < kMarkThreshold) {
+            for (const Vertex v : row_u) total += intersect_count(row_u, out.row(v));
+            continue;
+          }
+          // Mark N+(u) once, then scan each N+(v) against the marks: a
+          // branch-free byte load per candidate instead of a mispredicting
+          // merge step.
+          for (const Vertex w : row_u) mark[w] = 1;
+          for (const Vertex v : row_u) {
+            const Vertex* w = out.cols.data() + out.offsets[v];
+            const Vertex* const w_end = out.cols.data() + out.offsets[v + 1];
+            std::uint64_t hits = 0;
+            for (; w + 4 <= w_end; w += 4) {
+              hits += static_cast<std::uint64_t>(marks[w[0]]) + marks[w[1]] + marks[w[2]] +
+                      marks[w[3]];
+            }
+            for (; w != w_end; ++w) hits += marks[*w];
+            total += hits;
+          }
+          for (const Vertex w : row_u) mark[w] = 0;
+        }
+        return total;
+      },
+      std::plus<>{});
 }
 
 std::optional<Triangle> find_triangle(const Graph& g) {
-  const auto out = orient(g);
+  // Serial: on triangle-rich inputs this exits almost immediately, and the
+  // callers that need "some triangle" (referees, tests) want the cheap
+  // first hit, not a parallel sweep.
+  const OrientedCsr out = orient(g);
   for (Vertex u = 0; u < g.n(); ++u) {
-    for (Vertex v : out[u]) {
-      const auto& a = out[u];
-      const auto& b = out[v];
-      auto ia = a.begin();
-      auto ib = b.begin();
-      while (ia != a.end() && ib != b.end()) {
+    const auto row_u = out.row(u);
+    for (const Vertex v : row_u) {
+      const auto row_v = out.row(v);
+      auto ia = row_u.begin();
+      auto ib = row_v.begin();
+      while (ia != row_u.end() && ib != row_v.end()) {
         if (*ia < *ib) {
           ++ia;
         } else if (*ib < *ia) {
@@ -92,6 +157,47 @@ std::optional<Triangle> close_vee(const Graph& g, const Vee& vee) {
   return Triangle(vee.source, vee.x, vee.y);
 }
 
+namespace {
+
+/// Flat edge-index lookup over the graph's sorted edge list: edges_ is
+/// sorted by (u, v), so the edges with first endpoint u form a contiguous
+/// range and a binary search over the v's inside it resolves the index.
+struct EdgeIndex {
+  std::span<const Edge> edges;
+  std::vector<std::uint32_t> row_start;  // first edge index with .u >= u
+
+  explicit EdgeIndex(const Graph& g) : edges(g.edges()) {
+    row_start.assign(static_cast<std::size_t>(g.n()) + 1, 0);
+    for (const Edge& e : edges) ++row_start[e.u + 1];
+    for (std::size_t u = 1; u < row_start.size(); ++u) row_start[u] += row_start[u - 1];
+  }
+
+  [[nodiscard]] std::size_t of(Vertex a, Vertex b) const noexcept {
+    const Edge e(a, b);
+    const auto* first = edges.data() + row_start[e.u];
+    const auto* last = edges.data() + row_start[e.u + 1];
+    const auto* it = std::lower_bound(first, last, e);
+    return static_cast<std::size_t>(it - edges.data());
+  }
+};
+
+/// One bit per edge index; the allocation-free replacement for the packing
+/// loop's used-edge hash set.
+class EdgeBitmap {
+ public:
+  explicit EdgeBitmap(std::size_t edges) : words_((edges + 63) / 64, 0) {}
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) noexcept { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace
+
 std::vector<Triangle> greedy_triangle_packing(const Graph& g, Rng& rng) {
   std::vector<std::size_t> order(g.num_edges());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -100,27 +206,41 @@ std::vector<Triangle> greedy_triangle_packing(const Graph& g, Rng& rng) {
     std::swap(order[i - 1], order[rng.below(i)]);
   }
 
-  std::unordered_set<std::uint64_t> used;
-  used.reserve(g.num_edges() / 2);
-  const auto free_edge = [&](Vertex a, Vertex b) { return !used.contains(Edge(a, b).key()); };
+  const EdgeIndex index(g);
+  EdgeBitmap used(g.num_edges());
 
   std::vector<Triangle> packing;
   for (const std::size_t idx : order) {
+    if (used.test(idx)) continue;
     const Edge e = g.edge(idx);
-    if (!free_edge(e.u, e.v)) continue;
-    // Search for a closing vertex w from the smaller neighborhood.
-    Vertex u = e.u;
-    Vertex v = e.v;
-    if (g.degree(u) > g.degree(v)) std::swap(u, v);
-    for (const Vertex w : g.neighbors(u)) {
-      if (w == v) continue;
-      if (!g.has_edge(v, w)) continue;
-      if (!free_edge(u, w) || !free_edge(v, w)) continue;
-      used.insert(Edge(u, v).key());
-      used.insert(Edge(u, w).key());
-      used.insert(Edge(v, w).key());
-      packing.emplace_back(u, v, w);
-      break;
+    // Search for a closing vertex w: common neighbors of u and v in id
+    // order (the same candidate order as scanning N(u) and probing vs v),
+    // via a two-pointer merge of the sorted rows.
+    const Vertex u = e.u;
+    const Vertex v = e.v;
+    const auto nu = g.neighbors(u);
+    const auto nv = g.neighbors(v);
+    auto iu = nu.begin();
+    auto iv = nv.begin();
+    while (iu != nu.end() && iv != nv.end()) {
+      if (*iu < *iv) {
+        ++iu;
+      } else if (*iv < *iu) {
+        ++iv;
+      } else {
+        const Vertex w = *iu;
+        const std::size_t uw = index.of(u, w);
+        const std::size_t vw = index.of(v, w);
+        if (!used.test(uw) && !used.test(vw)) {
+          used.set(idx);
+          used.set(uw);
+          used.set(vw);
+          packing.emplace_back(u, v, w);
+          break;
+        }
+        ++iu;
+        ++iv;
+      }
     }
   }
   return packing;
@@ -151,18 +271,34 @@ std::uint64_t disjoint_vees_at(const Graph& g, Vertex source) {
   // same source are disjoint iff their endpoint pairs are disjoint
   // (Section 3.2). Greedy maximal matching is a 1/2-approximation of the
   // maximum, which is enough for the full-vertex tests that consume this.
+  //
+  // For each unmatched x (in neighbor order), the first eligible partner is
+  // the first unmatched common element of N(source) and N(x) — a sorted
+  // two-pointer intersection with flat matched flags indexed by position in
+  // N(source), instead of the former O(deg^2) probe loop with a hash set.
   const auto ns = g.neighbors(source);
-  std::unordered_set<Vertex> matched;
+  std::vector<std::uint8_t> matched(ns.size(), 0);
   std::uint64_t count = 0;
-  for (const Vertex x : ns) {
-    if (matched.contains(x)) continue;
-    for (const Vertex y : ns) {
-      if (y == x || matched.contains(y)) continue;
-      if (g.has_edge(x, y)) {
-        matched.insert(x);
-        matched.insert(y);
-        ++count;
-        break;
+  for (std::size_t ix = 0; ix < ns.size(); ++ix) {
+    if (matched[ix]) continue;
+    const Vertex x = ns[ix];
+    const auto nx = g.neighbors(x);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ns.size() && j < nx.size()) {
+      if (ns[i] < nx[j]) {
+        ++i;
+      } else if (nx[j] < ns[i]) {
+        ++j;
+      } else {
+        if (i != ix && !matched[i]) {
+          matched[ix] = 1;
+          matched[i] = 1;
+          ++count;
+          break;
+        }
+        ++i;
+        ++j;
       }
     }
   }

@@ -1,15 +1,21 @@
 #include "lower_bounds/budget_search.h"
 
+#include "util/parallel.h"
+
 namespace tft {
 
 namespace {
 
 SuccessRate evaluate(const BudgetTrial& trial, std::uint64_t budget, std::size_t trials) {
+  // trial_index fully determines a run's randomness (see BudgetTrial), so
+  // the trials at one budget are independent and fan across the pool; the
+  // success count is an integer sum, identical at any thread count.
+  std::vector<std::uint8_t> ok(trials, 0);
+  parallel_for(
+      trials, [&](std::size_t t) { ok[t] = trial(budget, t) ? 1 : 0; }, /*grain=*/1);
   SuccessRate r;
   r.trials = trials;
-  for (std::size_t t = 0; t < trials; ++t) {
-    if (trial(budget, t)) ++r.successes;
-  }
+  for (const std::uint8_t o : ok) r.successes += o;
   return r;
 }
 

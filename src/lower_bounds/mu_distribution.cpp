@@ -5,6 +5,7 @@
 
 #include "graph/generators.h"
 #include "graph/triangles.h"
+#include "util/parallel.h"
 
 namespace tft {
 
@@ -42,10 +43,19 @@ FarnessStats mu_farness_stats(Vertex side, double gamma, std::size_t trials,
   stats.trials = trials;
   stats.threshold = threshold_coefficient * std::pow(gamma, 3.0) *
                     std::pow(static_cast<double>(side), 1.5);
-  Rng rng(seed);
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto mu = sample_mu(side, gamma, rng);
-    const auto packing = static_cast<double>(distance_lower_bound(mu.graph, rng));
+  // Trials fan across the pool; each derives its stream from (seed, t) and
+  // the mean is folded in trial order, so the stats are thread-count
+  // independent.
+  std::vector<double> packings(trials, 0.0);
+  parallel_for(
+      trials,
+      [&](std::size_t t) {
+        Rng rng = derive_rng(seed, t);
+        const auto mu = sample_mu(side, gamma, rng);
+        packings[t] = static_cast<double>(distance_lower_bound(mu.graph, rng));
+      },
+      /*grain=*/1);
+  for (const double packing : packings) {
     stats.mean_packing += packing / static_cast<double>(trials);
     if (packing >= stats.threshold) ++stats.far_count;
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace tft {
 
 std::vector<PlayerInput> embed_three(const std::array<Graph, 3>& x, std::size_t k, std::size_t i,
@@ -26,24 +28,39 @@ SymmetrizationReport run_symmetrization(const ThreePartSampler& sampler,
                                         std::size_t trials, std::uint64_t seed) {
   SymmetrizationReport report;
   report.trials = trials;
-  Rng rng(seed);
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto x = sampler(rng);
-    // Two distinct uniform players, neither of which is player k-1.
-    const auto i = static_cast<std::size_t>(rng.below(k - 1));
-    std::size_t j = static_cast<std::size_t>(rng.below(k - 2));
-    if (j >= i) ++j;
-    const auto players = embed_three(x, k, i, j);
-    const SimResult r = protocol(players);
+  // Each reduction run derives its stream from (seed, t) and fans across
+  // the pool; the averages are folded in trial order afterwards, so the
+  // report is identical at any thread count.
+  struct TrialResult {
+    double total_bits = 0.0;
+    double one_way_bits = 0.0;
+    bool found = false;
+  };
+  std::vector<TrialResult> results(trials);
+  parallel_for(
+      trials,
+      [&](std::size_t t) {
+        Rng rng = derive_rng(seed, t);
+        const auto x = sampler(rng);
+        // Two distinct uniform players, neither of which is player k-1.
+        const auto i = static_cast<std::size_t>(rng.below(k - 1));
+        std::size_t j = static_cast<std::size_t>(rng.below(k - 2));
+        if (j >= i) ++j;
+        const auto players = embed_three(x, k, i, j);
+        const SimResult r = protocol(players);
 
-    double total = 0.0;
-    for (const auto b : r.per_player_bits) total += static_cast<double>(b);
-    report.avg_sim_total_bits += total / static_cast<double>(trials);
-    report.avg_one_way_bits +=
-        static_cast<double>(r.per_player_bits.at(i) + r.per_player_bits.at(j)) /
-        static_cast<double>(trials);
+        double total = 0.0;
+        for (const auto b : r.per_player_bits) total += static_cast<double>(b);
+        results[t] = {total,
+                      static_cast<double>(r.per_player_bits.at(i) + r.per_player_bits.at(j)),
+                      r.triangle.has_value()};
+      },
+      /*grain=*/1);
+  for (const TrialResult& r : results) {
+    report.avg_sim_total_bits += r.total_bits / static_cast<double>(trials);
+    report.avg_one_way_bits += r.one_way_bits / static_cast<double>(trials);
     ++report.sim_success.trials;
-    if (r.triangle) ++report.sim_success.successes;
+    if (r.found) ++report.sim_success.successes;
   }
   return report;
 }

@@ -98,4 +98,14 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+/// Counter-based stream derivation: the Rng for work item `stream` of a run
+/// seeded with `seed`. A pure function of its inputs, so a trial's
+/// randomness is bit-identical no matter which thread (or how many threads)
+/// executes it — the reproducibility contract of util/parallel.h and the
+/// bench runner. Distinct (seed, stream) pairs give independent streams up
+/// to mix_hash quality.
+[[nodiscard]] inline Rng derive_rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  return Rng(mix_hash(0x7a617274ULL /* stream-domain tag */, seed, stream));
+}
+
 }  // namespace tft

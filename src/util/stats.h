@@ -16,6 +16,13 @@ class Summary {
  public:
   void add(double x) noexcept;
 
+  /// Absorbs another accumulator (Chan's parallel Welford update), for
+  /// per-thread partials merged after a parallel region. Merging is exact
+  /// for count/min/max; mean/variance are combined with the standard
+  /// pairwise formula. For bit-identical output across thread counts,
+  /// prefer folding per-trial values in trial order (bench/runner.h).
+  void merge(const Summary& other) noexcept;
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
