@@ -5,6 +5,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "comm/conformance.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -28,10 +29,15 @@
 namespace tft::bench {
 
 /// Installs the `--threads` flag (0 = all hardware threads) as the global
-/// pool's worker count. Call once at the top of every bench main(), before
-/// the first parallel call.
+/// pool's worker count, and the `--conformance` flag (default 1) as the
+/// model-conformance referee switch — every protocol run is replayed
+/// against its model's rule machine unless a bench opts out with
+/// `--conformance=0` (e.g. for very large runs where recording message
+/// events costs memory). Call once at the top of every bench main(),
+/// before the first parallel call.
 inline void configure_threads(const Flags& flags) {
   set_default_threads(static_cast<int>(flags.get_int("threads", 0)));
+  set_conformance_checking(flags.get_bool("conformance", true));
 }
 
 /// Runs fn(rng, t) for every t in [0, trials) across the pool and returns

@@ -1,0 +1,282 @@
+#include "comm/conformance.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace tft {
+
+namespace {
+
+std::atomic<bool> g_checking{true};
+thread_local TranscriptCapture* g_capture = nullptr;
+
+constexpr auto kUp = Direction::kPlayerToCoordinator;
+constexpr auto kDown = Direction::kCoordinatorToPlayer;
+
+void add(ConformanceReport& r, ViolationKind kind, std::size_t event_index, std::size_t player,
+         std::string detail) {
+  r.violations.push_back(Violation{kind, event_index, player, std::move(detail)});
+}
+
+/// Stream-level accounting: the recorded events must reproduce every tally
+/// the transcript reports (per player, per direction, per phase). A
+/// protocol that charges bits while event recording is off — or mutates
+/// tallies without events — fails here.
+void check_accounting(const Transcript& t, ConformanceReport& r) {
+  const auto& events = t.events();
+  if (t.total_bits() > 0 && events.empty()) {
+    add(r, ViolationKind::kEventsNotRecorded, SIZE_MAX, SIZE_MAX,
+        "bits were charged but no events were recorded (set_record_events(false)?)");
+    return;
+  }
+  const std::size_t k = t.num_players();
+  std::vector<std::uint64_t> up(k, 0);
+  std::vector<std::uint64_t> down(k, 0);
+  std::vector<std::size_t> up_msgs(k, 0);
+  std::vector<std::size_t> down_msgs(k, 0);
+  std::vector<std::uint64_t> phases;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const MessageEvent& e = events[i];
+    if (e.player >= k) {
+      add(r, ViolationKind::kBadPlayerIndex, i, e.player,
+          "event names player " + std::to_string(e.player) + " of " + std::to_string(k));
+      return;
+    }
+    if (e.direction == kUp) {
+      up[e.player] += e.bits;
+      ++up_msgs[e.player];
+    } else {
+      down[e.player] += e.bits;
+      ++down_msgs[e.player];
+    }
+    if (e.phase >= phases.size()) phases.resize(e.phase + 1, 0);
+    phases[e.phase] += e.bits;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    if (up[j] != t.upstream_bits(j) || down[j] != t.downstream_bits(j) ||
+        up_msgs[j] != t.upstream_messages(j) || down_msgs[j] != t.downstream_messages(j)) {
+      add(r, ViolationKind::kTallyMismatch, SIZE_MAX, j,
+          "player " + std::to_string(j) + " events account for " + std::to_string(up[j]) + "up/" +
+              std::to_string(down[j]) + "down bits but tallies say " +
+              std::to_string(t.upstream_bits(j)) + "/" + std::to_string(t.downstream_bits(j)));
+      return;
+    }
+  }
+  const std::size_t num_phases = std::max(phases.size(), t.num_phases());
+  for (std::size_t ph = 0; ph < num_phases; ++ph) {
+    const std::uint64_t from_events = ph < phases.size() ? phases[ph] : 0;
+    if (from_events != t.phase_bits(ph)) {
+      add(r, ViolationKind::kTallyMismatch, SIZE_MAX, SIZE_MAX,
+          "phase " + std::to_string(ph) + " events account for " + std::to_string(from_events) +
+              " bits but the phase tally says " + std::to_string(t.phase_bits(ph)));
+      return;
+    }
+  }
+}
+
+/// Simultaneous (Section 3.4): one player->referee message per speaking
+/// player, nothing ever flows back.
+void check_simultaneous(const Transcript& t, ConformanceReport& r) {
+  std::vector<std::size_t> msgs(t.num_players(), 0);
+  const auto& events = t.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const MessageEvent& e = events[i];
+    if (e.direction == kDown) {
+      add(r, ViolationKind::kDownstreamForbidden, i, e.player,
+          "referee sent " + std::to_string(e.bits) + " bits to player " +
+              std::to_string(e.player) + " in a simultaneous protocol");
+      return;
+    }
+    if (++msgs[e.player] > 1) {
+      add(r, ViolationKind::kMultipleUpMessages, i, e.player,
+          "player " + std::to_string(e.player) + " sent a second message");
+      return;
+    }
+  }
+}
+
+/// One-way (Section 4.2): players speak in index order — once player j+1
+/// has spoken, player j is done (no back-edges) — and the last player only
+/// announces the output (sends nothing). No downstream traffic.
+void check_one_way(const Transcript& t, ConformanceReport& r) {
+  const std::size_t k = t.num_players();
+  const auto& events = t.events();
+  std::size_t frontier = 0;  // highest player index that has spoken
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const MessageEvent& e = events[i];
+    if (e.direction == kDown) {
+      add(r, ViolationKind::kDownstreamForbidden, i, e.player,
+          "downstream message to player " + std::to_string(e.player) + " in a one-way protocol");
+      return;
+    }
+    if (k >= 1 && e.player == k - 1) {
+      add(r, ViolationKind::kSilentPlayerSpoke, i, e.player,
+          "output player " + std::to_string(e.player) + " transmitted " +
+              std::to_string(e.bits) + " bits");
+      return;
+    }
+    if (e.player < frontier) {
+      add(r, ViolationKind::kOrderViolation, i, e.player,
+          "player " + std::to_string(e.player) + " spoke after player " +
+              std::to_string(frontier) + " (back-edge)");
+      return;
+    }
+    frontier = e.player;
+  }
+}
+
+/// True iff events[i .. i+k) is a complete broadcast sweep: k consecutive
+/// coordinator->player events with identical bits and phase, covering the
+/// players in index order.
+bool is_broadcast_sweep(const std::vector<MessageEvent>& events, std::size_t i, std::size_t k) {
+  if (i + k > events.size()) return false;
+  for (std::size_t j = 0; j < k; ++j) {
+    const MessageEvent& e = events[i + j];
+    if (e.direction != kDown || e.player != j || e.bits != events[i].bits ||
+        e.phase != events[i].phase) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Coordinator: private channels, but every coordinator announcement in the
+/// library is a broadcast, charged once per player (Section 2). The rule
+/// machine therefore requires each downstream event to open a complete
+/// k-player sweep; a lone "private hint" to one player is a charging bug.
+void check_coordinator(const Transcript& t, ConformanceReport& r) {
+  const std::size_t k = t.num_players();
+  const auto& events = t.events();
+  std::size_t i = 0;
+  while (i < events.size()) {
+    if (events[i].direction != kDown) {
+      ++i;
+      continue;
+    }
+    if (!is_broadcast_sweep(events, i, k)) {
+      add(r, ViolationKind::kBrokenBroadcast, i, events[i].player,
+          "downstream event is not the start of a complete " + std::to_string(k) +
+              "-player broadcast sweep");
+      return;
+    }
+    i += k;
+  }
+}
+
+/// Blackboard: everything written is visible to every player, so a private
+/// coordinator->player message cannot exist. A downstream event must either
+/// be a board post (charged once, to player 0 by convention) or a complete
+/// k-sweep (the coordinator-model simulation, which only over-charges).
+void check_blackboard(const Transcript& t, ConformanceReport& r) {
+  const std::size_t k = t.num_players();
+  const auto& events = t.events();
+  std::size_t i = 0;
+  while (i < events.size()) {
+    if (events[i].direction != kDown) {
+      ++i;
+      continue;
+    }
+    if (is_broadcast_sweep(events, i, k)) {
+      i += k;
+      continue;
+    }
+    if (events[i].player == 0) {
+      ++i;
+      continue;
+    }
+    add(r, ViolationKind::kPrivateDownstream, i, events[i].player,
+        "private downstream message to player " + std::to_string(events[i].player) +
+            " on a blackboard");
+    return;
+  }
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kEventsNotRecorded: return "events-not-recorded";
+    case ViolationKind::kTallyMismatch: return "tally-mismatch";
+    case ViolationKind::kBadPlayerIndex: return "bad-player-index";
+    case ViolationKind::kMultipleUpMessages: return "multiple-up-messages";
+    case ViolationKind::kDownstreamForbidden: return "downstream-forbidden";
+    case ViolationKind::kOrderViolation: return "order-violation";
+    case ViolationKind::kSilentPlayerSpoke: return "silent-player-spoke";
+    case ViolationKind::kBrokenBroadcast: return "broken-broadcast";
+    case ViolationKind::kPrivateDownstream: return "private-downstream";
+  }
+  return "?";
+}
+
+bool ConformanceReport::has(ViolationKind k) const noexcept {
+  for (const Violation& v : violations) {
+    if (v.kind == k) return true;
+  }
+  return false;
+}
+
+std::string ConformanceReport::to_string() const {
+  std::ostringstream out;
+  out << "conformance[" << tft::to_string(model) << "]: "
+      << (ok() ? "ok" : std::to_string(violations.size()) + " violation(s)");
+  for (const Violation& v : violations) {
+    out << "\n  [" << tft::to_string(v.kind) << "]";
+    if (v.event_index != SIZE_MAX) out << " event=" << v.event_index;
+    if (v.player != SIZE_MAX) out << " player=" << v.player;
+    if (!v.detail.empty()) out << " " << v.detail;
+  }
+  return out.str();
+}
+
+ConformanceReport check_conformance(CommModel model, const Transcript& t) {
+  ConformanceReport r;
+  r.model = model;
+  check_accounting(t, r);
+  if (!r.ok()) return r;  // the event stream is not trustworthy; stop here
+  switch (model) {
+    case CommModel::kSimultaneous: check_simultaneous(t, r); break;
+    case CommModel::kOneWay: check_one_way(t, r); break;
+    case CommModel::kCoordinator: check_coordinator(t, r); break;
+    case CommModel::kBlackboard: check_blackboard(t, r); break;
+  }
+  return r;
+}
+
+void set_conformance_checking(bool on) noexcept {
+  g_checking.store(on, std::memory_order_relaxed);
+}
+
+bool conformance_checking() noexcept { return g_checking.load(std::memory_order_relaxed); }
+
+void enforce_conformance(CommModel model, const Transcript& t) {
+  if (!conformance_checking()) return;
+  ConformanceReport r = check_conformance(model, t);
+  if (!r.ok()) throw ConformanceError(std::move(r));
+}
+
+std::string format_transcript(CommModel model, const Transcript& t) {
+  std::ostringstream out;
+  out << "transcript model=" << to_string(model) << " players=" << t.num_players()
+      << " universe=" << t.universe() << " events=" << t.events().size() << "\n";
+  for (const MessageEvent& e : t.events()) {
+    out << "p" << e.player << " " << (e.direction == kUp ? "U" : "D") << " bits=" << e.bits
+        << " phase=" << e.phase << "\n";
+  }
+  out << "totals up=" << t.upstream_bits() << " down=" << t.downstream_bits()
+      << " total=" << t.total_bits() << "\n";
+  return out.str();
+}
+
+TranscriptCapture::TranscriptCapture() : prev_(g_capture) { g_capture = this; }
+
+TranscriptCapture::~TranscriptCapture() { g_capture = prev_; }
+
+namespace detail {
+bool capture_active() noexcept { return g_capture != nullptr; }
+}  // namespace detail
+
+void detail_capture_run(CommModel model, const Transcript& t) {
+  if (g_capture != nullptr) g_capture->runs_.push_back({model, t});
+}
+
+}  // namespace tft

@@ -39,4 +39,24 @@ std::uint64_t Transcript::phase_bits(std::uint64_t phase) const noexcept {
   return phase < phase_bits_.size() ? phase_bits_[phase] : 0;
 }
 
+void Transcript::merge(const Transcript& other) {
+  if (other.up_bits_.size() != up_bits_.size() || other.universe_n_ != universe_n_) {
+    throw std::invalid_argument("Transcript::merge: mismatched player count or universe");
+  }
+  total_bits_ += other.total_bits_;
+  for (std::size_t j = 0; j < up_bits_.size(); ++j) {
+    up_bits_[j] += other.up_bits_[j];
+    down_bits_[j] += other.down_bits_[j];
+    up_msgs_[j] += other.up_msgs_[j];
+    down_msgs_[j] += other.down_msgs_[j];
+  }
+  if (other.phase_bits_.size() > phase_bits_.size()) {
+    phase_bits_.resize(other.phase_bits_.size(), 0);
+  }
+  for (std::size_t ph = 0; ph < other.phase_bits_.size(); ++ph) {
+    phase_bits_[ph] += other.phase_bits_[ph];
+  }
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
 }  // namespace tft

@@ -72,10 +72,20 @@ class Transcript {
   /// Bits charged with the given phase tag (all players, both directions).
   /// Tracked unconditionally (independent of event recording).
   [[nodiscard]] std::uint64_t phase_bits(std::uint64_t phase) const noexcept;
+  /// One past the highest phase tag charged so far.
+  [[nodiscard]] std::size_t num_phases() const noexcept { return phase_bits_.size(); }
 
   /// When true, each charge appends a MessageEvent (costs memory; default on —
   /// benches on very large runs may disable it).
   void set_record_events(bool on) noexcept { record_events_ = on; }
+  [[nodiscard]] bool record_events() const noexcept { return record_events_; }
+
+  /// Fold another transcript's charges into this one: tallies, per-phase
+  /// totals and (recorded) events are summed / appended. Both transcripts
+  /// must agree on the player count and universe. Partial transcripts that
+  /// ran with set_record_events(false) still merge their tallies and phase
+  /// totals exactly.
+  void merge(const Transcript& other);
 
  private:
   std::uint64_t universe_n_;

@@ -29,7 +29,7 @@ void BitWriter::put_gamma(std::uint64_t value) {
 }
 
 bool BitReader::get_bit() {
-  if (pos_ >= bit_size_) throw std::out_of_range("BitReader: past end");
+  if (pos_ >= bit_size_) throw WireError("BitReader: read past end of buffer");
   const std::size_t byte = static_cast<std::size_t>(pos_ / 8);
   const bool b = (bytes_[byte] & (0x80u >> (pos_ % 8))) != 0;
   ++pos_;
@@ -37,6 +37,7 @@ bool BitReader::get_bit() {
 }
 
 std::uint64_t BitReader::get_bits(std::uint32_t width) {
+  if (width > 64) throw WireError("BitReader::get_bits: width > 64");
   std::uint64_t v = 0;
   for (std::uint32_t i = 0; i < width; ++i) v = (v << 1) | (get_bit() ? 1 : 0);
   return v;
@@ -44,7 +45,11 @@ std::uint64_t BitReader::get_bits(std::uint32_t width) {
 
 std::uint64_t BitReader::get_gamma() {
   std::uint32_t zeros = 0;
-  while (!get_bit()) ++zeros;
+  while (!get_bit()) {
+    // A legal gamma code stores value+1 in at most 64 significand bits, so
+    // 64 leading zeros cannot come from any encoder: corrupt input.
+    if (++zeros >= 64) throw WireError("BitReader::get_gamma: corrupt prefix");
+  }
   std::uint64_t v = 1;
   for (std::uint32_t i = 0; i < zeros; ++i) v = (v << 1) | (get_bit() ? 1 : 0);
   return v - 1;
@@ -75,14 +80,24 @@ void encode_edge_list(BitWriter& w, Vertex n, std::span<const Edge> edges) {
 std::vector<Edge> decode_edge_list(BitReader& r, Vertex n) {
   const auto vbits = static_cast<std::uint32_t>(vertex_bits(n));
   const std::uint64_t count = r.get_gamma();
+  // Every encoded edge takes at least 1 (delta) + vbits (endpoint) bits, so
+  // a count the remaining payload cannot hold is corrupt. Checking before
+  // reserving also keeps a corrupt count from forcing a huge allocation.
+  if (count > r.remaining() / (1 + vbits)) {
+    throw WireError("decode_edge_list: corrupt count " + std::to_string(count));
+  }
   std::vector<Edge> out;
   out.reserve(count);
   Vertex prev_u = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto u = static_cast<Vertex>(prev_u + r.get_gamma());
-    const auto v = static_cast<Vertex>(r.get_bits(vbits));
-    out.emplace_back(u, v);
-    prev_u = u;
+    const std::uint64_t delta = r.get_gamma();
+    const std::uint64_t u64 = static_cast<std::uint64_t>(prev_u) + delta;
+    const std::uint64_t v64 = r.get_bits(vbits);
+    if (u64 >= n || v64 >= n) {
+      throw WireError("decode_edge_list: endpoint outside universe of " + std::to_string(n));
+    }
+    out.emplace_back(static_cast<Vertex>(u64), static_cast<Vertex>(v64));
+    prev_u = static_cast<Vertex>(u64);
   }
   return out;
 }
@@ -100,14 +115,20 @@ void encode_vertex_list(BitWriter& w, Vertex n, std::span<const Vertex> vertices
 }
 
 std::vector<Vertex> decode_vertex_list(BitReader& r, Vertex n) {
-  (void)n;
   const std::uint64_t count = r.get_gamma();
+  // Each encoded vertex takes at least one delta bit.
+  if (count > r.remaining()) {
+    throw WireError("decode_vertex_list: corrupt count " + std::to_string(count));
+  }
   std::vector<Vertex> out;
   out.reserve(count);
-  Vertex prev = 0;
+  std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    prev = static_cast<Vertex>(prev + r.get_gamma());
-    out.push_back(prev);
+    prev += r.get_gamma();
+    if (prev >= n) {
+      throw WireError("decode_vertex_list: vertex outside universe of " + std::to_string(n));
+    }
+    out.push_back(static_cast<Vertex>(prev));
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -18,6 +20,15 @@
 /// per edge once lists are sorted, so the idealized accounting is honest).
 
 namespace tft {
+
+/// Typed decode failure: truncated input, a bit_size that overruns the
+/// byte buffer, or a corrupt payload (impossible counts, out-of-universe
+/// vertex ids). Derives from std::out_of_range so callers that only guard
+/// against reading past the end keep working.
+class WireError : public std::out_of_range {
+ public:
+  explicit WireError(const std::string& what) : std::out_of_range(what) {}
+};
 
 /// MSB-first bit writer.
 class BitWriter {
@@ -36,17 +47,23 @@ class BitWriter {
   std::uint64_t bits_ = 0;
 };
 
-/// MSB-first bit reader over a BitWriter's output.
+/// MSB-first bit reader over a BitWriter's output. Every read is bounds-
+/// checked: reading past `bit_size` — or past the actual byte buffer, if a
+/// corrupt `bit_size` overstates it — throws WireError instead of touching
+/// memory it does not own.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> bytes, std::uint64_t bit_size) noexcept
-      : bytes_(bytes), bit_size_(bit_size) {}
+      : bytes_(bytes),
+        bit_size_(std::min<std::uint64_t>(bit_size, bytes.size() * std::uint64_t{8})) {}
 
   [[nodiscard]] bool get_bit();
   [[nodiscard]] std::uint64_t get_bits(std::uint32_t width);
   [[nodiscard]] std::uint64_t get_gamma();
   [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
   [[nodiscard]] bool exhausted() const noexcept { return pos_ >= bit_size_; }
+  /// Bits left before the reader runs dry.
+  [[nodiscard]] std::uint64_t remaining() const noexcept { return bit_size_ - pos_; }
 
  private:
   std::span<const std::uint8_t> bytes_;
@@ -59,11 +76,15 @@ class BitReader {
 /// of u from the previous u and a fixed-width v.
 void encode_edge_list(BitWriter& w, Vertex n, std::span<const Edge> edges);
 
-/// Decode what encode_edge_list wrote.
+/// Decode what encode_edge_list wrote. Throws WireError on truncated or
+/// corrupt input (a length that cannot fit in the remaining bits, or an
+/// endpoint outside the n-vertex universe) — it never reads past the
+/// buffer and never trusts a corrupt count for allocation.
 [[nodiscard]] std::vector<Edge> decode_edge_list(BitReader& r, Vertex n);
 
 /// Encode a sorted vertex list (delta + gamma).
 void encode_vertex_list(BitWriter& w, Vertex n, std::span<const Vertex> vertices);
+/// Throws WireError on truncated/corrupt input (see decode_edge_list).
 [[nodiscard]] std::vector<Vertex> decode_vertex_list(BitReader& r, Vertex n);
 
 /// Size in bits that encode_edge_list would produce (without materializing).

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/conformance.h"
 #include "graph/triangles.h"
 #include "util/bits.h"
 
@@ -10,16 +11,23 @@ namespace tft {
 
 ExactResult exact_find_triangle(std::span<const PlayerInput> players) {
   if (players.empty()) throw std::invalid_argument("exact_find_triangle: no players");
-  ExactResult r;
-  std::vector<Edge> all;
-  for (const auto& p : players) {
-    const auto m = p.local.num_edges();
-    r.total_bits += count_bits(m) + m * edge_bits(p.n());
-    all.insert(all.end(), p.local.edges().begin(), p.local.edges().end());
-  }
-  const Graph g(players.front().n(), std::move(all));
-  r.triangle = find_triangle(g);
-  return r;
+  // Structurally a simultaneous protocol: each player ships its whole input
+  // in one message, nothing flows back.
+  return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
+                     [&](Transcript& t) {
+                       ExactResult r;
+                       std::vector<Edge> all;
+                       for (const auto& p : players) {
+                         const auto m = p.local.num_edges();
+                         const std::uint64_t bits = count_bits(m) + m * edge_bits(p.n());
+                         t.charge(p.player_id, Direction::kPlayerToCoordinator, bits);
+                         r.total_bits += bits;
+                         all.insert(all.end(), p.local.edges().begin(), p.local.edges().end());
+                       }
+                       const Graph g(players.front().n(), std::move(all));
+                       r.triangle = find_triangle(g);
+                       return r;
+                     });
 }
 
 }  // namespace tft

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/conformance.h"
 #include "comm/shared_randomness.h"
 #include "util/bits.h"
 
@@ -32,43 +33,55 @@ OneWayResult oneway_vee_find_edge(std::span<const PlayerInput> players,
   const auto& bob = players[1];
   const auto& charlie = players[2];
   const std::uint64_t n = alice.n();
-  const SharedRandomness sr(opts.seed);
 
-  OneWayResult result;
-  const std::uint32_t hubs = std::max<std::uint32_t>(1, opts.hubs);
-  const std::uint64_t per_hub = std::max<std::uint64_t>(1, opts.budget_edges_per_player / hubs);
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+    const SharedRandomness sr(opts.seed);
+    OneWayResult result;
+    const std::uint32_t hubs = std::max<std::uint32_t>(1, opts.hubs);
+    const std::uint64_t per_hub = std::max<std::uint64_t>(1, opts.budget_edges_per_player / hubs);
 
-  for (std::uint32_t h = 0; h < hubs; ++h) {
-    // The hub is a shared random vertex of U — no communication needed.
-    const auto hub =
-        static_cast<Vertex>(sr.uniform_vertex(SharedTag{0x0B, h, 0}, 0, layout.side));
-    const SharedTag perm_tag{0x0C, h, 0};
-
-    const auto a_side = hub_neighbors(alice, sr, perm_tag, hub, per_hub);
-    const auto b_side = hub_neighbors(bob, sr, perm_tag, hub, per_hub);
-    // Each transmitted neighbor costs one vertex id (the hub is shared).
-    result.total_bits += count_bits(a_side.size()) + a_side.size() * vertex_bits(n);
-    result.total_bits += count_bits(b_side.size()) + b_side.size() * vertex_bits(n);
-
-    if (result.triangle_edge) continue;  // keep charging remaining hubs' messages
-
-    // Charlie scans his input restricted to A x B. For each v1 in A his
-    // sorted neighbor list is intersected with B.
-    std::vector<Vertex> b_sorted = b_side;
-    std::sort(b_sorted.begin(), b_sorted.end());
-    for (const Vertex v1 : a_side) {
-      if (!layout.in_v1(v1)) continue;
-      for (const Vertex v2 : charlie.local.neighbors(v1)) {
-        if (!layout.in_v2(v2)) continue;
-        if (std::binary_search(b_sorted.begin(), b_sorted.end(), v2)) {
-          result.triangle_edge = Edge(v1, v2);
-          break;
-        }
-      }
-      if (result.triangle_edge) break;
+    // One-way order: Alice speaks first (her whole message, one part per
+    // hub), then Bob — who has seen Alice's message — then Charlie, who
+    // only outputs. The hubs are shared random vertices of U, so naming
+    // them costs nothing.
+    std::vector<std::vector<Vertex>> a_sides(hubs);
+    std::vector<std::vector<Vertex>> b_sides(hubs);
+    for (std::uint32_t h = 0; h < hubs; ++h) {
+      const auto hub =
+          static_cast<Vertex>(sr.uniform_vertex(SharedTag{0x0B, h, 0}, 0, layout.side));
+      a_sides[h] = hub_neighbors(alice, sr, SharedTag{0x0C, h, 0}, hub, per_hub);
+      // Each transmitted neighbor costs one vertex id (the hub is shared).
+      t.charge(0, Direction::kPlayerToCoordinator,
+               count_bits(a_sides[h].size()) + a_sides[h].size() * vertex_bits(n), h);
     }
-  }
-  return result;
+    for (std::uint32_t h = 0; h < hubs; ++h) {
+      const auto hub =
+          static_cast<Vertex>(sr.uniform_vertex(SharedTag{0x0B, h, 0}, 0, layout.side));
+      b_sides[h] = hub_neighbors(bob, sr, SharedTag{0x0C, h, 0}, hub, per_hub);
+      t.charge(1, Direction::kPlayerToCoordinator,
+               count_bits(b_sides[h].size()) + b_sides[h].size() * vertex_bits(n), h);
+    }
+    result.total_bits = t.total_bits();
+
+    for (std::uint32_t h = 0; h < hubs && !result.triangle_edge; ++h) {
+      // Charlie scans his input restricted to A x B. For each v1 in A his
+      // sorted neighbor list is intersected with B.
+      std::vector<Vertex> b_sorted = b_sides[h];
+      std::sort(b_sorted.begin(), b_sorted.end());
+      for (const Vertex v1 : a_sides[h]) {
+        if (!layout.in_v1(v1)) continue;
+        for (const Vertex v2 : charlie.local.neighbors(v1)) {
+          if (!layout.in_v2(v2)) continue;
+          if (std::binary_search(b_sorted.begin(), b_sorted.end(), v2)) {
+            result.triangle_edge = Edge(v1, v2);
+            break;
+          }
+        }
+        if (result.triangle_edge) break;
+      }
+    }
+    return result;
+  });
 }
 
 }  // namespace tft

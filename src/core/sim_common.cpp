@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/conformance.h"
 #include "comm/wire.h"
 #include "graph/triangles.h"
 #include "util/bits.h"
@@ -27,23 +28,26 @@ std::optional<Triangle> referee_find_triangle(Vertex n, std::span<const SimMessa
 }
 
 SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages) {
-  SimResult r;
-  r.per_player_bits.resize(messages.size(), 0);
-  std::size_t total_edges = 0;
-  for (const auto& m : messages) total_edges += m.edges.size();
-  std::vector<Edge> all;
-  all.reserve(total_edges);
-  for (const auto& m : messages) {
-    const std::uint64_t b = m.bits(n);
-    r.per_player_bits[m.player_id] = b;
-    r.total_bits += b;
-    r.any_truncated = r.any_truncated || m.truncated;
-    all.insert(all.end(), m.edges.begin(), m.edges.end());
-  }
-  const Graph g(n, std::move(all));
-  r.edges_received = g.num_edges();
-  r.triangle = find_triangle(g);
-  return r;
+  return run_checked(CommModel::kSimultaneous, messages.size(), n, [&](Transcript& t) {
+    SimResult r;
+    r.per_player_bits.resize(messages.size(), 0);
+    std::size_t total_edges = 0;
+    for (const auto& m : messages) total_edges += m.edges.size();
+    std::vector<Edge> all;
+    all.reserve(total_edges);
+    for (const auto& m : messages) {
+      const std::uint64_t b = m.bits(n);
+      t.charge(m.player_id, Direction::kPlayerToCoordinator, b);
+      r.per_player_bits[m.player_id] = b;
+      r.total_bits += b;
+      r.any_truncated = r.any_truncated || m.truncated;
+      all.insert(all.end(), m.edges.begin(), m.edges.end());
+    }
+    const Graph g(n, std::move(all));
+    r.edges_received = g.num_edges();
+    r.triangle = find_triangle(g);
+    return r;
+  });
 }
 
 void apply_cap(SimMessage& msg, std::size_t cap) {

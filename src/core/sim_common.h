@@ -28,9 +28,12 @@ struct SimMessage {
   /// length header plus 2 ceil(log n) per edge.
   [[nodiscard]] std::uint64_t bits(std::uint64_t n) const noexcept;
 
-  /// Size of the actual wire encoding (comm/wire.h delta coding). Always
-  /// <= bits(n) for sorted lists, so the idealized accounting the paper's
-  /// theorems are stated in never understates a real implementation.
+  /// Size of the actual wire encoding (comm/wire.h delta coding). For the
+  /// dense messages real protocols send (m^2 >~ n) this is <= bits(n), so
+  /// the idealized accounting the paper's theorems are stated in does not
+  /// understate a real implementation; sparse lists with spread-out
+  /// endpoints can pay up to ~2 log(n)/m extra bits per edge in gamma
+  /// deltas.
   [[nodiscard]] std::uint64_t encoded_bits(std::uint64_t n) const;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/conformance.h"
 #include "core/buckets.h"
 #include "core/building_blocks.h"
 #include "core/degree_approx.h"
@@ -188,15 +189,15 @@ double ProtocolConstants::edge_sample_probability(std::uint64_t n, double degree
   return std::min(1.0, edge_sample_scale * std::sqrt(8.0 * log2n(n) / d));
 }
 
-UnrestrictedResult find_triangle_unrestricted(std::span<const PlayerInput> players,
-                                              const UnrestrictedOptions& opts) {
-  if (players.empty()) throw std::invalid_argument("find_triangle_unrestricted: no players");
+namespace {
+
+UnrestrictedResult find_triangle_unrestricted_impl(std::span<const PlayerInput> players,
+                                                   const UnrestrictedOptions& opts,
+                                                   Transcript& t) {
   const std::uint64_t n = players.front().n();
   const std::uint64_t k = players.size();
   const ProtocolConstants& C = opts.consts;
 
-  Transcript t(k, n);
-  t.set_record_events(false);
   SharedRandomness sr(opts.seed);
   UnrestrictedResult result;
 
@@ -301,6 +302,17 @@ UnrestrictedResult find_triangle_unrestricted(std::span<const PlayerInput> playe
   result.edge_sampling_bits = t.phase_bits(phase::kVeeSample) + t.phase_bits(phase::kCloseVee);
   result.overhead_bits = result.total_bits - result.edge_sampling_bits;
   return result;
+}
+
+}  // namespace
+
+UnrestrictedResult find_triangle_unrestricted(std::span<const PlayerInput> players,
+                                              const UnrestrictedOptions& opts) {
+  if (players.empty()) throw std::invalid_argument("find_triangle_unrestricted: no players");
+  const CommModel model = opts.blackboard ? CommModel::kBlackboard : CommModel::kCoordinator;
+  return run_checked(model, players.size(), players.front().n(), [&](Transcript& t) {
+    return find_triangle_unrestricted_impl(players, opts, t);
+  });
 }
 
 }  // namespace tft

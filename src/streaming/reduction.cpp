@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "comm/conformance.h"
 #include "streaming/streaming_triangle.h"
 
 namespace tft {
@@ -10,18 +11,24 @@ StreamingOneWayReport one_way_via_streaming(std::span<const PlayerInput> players
                                             std::uint64_t memory_budget_bits,
                                             std::uint64_t seed) {
   if (players.empty()) throw std::invalid_argument("one_way_via_streaming: no players");
-  StreamingOneWayReport report;
-  StreamingTriangleDetector detector(memory_budget_bits, players.front().n(), seed);
-  for (std::size_t j = 0; j < players.size(); ++j) {
-    for (const Edge& e : players[j].local.edges()) detector.offer(e);
-    if (j + 1 < players.size()) {
-      // Hand the memory state to the next player.
-      report.communication_bits += detector.state_bits();
-    }
-  }
-  report.triangle = detector.found();
-  report.peak_memory_bits = detector.peak_memory_bits();
-  return report;
+  return run_checked(
+      CommModel::kOneWay, players.size(), players.front().n(), [&](Transcript& t) {
+        StreamingOneWayReport report;
+        StreamingTriangleDetector detector(memory_budget_bits, players.front().n(), seed);
+        for (std::size_t j = 0; j < players.size(); ++j) {
+          for (const Edge& e : players[j].local.edges()) detector.offer(e);
+          if (j + 1 < players.size()) {
+            // Hand the memory state to the next player: one message, forward
+            // only — exactly the one-way chain the reduction argues about.
+            const std::uint64_t state = detector.state_bits();
+            t.charge(j, Direction::kPlayerToCoordinator, state, j);
+            report.communication_bits += state;
+          }
+        }
+        report.triangle = detector.found();
+        report.peak_memory_bits = detector.peak_memory_bits();
+        return report;
+      });
 }
 
 StreamingOneWayReport run_streaming(const EdgeStream& stream, std::uint64_t memory_budget_bits,

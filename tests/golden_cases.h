@@ -1,0 +1,98 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/oneway_vee.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "lower_bounds/mu_distribution.h"
+#include "streaming/reduction.h"
+#include "util/rng.h"
+
+/// \file golden_cases.h
+/// The smallest-config protocol runs behind the golden-transcript
+/// regression files. One case per communication model (plus the streaming
+/// reduction), fully determined by `seed`: tests/test_golden_transcripts.cpp
+/// replays them at seed 1 against the checked-in tests/golden/*.txt, and
+/// examples/golden_transcripts.cpp replays them per trial under the
+/// parallel trial engine so CI can diff `--threads 1` vs `--threads 64`
+/// byte for byte. Shared by both so they can never drift apart.
+
+namespace tft::golden {
+
+struct GoldenCase {
+  std::string name;
+  /// Executes exactly one checked protocol run (the caller owns the
+  /// TranscriptCapture that records it).
+  std::function<void()> run;
+};
+
+[[nodiscard]] inline std::vector<GoldenCase> cases(std::uint64_t seed = 1) {
+  std::vector<GoldenCase> out;
+
+  out.push_back({"sim_low", [seed] {
+                   Rng rng = derive_rng(seed, 0);
+                   const Graph g = gen::planted_triangles(36, 4, rng);
+                   const auto players = partition_random(g, 3, rng);
+                   SimLowOptions o;
+                   o.average_degree = std::max(1.0, g.average_degree());
+                   o.seed = derive_rng(seed, 100)();
+                   (void)sim_low_find_triangle(players, o);
+                 }});
+
+  out.push_back({"sim_oblivious", [seed] {
+                   Rng rng = derive_rng(seed, 1);
+                   const Graph g = gen::gnp(32, 0.2, rng);
+                   const auto players = partition_random(g, 3, rng);
+                   SimObliviousOptions o;
+                   o.seed = derive_rng(seed, 101)();
+                   (void)sim_oblivious_find_triangle(players, o);
+                 }});
+
+  out.push_back({"coordinator", [seed] {
+                   Rng rng = derive_rng(seed, 2);
+                   const Graph g = gen::planted_triangles(48, 5, rng);
+                   const auto players = partition_random(g, 3, rng);
+                   UnrestrictedOptions o;
+                   o.seed = derive_rng(seed, 102)();
+                   (void)find_triangle_unrestricted(players, o);
+                 }});
+
+  out.push_back({"blackboard", [seed] {
+                   Rng rng = derive_rng(seed, 3);
+                   const Graph g = gen::planted_triangles(48, 5, rng);
+                   const auto players = partition_random(g, 3, rng);
+                   UnrestrictedOptions o;
+                   o.seed = derive_rng(seed, 103)();
+                   o.blackboard = true;
+                   (void)find_triangle_unrestricted(players, o);
+                 }});
+
+  out.push_back({"oneway_vee", [seed] {
+                   Rng rng = derive_rng(seed, 4);
+                   const auto mu = sample_mu(12, 0.9, rng);
+                   const auto players = partition_mu_three(mu);
+                   OneWayOptions o;
+                   o.seed = derive_rng(seed, 104)();
+                   o.budget_edges_per_player = 16;
+                   (void)oneway_vee_find_edge(players, mu.layout, o);
+                 }});
+
+  out.push_back({"streaming_oneway", [seed] {
+                   Rng rng = derive_rng(seed, 5);
+                   const Graph g = gen::planted_triangles(30, 3, rng);
+                   const auto players = partition_random(g, 3, rng);
+                   (void)one_way_via_streaming(players, 512, derive_rng(seed, 105)());
+                 }});
+
+  return out;
+}
+
+}  // namespace tft::golden

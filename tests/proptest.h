@@ -1,0 +1,276 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+/// \file proptest.h
+/// A small property-based testing harness for protocol tests.
+///
+/// A property is a predicate over a `GraphCase` — an (n, edges, k, seed)
+/// tuple describing one protocol input: the universe size, the union
+/// graph's edge list, the number of players and the seed that derives the
+/// partition and all protocol randomness. `check(...)` evaluates the
+/// property over a stream of seeded, adversarially-shaped random cases
+/// (G(n,p), planted triangles, stars, hub matchings, bipartite blowups,
+/// raw edge soups, the empty graph); on the first failure it greedily
+/// *shrinks* the case — dropping edge blocks, single edges, players, and
+/// compacting the vertex universe — and reports the minimal failing
+/// witness, so a regression reads "n=4 edges={0-1,0-2,1-2} k=1" instead of
+/// a 2000-edge haystack.
+///
+/// Everything is deterministic: the case stream is a pure function of the
+/// check's seed, and each case carries its own derived sub-seed for
+/// protocol randomness, so witnesses reproduce across runs and machines.
+
+namespace tft::proptest {
+
+/// One generated protocol input and the minimal-witness unit of shrinking.
+struct GraphCase {
+  Vertex n = 2;
+  std::vector<Edge> edges;
+  std::size_t k = 1;
+  std::uint64_t seed = 1;  ///< derives the partition + protocol randomness
+
+  [[nodiscard]] Graph graph() const { return Graph(n, edges); }
+
+  /// Deterministic k-way partition of the case's edges (uniform,
+  /// no duplication), derived from the case seed.
+  [[nodiscard]] std::vector<PlayerInput> players() const {
+    Rng rng = derive_rng(seed, 0xBADD);
+    return partition_random(graph(), k, rng);
+  }
+};
+
+[[nodiscard]] inline std::string describe(const GraphCase& c) {
+  std::ostringstream out;
+  out << "GraphCase{n=" << c.n << " k=" << c.k << " seed=" << c.seed << " edges=[";
+  for (std::size_t i = 0; i < c.edges.size(); ++i) {
+    if (i > 0) out << " ";
+    if (i >= 24) {
+      out << "... +" << (c.edges.size() - i) << " more";
+      break;
+    }
+    out << c.edges[i].u << "-" << c.edges[i].v;
+  }
+  out << "]}";
+  return out.str();
+}
+
+struct GenOptions {
+  Vertex min_n = 3;
+  Vertex max_n = 600;
+  std::size_t max_k = 6;
+  std::size_t max_extra_edges = 200;  ///< for the raw edge-soup shape
+};
+
+/// One seeded random case. Shapes rotate through the library's generator
+/// zoo plus a raw edge soup (duplicates and clustered endpoints included),
+/// so codec- and protocol-level properties both see adversarial input.
+[[nodiscard]] inline GraphCase gen_case(Rng& rng, const GenOptions& opts = {}) {
+  GraphCase c;
+  const Vertex span = opts.max_n > opts.min_n ? opts.max_n - opts.min_n : 1;
+  c.n = opts.min_n + static_cast<Vertex>(rng.below(span));
+  c.k = 1 + rng.below(opts.max_k);
+  c.seed = rng();
+  Graph g;
+  switch (rng.below(8)) {
+    case 0: g = gen::gnp(c.n, rng.uniform() * 0.2, rng); break;
+    case 1:
+      g = gen::planted_triangles(c.n, 1 + static_cast<std::uint32_t>(rng.below(c.n / 3)), rng);
+      break;
+    case 2: g = gen::star(c.n); break;
+    case 3: g = gen::cycle(c.n); break;
+    case 4: g = gen::bipartite_gnp(c.n, rng.uniform() * 0.2, rng); break;
+    case 5:
+      g = gen::hub_matching(
+          c.n, 1 + static_cast<std::uint32_t>(rng.below(std::min<std::uint64_t>(3, c.n - 2))),
+          rng);
+      break;
+    case 6: g = Graph(c.n, {}); break;  // empty graph
+    default: {
+      // Raw edge soup: duplicates and clustered endpoints allowed.
+      std::vector<Edge> edges;
+      const std::size_t m = rng.below(opts.max_extra_edges + 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto u = static_cast<Vertex>(rng.below(c.n));
+        auto v = static_cast<Vertex>(rng.below(c.n));
+        if (u == v) v = (v + 1) % c.n;
+        edges.emplace_back(u, v);
+        if (!edges.empty() && rng.below(8) == 0) edges.push_back(edges.front());
+      }
+      g = Graph(c.n, std::move(edges));
+      break;
+    }
+  }
+  c.edges.assign(g.edges().begin(), g.edges().end());
+  return c;
+}
+
+/// What a property reports back. `holds(c)` is the common case; use the
+/// message to carry diagnostics into the witness report.
+struct PropOutcome {
+  bool holds = true;
+  std::string message;
+};
+
+using Property = std::function<PropOutcome(const GraphCase&)>;
+
+struct CheckResult {
+  bool ok = true;
+  GraphCase witness;          ///< minimal failing case (valid iff !ok)
+  std::size_t trials = 0;     ///< cases evaluated before the first failure
+  std::size_t shrink_steps = 0;
+  std::string message;        ///< property diagnostic at the minimal witness
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok) return "ok after " + std::to_string(trials) + " cases";
+    return "FALSIFIED (after " + std::to_string(trials) + " cases, " +
+           std::to_string(shrink_steps) + " shrink steps): " + describe(witness) +
+           (message.empty() ? "" : " — " + message);
+  }
+};
+
+namespace detail {
+
+/// Evaluate the property, treating exceptions as failures (a protocol that
+/// throws ConformanceError on a generated input is a falsification, and the
+/// witness shrinks like any other).
+inline PropOutcome eval(const Property& prop, const GraphCase& c) {
+  try {
+    return prop(c);
+  } catch (const std::exception& e) {
+    return {false, std::string("threw: ") + e.what()};
+  }
+}
+
+/// Remap the case onto the compacted universe of vertices that actually
+/// appear (plus a floor of 2), relabelling edges order-preservingly.
+inline GraphCase compact_universe(const GraphCase& c) {
+  std::vector<Vertex> used;
+  used.reserve(c.edges.size() * 2);
+  for (const Edge& e : c.edges) {
+    used.push_back(e.u);
+    used.push_back(e.v);
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  GraphCase out = c;
+  out.n = std::max<Vertex>(2, static_cast<Vertex>(used.size()));
+  out.edges.clear();
+  for (const Edge& e : c.edges) {
+    const auto idx = [&](Vertex v) {
+      return static_cast<Vertex>(std::lower_bound(used.begin(), used.end(), v) - used.begin());
+    };
+    out.edges.emplace_back(idx(e.u), idx(e.v));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Run `prop` over `trials` seeded cases; on the first failure, greedily
+/// shrink to a minimal witness. Deterministic in `seed`.
+inline CheckResult check(std::uint64_t seed, std::size_t trials, const Property& prop,
+                         const GenOptions& gen = {}, std::size_t max_shrink_evals = 400) {
+  CheckResult result;
+  GraphCase failing;
+  bool found = false;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ++result.trials;
+    Rng rng = derive_rng(seed, t);
+    GraphCase c = gen_case(rng, gen);
+    const PropOutcome out = detail::eval(prop, c);
+    if (!out.holds) {
+      failing = std::move(c);
+      result.message = out.message;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return result;
+
+  // Greedy shrink: adopt any simplification that still fails, retry until
+  // no candidate applies or the evaluation budget runs out.
+  std::size_t evals = 0;
+  const auto still_fails = [&](const GraphCase& c) {
+    if (evals >= max_shrink_evals) return false;
+    ++evals;
+    const PropOutcome out = detail::eval(prop, c);
+    if (!out.holds) result.message = out.message;
+    return !out.holds;
+  };
+  bool progressed = true;
+  while (progressed && evals < max_shrink_evals) {
+    progressed = false;
+    // 1. Drop a contiguous half / quarter of the edges.
+    for (const std::size_t denom : {2u, 4u}) {
+      const std::size_t chunk = failing.edges.size() / denom;
+      if (chunk == 0) continue;
+      for (std::size_t start = 0; start + chunk <= failing.edges.size(); start += chunk) {
+        GraphCase cand = failing;
+        cand.edges.erase(cand.edges.begin() + static_cast<std::ptrdiff_t>(start),
+                         cand.edges.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+        if (still_fails(cand)) {
+          failing = std::move(cand);
+          ++result.shrink_steps;
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) break;
+    }
+    if (progressed) continue;
+    // 2. Drop single edges (only worth trying on small lists).
+    if (failing.edges.size() <= 64) {
+      for (std::size_t i = 0; i < failing.edges.size(); ++i) {
+        GraphCase cand = failing;
+        cand.edges.erase(cand.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        if (still_fails(cand)) {
+          failing = std::move(cand);
+          ++result.shrink_steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    if (progressed) continue;
+    // 3. Fewer players.
+    if (failing.k > 1) {
+      GraphCase cand = failing;
+      cand.k = failing.k / 2;
+      if (!still_fails(cand)) {
+        cand.k = failing.k - 1;
+        if (!still_fails(cand)) cand.k = failing.k;
+      }
+      if (cand.k != failing.k) {
+        failing = std::move(cand);
+        ++result.shrink_steps;
+        progressed = true;
+        continue;
+      }
+    }
+    // 4. Compact the vertex universe to the endpoints actually used.
+    GraphCase cand = detail::compact_universe(failing);
+    if ((cand.n != failing.n || cand.edges != failing.edges) && still_fails(cand)) {
+      failing = std::move(cand);
+      ++result.shrink_steps;
+      progressed = true;
+    }
+  }
+
+  result.ok = false;
+  result.witness = std::move(failing);
+  return result;
+}
+
+}  // namespace tft::proptest

@@ -59,6 +59,91 @@ TEST(Transcript, OutOfRangePlayerThrows) {
   EXPECT_THROW(t.charge(2, Direction::kPlayerToCoordinator, 1), std::out_of_range);
 }
 
+TEST(Transcript, BroadcastEmitsOneEventPerPlayerInOrder) {
+  Transcript t(3, 16);
+  t.charge_broadcast(5, 2);
+  ASSERT_EQ(t.events().size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(t.events()[j].player, j);
+    EXPECT_EQ(t.events()[j].direction, Direction::kCoordinatorToPlayer);
+    EXPECT_EQ(t.events()[j].bits, 5u);
+    EXPECT_EQ(t.events()[j].phase, 2u);
+    EXPECT_EQ(t.downstream_messages(j), 1u);
+  }
+  EXPECT_EQ(t.phase_bits(2), 15u);
+}
+
+TEST(Transcript, PhaseBitsTrackEveryTagIndependently) {
+  Transcript t(2, 16);
+  t.charge(0, Direction::kPlayerToCoordinator, 3, 0);
+  t.charge(1, Direction::kPlayerToCoordinator, 4, 5);
+  t.charge_broadcast(2, 5);
+  EXPECT_EQ(t.phase_bits(0), 3u);
+  EXPECT_EQ(t.phase_bits(5), 8u);   // 4 up + 2*2 broadcast
+  EXPECT_EQ(t.phase_bits(1), 0u);   // untouched phase
+  EXPECT_EQ(t.phase_bits(99), 0u);  // never-charged phase is 0, not UB
+  EXPECT_EQ(t.num_phases(), 6u);
+}
+
+TEST(Transcript, DisablingEventRecordingKeepsTallies) {
+  Transcript t(2, 16);
+  t.set_record_events(false);
+  EXPECT_FALSE(t.record_events());
+  t.charge(0, Direction::kPlayerToCoordinator, 10, 1);
+  t.charge_broadcast(3, 2);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.total_bits(), 16u);
+  EXPECT_EQ(t.upstream_messages(0), 1u);
+  EXPECT_EQ(t.phase_bits(1), 10u);
+  EXPECT_EQ(t.phase_bits(2), 6u);
+}
+
+TEST(Transcript, MergeOfNonRecordingPartialsPreservesPhaseTotals) {
+  // Parallel engines build partial transcripts with recording off and fold
+  // them into one; every tally and per-phase total must survive the merge.
+  Transcript a(2, 16);
+  a.set_record_events(false);
+  a.charge(0, Direction::kPlayerToCoordinator, 10, 1);
+  a.charge(1, Direction::kCoordinatorToPlayer, 4, 3);
+
+  Transcript b(2, 16);
+  b.set_record_events(false);
+  b.charge(0, Direction::kPlayerToCoordinator, 7, 1);
+  b.charge(1, Direction::kPlayerToCoordinator, 2, 4);
+
+  Transcript total(2, 16);
+  total.merge(a);
+  total.merge(b);
+  EXPECT_EQ(total.total_bits(), 23u);
+  EXPECT_EQ(total.upstream_bits(0), 17u);
+  EXPECT_EQ(total.upstream_messages(0), 2u);
+  EXPECT_EQ(total.downstream_bits(1), 4u);
+  EXPECT_EQ(total.phase_bits(1), 17u);
+  EXPECT_EQ(total.phase_bits(3), 4u);
+  EXPECT_EQ(total.phase_bits(4), 2u);
+  EXPECT_EQ(total.num_phases(), 5u);
+  EXPECT_TRUE(total.events().empty());  // partials recorded nothing
+}
+
+TEST(Transcript, MergeAppendsRecordedEvents) {
+  Transcript a(2, 16);
+  a.charge(0, Direction::kPlayerToCoordinator, 1, 0);
+  Transcript b(2, 16);
+  b.charge(1, Direction::kPlayerToCoordinator, 2, 1);
+  a.merge(b);
+  ASSERT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(a.events()[1].player, 1u);
+  EXPECT_EQ(a.events()[1].bits, 2u);
+}
+
+TEST(Transcript, MergeRejectsMismatchedShapes) {
+  Transcript a(2, 16);
+  const Transcript other_k(3, 16);
+  const Transcript other_n(2, 32);
+  EXPECT_THROW(a.merge(other_k), std::invalid_argument);
+  EXPECT_THROW(a.merge(other_n), std::invalid_argument);
+}
+
 TEST(SharedRandomness, DeterministicAcrossInstances) {
   const SharedRandomness a(99);
   const SharedRandomness b(99);

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "comm/conformance.h"
+#include "core/exact_baseline.h"
+#include "core/oneway_vee.h"
+#include "core/sim_high.h"
+#include "core/sim_low.h"
+#include "core/sim_oblivious.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "lower_bounds/mu_distribution.h"
+#include "streaming/reduction.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+constexpr auto kUp = Direction::kPlayerToCoordinator;
+constexpr auto kDown = Direction::kCoordinatorToPlayer;
+
+std::vector<PlayerInput> sample_players(std::size_t k, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  const Graph g = gen::planted_triangles(240, 30, rng);
+  return partition_random(g, k, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Referee rule machines, directly.
+
+TEST(Conformance, EmptyTranscriptConformsToEveryModel) {
+  const Transcript t(3, 64);
+  for (const auto model : {CommModel::kSimultaneous, CommModel::kOneWay, CommModel::kCoordinator,
+                           CommModel::kBlackboard}) {
+    EXPECT_TRUE(check_conformance(model, t).ok()) << to_string(model);
+  }
+}
+
+TEST(Conformance, SimultaneousAcceptsOneMessagePerPlayer) {
+  Transcript t(3, 64);
+  for (std::size_t j = 0; j < 3; ++j) t.charge(j, kUp, 10 + j);
+  EXPECT_TRUE(check_conformance(CommModel::kSimultaneous, t).ok());
+}
+
+TEST(Conformance, CoordinatorAcceptsBroadcastSweeps) {
+  Transcript t(3, 64);
+  t.charge(0, kUp, 5);
+  t.charge(1, kUp, 5);
+  t.charge(2, kUp, 5);
+  t.charge_broadcast(7, 1);
+  t.charge(1, kUp, 9, 1);
+  EXPECT_TRUE(check_conformance(CommModel::kCoordinator, t).ok());
+}
+
+TEST(Conformance, BlackboardAcceptsPostsAndSweeps) {
+  Transcript t(4, 64);
+  t.charge(2, kUp, 5);          // a player posts on the board
+  t.charge(0, kDown, 11);       // the referee posts once (charged to player 0)
+  t.charge_broadcast(3);        // legacy private-channel sweep: over-charge, allowed
+  EXPECT_TRUE(check_conformance(CommModel::kBlackboard, t).ok());
+}
+
+TEST(Conformance, ReportRendersKindAndDetail) {
+  Transcript t(2, 64);
+  t.charge(0, kUp, 4);
+  t.charge(0, kUp, 4);
+  const auto report = check_conformance(CommModel::kSimultaneous, t);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kMultipleUpMessages));
+  EXPECT_EQ(report.violations.front().player, 0u);
+  EXPECT_EQ(report.violations.front().event_index, 1u);
+  EXPECT_NE(report.to_string().find("multiple-up-messages"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation self-test: eight deliberately ill-behaved protocol mutants, each
+// of which the referee must reject with the right violation kind. Each
+// mutant is protocol-shaped — it computes real messages from the players'
+// inputs — but breaks exactly one structural rule of its claimed model.
+
+/// Mutant 1 — a "simultaneous" protocol that sneaks in a second round:
+/// after the referee unions the first messages, every player sends a
+/// follow-up. (The classic way a 1-round bound gets silently broken.)
+SimResult mutant_sim_second_round(std::span<const PlayerInput> players) {
+  return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
+                     [&](Transcript& t) {
+                       SimResult r;
+                       for (const auto& p : players) {
+                         const SimObliviousOptions o;
+                         const auto msg = sim_oblivious_message(p, o);
+                         t.charge(p.player_id, kUp, msg.bits(p.n()));
+                         r.total_bits += msg.bits(p.n());
+                       }
+                       for (const auto& p : players) t.charge_flag(p.player_id, kUp, 1);
+                       return r;
+                     });
+}
+
+TEST(ConformanceMutants, SimultaneousSecondRoundRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_sim_second_round(players);
+    FAIL() << "referee accepted a two-round 'simultaneous' protocol";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kMultipleUpMessages)) << e.what();
+  }
+}
+
+/// Mutant 2 — a "simultaneous" referee that answers back: it broadcasts the
+/// verdict bit to the players, which a genuinely one-shot model forbids.
+bool mutant_sim_referee_feedback(std::span<const PlayerInput> players) {
+  return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
+                     [&](Transcript& t) {
+                       for (const auto& p : players) {
+                         t.charge(p.player_id, kUp, edge_bits(p.n()));
+                       }
+                       t.charge_broadcast(1);  // verdict announcement
+                       return true;
+                     });
+}
+
+TEST(ConformanceMutants, SimultaneousRefereeFeedbackRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_sim_referee_feedback(players);
+    FAIL() << "referee accepted downstream bits in a simultaneous protocol";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kDownstreamForbidden)) << e.what();
+  }
+}
+
+/// Mutant 3 — unreported traffic: the protocol turns event recording off
+/// and self-charges invisibly. Conformance cannot be audited, which the
+/// referee must treat as a violation rather than vacuous success.
+bool mutant_unreported_traffic(std::span<const PlayerInput> players) {
+  return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
+                     [&](Transcript& t) {
+                       t.set_record_events(false);
+                       for (const auto& p : players) t.charge(p.player_id, kUp, 100);
+                       return true;
+                     });
+}
+
+TEST(ConformanceMutants, UnreportedTrafficRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_unreported_traffic(players);
+    FAIL() << "referee accepted a transcript with no recorded events";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kEventsNotRecorded)) << e.what();
+  }
+}
+
+/// Mutant 4 — partially hidden traffic: recording is disabled midway, so
+/// the event stream no longer accounts for the tallies.
+bool mutant_partially_hidden_traffic(std::span<const PlayerInput> players) {
+  return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
+                     [&](Transcript& t) {
+                       t.charge(0, kUp, 10);
+                       t.set_record_events(false);
+                       t.charge(1, kUp, 10);  // invisible to the event stream
+                       return true;
+                     });
+}
+
+TEST(ConformanceMutants, PartiallyHiddenTrafficRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_partially_hidden_traffic(players);
+    FAIL() << "referee accepted an event stream that disagrees with the tallies";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kTallyMismatch)) << e.what();
+  }
+}
+
+/// Mutant 5 — a "one-way" protocol with a back-edge: Alice speaks again
+/// after Bob, i.e. she saw Bob's message, which one-way forbids.
+bool mutant_oneway_back_edge(std::span<const PlayerInput> players) {
+  const std::uint64_t n = players.front().n();
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+    t.charge(0, kUp, vertex_bits(n));  // Alice
+    t.charge(1, kUp, vertex_bits(n));  // Bob
+    t.charge(0, kUp, vertex_bits(n));  // Alice replies to Bob: back-edge
+    return true;
+  });
+}
+
+TEST(ConformanceMutants, OneWayBackEdgeRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_oneway_back_edge(players);
+    FAIL() << "referee accepted a back-edge in a one-way protocol";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kOrderViolation)) << e.what();
+  }
+}
+
+/// Mutant 6 — the one-way output player transmits: Charlie must only
+/// announce the answer from what he received, never send payload bits.
+bool mutant_oneway_output_player_talks(std::span<const PlayerInput> players) {
+  const std::uint64_t n = players.front().n();
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+    t.charge(0, kUp, vertex_bits(n));
+    t.charge(1, kUp, vertex_bits(n));
+    t.charge(players.size() - 1, kUp, edge_bits(n));  // Charlie ships an edge
+    return true;
+  });
+}
+
+TEST(ConformanceMutants, OneWayOutputPlayerTalksRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_oneway_output_player_talks(players);
+    FAIL() << "referee accepted payload bits from the one-way output player";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kSilentPlayerSpoke)) << e.what();
+  }
+}
+
+/// Mutant 7 — a coordinator that privately tips one player: the library's
+/// coordinator convention is that every announcement is a k-player sweep
+/// (each player charged the same bits); a lone private hint is a charging
+/// bug that would undercount the protocol's downstream cost by a k factor.
+bool mutant_coordinator_private_hint(std::span<const PlayerInput> players) {
+  const std::uint64_t n = players.front().n();
+  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Transcript& t) {
+    for (const auto& p : players) t.charge_flag(p.player_id, kUp);
+    t.charge(1, kDown, vertex_bits(n));  // only player 1 learns the sample
+    return true;
+  });
+}
+
+TEST(ConformanceMutants, CoordinatorPrivateHintRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_coordinator_private_hint(players);
+    FAIL() << "referee accepted a non-broadcast downstream message";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kBrokenBroadcast)) << e.what();
+  }
+}
+
+/// Mutant 8 — a partial sweep: the coordinator "broadcasts" to players 0
+/// and 1 but forgets player 2, silently shaving a third off the downstream
+/// accounting.
+bool mutant_coordinator_partial_sweep(std::span<const PlayerInput> players) {
+  const std::uint64_t n = players.front().n();
+  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Transcript& t) {
+    for (const auto& p : players) t.charge_flag(p.player_id, kUp);
+    t.charge(0, kDown, vertex_bits(n));
+    t.charge(1, kDown, vertex_bits(n));  // sweep stops one player short
+    return true;
+  });
+}
+
+TEST(ConformanceMutants, CoordinatorPartialSweepRejected) {
+  const auto players = sample_players(3);
+  try {
+    (void)mutant_coordinator_partial_sweep(players);
+    FAIL() << "referee accepted an incomplete broadcast sweep";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kBrokenBroadcast)) << e.what();
+  }
+}
+
+/// Mutant 9 — private downstream on a blackboard: a message only player 2
+/// can read contradicts the model (everything written is public).
+bool mutant_blackboard_private_message(std::span<const PlayerInput> players) {
+  const std::uint64_t n = players.front().n();
+  return run_checked(CommModel::kBlackboard, players.size(), n, [&](Transcript& t) {
+    t.charge(0, kDown, vertex_bits(n));  // legitimate board post
+    t.charge(2, kDown, vertex_bits(n));  // private whisper: impossible
+    return true;
+  });
+}
+
+TEST(ConformanceMutants, BlackboardPrivateMessageRejected) {
+  const auto players = sample_players(4);
+  try {
+    (void)mutant_blackboard_private_message(players);
+    FAIL() << "referee accepted a private downstream message on a blackboard";
+  } catch (const ConformanceError& e) {
+    EXPECT_TRUE(e.report.has(ViolationKind::kPrivateDownstream)) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The real protocols all pass the referee (and run under it by default).
+
+TEST(ConformanceIntegration, AllRealProtocolsPassTheReferee) {
+  const auto players = sample_players(4);
+  TranscriptCapture capture;
+
+  SimLowOptions lo;
+  lo.average_degree = 4.0;
+  (void)sim_low_find_triangle(players, lo);
+  SimHighOptions ho;
+  ho.average_degree = 20.0;
+  (void)sim_high_find_triangle(players, ho);
+  (void)sim_oblivious_find_triangle(players, SimObliviousOptions{});
+  (void)exact_find_triangle(players);
+  UnrestrictedOptions uo;
+  (void)find_triangle_unrestricted(players, uo);
+  UnrestrictedOptions bb;
+  bb.blackboard = true;
+  (void)find_triangle_unrestricted(players, bb);
+  (void)one_way_via_streaming(players, 4096, 3);
+
+  Rng rng(11);
+  const auto mu = sample_mu(60, 0.9, rng);
+  const auto tri_players = partition_mu_three(mu);
+  (void)oneway_vee_find_edge(tri_players, mu.layout, OneWayOptions{});
+
+  ASSERT_EQ(capture.runs().size(), 8u);
+  std::size_t sim_runs = 0;
+  std::size_t oneway_runs = 0;
+  for (const auto& run : capture.runs()) {
+    const auto report = check_conformance(run.model, run.transcript);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    sim_runs += run.model == CommModel::kSimultaneous ? 1 : 0;
+    oneway_runs += run.model == CommModel::kOneWay ? 1 : 0;
+  }
+  EXPECT_EQ(sim_runs, 4u);  // sim-low, sim-high, sim-oblivious, exact
+  EXPECT_EQ(oneway_runs, 2u);
+}
+
+TEST(ConformanceIntegration, DisablingTheRefereeSkipsEnforcement) {
+  const auto players = sample_players(3);
+  set_conformance_checking(false);
+  EXPECT_NO_THROW((void)mutant_sim_second_round(players));
+  set_conformance_checking(true);
+  EXPECT_THROW((void)mutant_sim_second_round(players), ConformanceError);
+}
+
+TEST(ConformanceIntegration, CaptureRecordsEventsEvenWhenCheckingIsOff) {
+  const auto players = sample_players(2);
+  set_conformance_checking(false);
+  TranscriptCapture capture;
+  (void)exact_find_triangle(players);
+  set_conformance_checking(true);
+  ASSERT_EQ(capture.runs().size(), 1u);
+  EXPECT_FALSE(capture.runs().front().transcript.events().empty());
+  EXPECT_TRUE(
+      check_conformance(CommModel::kSimultaneous, capture.runs().front().transcript).ok());
+}
+
+}  // namespace
+}  // namespace tft

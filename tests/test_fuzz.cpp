@@ -4,35 +4,79 @@
 #include "core/subgraph_freeness.h"
 #include "graph/generators.h"
 #include "graph/triangles.h"
+#include "proptest.h"
 #include "util/rng.h"
 
 namespace tft {
 namespace {
 
 /// Randomized differential / round-trip sweeps ("fuzz-lite": deterministic
-/// seeds, adversarially-shaped random inputs).
+/// seeds, adversarially-shaped random inputs). The sweeps run as properties
+/// over the proptest generator zoo, so any failure is reported as a minimal
+/// shrunk (n, edges, k) witness.
+
+using proptest::GenOptions;
+using proptest::GraphCase;
+using proptest::PropOutcome;
 
 TEST(Fuzz, WireEdgeListRoundTripRandomShapes) {
-  Rng rng(1);
-  for (int trial = 0; trial < 40; ++trial) {
-    const Vertex n = 2 + static_cast<Vertex>(rng.below(2000));
-    std::vector<Edge> edges;
-    const std::size_t m = rng.below(200);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto u = static_cast<Vertex>(rng.below(n));
-      auto v = static_cast<Vertex>(rng.below(n));
-      if (u == v) v = (v + 1) % n;
-      edges.emplace_back(u, v);
-    }
-    // Adversarial shapes: duplicates, clustered endpoints.
-    if (trial % 3 == 0 && !edges.empty()) edges.push_back(edges.front());
+  const auto prop = [](const GraphCase& c) -> PropOutcome {
+    std::vector<Edge> edges(c.edges.begin(), c.edges.end());
+    // Adversarial shape: a duplicate edge (the codec allows multisets).
+    if (c.seed % 3 == 0 && !edges.empty()) edges.push_back(edges.front());
     std::sort(edges.begin(), edges.end());
     BitWriter w;
-    encode_edge_list(w, n, edges);
+    encode_edge_list(w, c.n, edges);
     BitReader r(w.bytes(), w.bit_size());
-    const auto decoded = decode_edge_list(r, n);
-    EXPECT_EQ(decoded, edges) << "trial " << trial << " n=" << n;
-  }
+    if (decode_edge_list(r, c.n) != edges) return {false, "round trip mismatch"};
+    return {};
+  };
+  const auto r = proptest::check(201, 60, prop);
+  EXPECT_TRUE(r.ok) << r.to_string();
+}
+
+TEST(Fuzz, TruncatedOrCorruptDecodeFailsCleanly) {
+  // Decoding a truncated or bit-flipped encoding must either throw the
+  // typed WireError or return edges inside the universe — never crash,
+  // read out of bounds, or trust a corrupt count for allocation.
+  const auto survives_decode = [](std::span<const std::uint8_t> bytes, std::uint64_t bit_size,
+                                  Vertex n) -> const char* {
+    BitReader r(bytes, bit_size);
+    try {
+      const auto decoded = decode_edge_list(r, n);
+      for (const Edge& e : decoded) {
+        if (e.u >= n || e.v >= n) return "decoded endpoint outside the universe";
+      }
+    } catch (const WireError&) {
+      // Typed rejection is the expected path for mangled input.
+    }
+    return nullptr;
+  };
+  const auto prop = [&](const GraphCase& c) -> PropOutcome {
+    BitWriter w;
+    encode_edge_list(w, c.n, c.edges);
+    Rng rng = derive_rng(c.seed, 0xF422);
+    for (int i = 0; i < 8; ++i) {
+      // Truncate to a random bit length (including 0 and full length).
+      const std::uint64_t cut = rng.below(w.bit_size() + 1);
+      if (const char* err = survives_decode(w.bytes(), cut, c.n)) return {false, err};
+      // Flip one random bit of the payload.
+      if (w.bit_size() > 0) {
+        auto bytes = w.bytes();
+        const std::uint64_t flip = rng.below(w.bit_size());
+        bytes[static_cast<std::size_t>(flip / 8)] ^=
+            static_cast<std::uint8_t>(0x80u >> (flip % 8));
+        if (const char* err = survives_decode(bytes, w.bit_size(), c.n)) return {false, err};
+      }
+      // Overstate the bit length past the byte buffer (corrupt framing).
+      if (const char* err = survives_decode(w.bytes(), w.bit_size() + 64, c.n)) {
+        return {false, err};
+      }
+    }
+    return {};
+  };
+  const auto r = proptest::check(202, 60, prop);
+  EXPECT_TRUE(r.ok) << r.to_string();
 }
 
 TEST(Fuzz, WireGammaRandomValues) {
@@ -50,37 +94,52 @@ TEST(Fuzz, WireGammaRandomValues) {
 
 TEST(Fuzz, SubgraphTriangleSearchMatchesCounterOnRandomGraphs) {
   // Differential: find_subgraph(K3) agrees with count_triangles > 0 across
-  // densities and sizes.
-  Rng rng(3);
+  // generator shapes and sizes.
   const Graph k3 = pattern_clique(3);
-  for (int trial = 0; trial < 30; ++trial) {
-    const Vertex n = 10 + static_cast<Vertex>(rng.below(120));
-    const double p = rng.uniform() * 0.25;
-    const Graph g = gen::gnp(n, p, rng);
+  GenOptions opts;
+  opts.max_n = 150;
+  const auto prop = [&](const GraphCase& c) -> PropOutcome {
+    const Graph g = c.graph();
     const bool has = count_triangles(g) > 0;
-    EXPECT_EQ(contains_subgraph(g, k3), has) << "trial " << trial;
-  }
+    if (contains_subgraph(g, k3) != has) {
+      return {false, has ? "subgraph search missed a triangle"
+                         : "subgraph search found a phantom triangle"};
+    }
+    return {};
+  };
+  const auto r = proptest::check(203, 40, prop, opts);
+  EXPECT_TRUE(r.ok) << r.to_string();
 }
 
 TEST(Fuzz, GreedyPackingNeverExceedsTriangleCount) {
-  Rng rng(4);
-  for (int trial = 0; trial < 20; ++trial) {
-    const Vertex n = 20 + static_cast<Vertex>(rng.below(150));
-    const Graph g = gen::gnp(n, rng.uniform() * 0.2, rng);
+  GenOptions opts;
+  opts.max_n = 200;
+  const auto prop = [](const GraphCase& c) -> PropOutcome {
+    const Graph g = c.graph();
+    Rng rng = derive_rng(c.seed, 0xACC);
     const auto packing = greedy_triangle_packing(g, rng);
-    EXPECT_LE(packing.size(), count_triangles(g));
-  }
+    if (packing.size() > count_triangles(g)) {
+      return {false, "packing larger than the triangle count"};
+    }
+    return {};
+  };
+  const auto r = proptest::check(204, 40, prop, opts);
+  EXPECT_TRUE(r.ok) << r.to_string();
 }
 
 TEST(Fuzz, GraphConstructionIdempotent) {
   // Rebuilding a graph from its own edge list is the identity.
-  Rng rng(5);
-  for (int trial = 0; trial < 15; ++trial) {
-    const Graph g = gen::gnp(200, rng.uniform() * 0.1, rng);
+  const auto prop = [](const GraphCase& c) -> PropOutcome {
+    const Graph g = c.graph();
     const Graph h(g.n(), {g.edges().begin(), g.edges().end()});
-    ASSERT_EQ(h.num_edges(), g.num_edges());
-    for (Vertex v = 0; v < g.n(); ++v) ASSERT_EQ(h.degree(v), g.degree(v));
-  }
+    if (h.num_edges() != g.num_edges()) return {false, "edge count changed"};
+    for (Vertex v = 0; v < g.n(); ++v) {
+      if (h.degree(v) != g.degree(v)) return {false, "degree changed"};
+    }
+    return {};
+  };
+  const auto r = proptest::check(205, 40, prop);
+  EXPECT_TRUE(r.ok) << r.to_string();
 }
 
 TEST(Fuzz, BarabasiAlbertBasicInvariants) {

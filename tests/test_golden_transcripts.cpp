@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "comm/conformance.h"
+#include "golden_cases.h"
+
+namespace tft {
+namespace {
+
+/// Golden-transcript regression: each model's smallest-config run, replayed
+/// and rendered with format_transcript, must match the checked-in file byte
+/// for byte. A diff means the protocol's *communication pattern* changed —
+/// deliberately (rerun with TFT_UPDATE_GOLDEN=1 and review the diff like
+/// code) or by accident (a charging bug the bit-total asserts would blur).
+
+std::string golden_path(const std::string& name) {
+  return std::string(TFT_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+std::string render(const golden::GoldenCase& c) {
+  TranscriptCapture capture;
+  c.run();
+  EXPECT_EQ(capture.runs().size(), 1u) << c.name << ": expected exactly one checked run";
+  if (capture.runs().size() != 1) return {};
+  const auto& run = capture.runs().front();
+  return format_transcript(run.model, run.transcript);
+}
+
+TEST(GoldenTranscripts, MatchCheckedInFiles) {
+  const bool update = std::getenv("TFT_UPDATE_GOLDEN") != nullptr;
+  for (const auto& c : golden::cases(/*seed=*/1)) {
+    const std::string got = render(c);
+    ASSERT_FALSE(got.empty()) << c.name;
+    const std::string path = golden_path(c.name);
+    if (update) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << got;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run with TFT_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << c.name << ": transcript drifted from " << path
+        << " (TFT_UPDATE_GOLDEN=1 regenerates after a deliberate change)";
+  }
+}
+
+TEST(GoldenTranscripts, RenderingIsDeterministic) {
+  // The same seed must reproduce the same transcript within one process —
+  // the in-process half of the cross-thread-count CI diff.
+  for (const auto& c : golden::cases(/*seed=*/7)) {
+    EXPECT_EQ(render(c), render(c)) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/triangles.h"
+#include "proptest.h"
+
+namespace tft {
+namespace {
+
+using proptest::CheckResult;
+using proptest::GenOptions;
+using proptest::GraphCase;
+using proptest::PropOutcome;
+
+// ---------------------------------------------------------------------------
+// Generator sanity.
+
+TEST(PropTest, GeneratedCasesRespectBounds) {
+  Rng rng(3);
+  GenOptions opts;
+  opts.min_n = 3;
+  opts.max_n = 120;
+  opts.max_k = 4;
+  for (int i = 0; i < 200; ++i) {
+    const GraphCase c = proptest::gen_case(rng, opts);
+    EXPECT_GE(c.n, opts.min_n);
+    EXPECT_LT(c.n, opts.max_n);
+    EXPECT_GE(c.k, 1u);
+    EXPECT_LE(c.k, opts.max_k);
+    for (const Edge& e : c.edges) {
+      EXPECT_LT(e.u, c.n);
+      EXPECT_LT(e.v, c.n);
+      EXPECT_LT(e.u, e.v);  // Graph normalizes edges
+    }
+    const auto players = c.players();
+    EXPECT_EQ(players.size(), c.k);
+    std::size_t total = 0;
+    for (const auto& p : players) total += p.local.num_edges();
+    EXPECT_EQ(total, c.edges.size());  // partition, no duplication
+  }
+}
+
+TEST(PropTest, CaseStreamIsDeterministicInSeed) {
+  const auto render = [](std::uint64_t seed) {
+    std::string out;
+    for (std::size_t t = 0; t < 20; ++t) {
+      Rng rng = derive_rng(seed, t);
+      out += proptest::describe(proptest::gen_case(rng)) + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(render(42), render(42));
+  EXPECT_NE(render(42), render(43));
+}
+
+// ---------------------------------------------------------------------------
+// check(): pass / fail / shrink behaviour.
+
+TEST(PropTest, PassingPropertyReportsOk) {
+  const CheckResult r = proptest::check(1, 50, [](const GraphCase& c) {
+    return PropOutcome{c.edges.size() == c.graph().num_edges(), ""};
+  });
+  EXPECT_TRUE(r.ok) << r.to_string();
+  EXPECT_EQ(r.trials, 50u);
+}
+
+TEST(PropTest, FalsePropertyShrinksToTinyWitness) {
+  // "No graph has an edge" is falsified by almost every case and must
+  // shrink to a single-edge witness on a compacted universe.
+  const CheckResult r = proptest::check(2, 50, [](const GraphCase& c) {
+    return PropOutcome{c.edges.empty(), "graph has edges"};
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.witness.edges.size(), 1u);
+  EXPECT_EQ(r.witness.k, 1u);
+  EXPECT_LE(r.witness.n, 3u);  // two endpoints (universe floor is 2)
+  EXPECT_GT(r.shrink_steps, 0u);
+  EXPECT_NE(r.to_string().find("FALSIFIED"), std::string::npos);
+}
+
+TEST(PropTest, TriangleFreePropertyShrinksToOneTriangle) {
+  // "Every generated graph is triangle-free" fails; the minimal witness is
+  // a single triangle: exactly 3 edges over at most 3 + floor vertices.
+  GenOptions opts;
+  opts.max_n = 60;
+  const CheckResult r = proptest::check(5, 200, [](const GraphCase& c) {
+    return PropOutcome{count_triangles(c.graph()) == 0, "graph has a triangle"};
+  }, opts);
+  ASSERT_FALSE(r.ok) << "generator never produced a triangle in 200 cases";
+  EXPECT_EQ(r.witness.edges.size(), 3u);
+  EXPECT_EQ(count_triangles(r.witness.graph()), 1u);
+  EXPECT_LE(r.witness.n, 4u);
+}
+
+TEST(PropTest, ThrowingPropertyCountsAsFalsified) {
+  const CheckResult r = proptest::check(7, 20, [](const GraphCase& c) -> PropOutcome {
+    if (!c.edges.empty()) throw std::runtime_error("boom");
+    return {};
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("boom"), std::string::npos);
+  EXPECT_EQ(r.witness.edges.size(), 1u);  // shrinker still minimizes
+}
+
+TEST(PropTest, ShrinkRespectsEvaluationBudget) {
+  std::size_t evals = 0;
+  const CheckResult r = proptest::check(
+      9, 10,
+      [&](const GraphCase&) {
+        ++evals;
+        return PropOutcome{false, "always fails"};
+      },
+      GenOptions{}, /*max_shrink_evals=*/25);
+  ASSERT_FALSE(r.ok);
+  EXPECT_LE(evals, 1u + 25u + 4u);  // initial trial + budget + slack for loop exits
+}
+
+TEST(PropTest, CompactUniverseRelabelsOrderPreserving) {
+  GraphCase c;
+  c.n = 1000;
+  c.edges = {Edge(10, 900), Edge(10, 500)};
+  const GraphCase out = proptest::detail::compact_universe(c);
+  EXPECT_EQ(out.n, 3u);
+  const std::set<Edge> got(out.edges.begin(), out.edges.end());
+  const std::set<Edge> want{Edge(0, 2), Edge(0, 1)};
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace tft

@@ -103,6 +103,79 @@ TEST(Wire, VertexListRoundTrip) {
   EXPECT_EQ(decoded.back(), 1000u);
 }
 
+TEST(Wire, TruncatedEdgeListThrowsWireError) {
+  Rng rng(4);
+  const Graph g = gen::gnp(300, 0.03, rng);
+  BitWriter w;
+  encode_edge_list(w, g.n(), g.edges());
+  // Cutting the payload anywhere strictly inside must yield a typed error
+  // (the count no longer fits) — never a crash or a silent partial decode
+  // beyond the buffer.
+  for (const std::uint64_t cut : {w.bit_size() / 2, w.bit_size() - 1, std::uint64_t{5}}) {
+    BitReader r(w.bytes(), cut);
+    EXPECT_THROW((void)decode_edge_list(r, g.n()), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, CorruptCountDoesNotOverallocate) {
+  // A huge gamma-coded count with no payload behind it must be rejected
+  // before any reserve() — decoding 2^40 from a 7-byte buffer would
+  // otherwise attempt a multi-terabyte allocation.
+  BitWriter w;
+  w.put_gamma((std::uint64_t{1} << 40) - 1);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_THROW((void)decode_edge_list(r, 1024), WireError);
+  BitReader r2(w.bytes(), w.bit_size());
+  EXPECT_THROW((void)decode_vertex_list(r2, 1024), WireError);
+}
+
+TEST(Wire, OutOfUniverseEndpointRejected) {
+  // An edge list for a 1000-vertex universe decoded as a 10-vertex one:
+  // every endpoint check must fire instead of wrapping into Vertex.
+  BitWriter w;
+  const std::vector<Edge> edges{Edge(500, 900)};
+  encode_edge_list(w, 1000, edges);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_THROW((void)decode_edge_list(r, 10), WireError);
+
+  BitWriter wv;
+  const std::vector<Vertex> vs{999};
+  encode_vertex_list(wv, 1000, vs);
+  BitReader rv(wv.bytes(), wv.bit_size());
+  EXPECT_THROW((void)decode_vertex_list(rv, 10), WireError);
+}
+
+TEST(Wire, OverstatedBitSizeIsClampedToBuffer) {
+  // Corrupt framing: a bit_size claiming more bits than the byte buffer
+  // holds. The reader clamps to the real buffer, so reads fail cleanly at
+  // the true end instead of touching memory past it.
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  BitReader r(w.bytes(), /*bit_size=*/1000);
+  EXPECT_EQ(r.remaining(), 8u);  // one byte materialized
+  (void)r.get_bits(8);
+  EXPECT_THROW((void)r.get_bit(), WireError);
+}
+
+TEST(Wire, AllZeroGammaPrefixIsCorrupt) {
+  // 64+ leading zeros cannot come from any encoder (a legal gamma code
+  // stores value+1 in at most 64 significand bits): typed rejection, not an
+  // unbounded shift.
+  const std::vector<std::uint8_t> zeros(16, 0);
+  BitReader r(zeros, zeros.size() * 8);
+  EXPECT_THROW((void)r.get_gamma(), WireError);
+}
+
+TEST(Wire, WireErrorIsOutOfRange) {
+  // Backward compatibility: callers that guard with std::out_of_range keep
+  // working.
+  BitWriter w;
+  w.put_bit(true);
+  BitReader r(w.bytes(), w.bit_size());
+  (void)r.get_bit();
+  EXPECT_THROW((void)r.get_bit(), std::out_of_range);
+}
+
 TEST(Wire, ConcatenatedMessagesDecodeIndependently) {
   Rng rng(3);
   const Graph g1 = gen::gnp(200, 0.05, rng);
