@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 7));
+  bench::JsonRows json(flags, "bench_counting");
 
   bench::header("E-COUNT bench_counting",
                 "streaming triangle counting (the [27] problem behind Sec 4.4): "
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
       bench::row({{"reservoir", static_cast<double>(reservoir)},
                   {"mean_rel_err", rel_err.mean()},
                   {"max_rel_err", rel_err.max()}});
+      json.row(w.name, {{"reservoir", static_cast<std::uint64_t>(reservoir)},
+                        {"triangles", truth},
+                        {"mean_rel_err", rel_err.mean()},
+                        {"max_rel_err", rel_err.max()}});
     }
   }
 

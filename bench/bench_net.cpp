@@ -1,0 +1,123 @@
+// Experiment E-NET: the Section 2 message-passing -> coordinator overhead,
+// measured on real relayed frames instead of synthetic arithmetic. Each
+// point-to-point message is framed (payload + fixed-width recipient id),
+// shipped player -> coordinator over a live transport, decoded and forwarded
+// by the coordinator's servicer actors; the table compares the bits that
+// crossed the wire against MessagePassingSimulator and against the
+// worst-case bound 2 + ceil(log k)/b. A second table reports raw transport
+// throughput (frames/s through the full ARQ stack), the executed-mode cost
+// the idealized bit accounting abstracts away.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/message_passing.h"
+#include "net/executed.h"
+#include "net/runtime.h"
+#include "runner.h"
+#include "util/bits.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using namespace tft;
+using namespace tft::net;
+
+namespace {
+
+std::vector<MpMessage> random_batch(std::size_t k, std::size_t count, std::uint64_t b,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MpMessage> messages;
+  messages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto from = static_cast<std::size_t>(rng.below(k));
+    auto to = static_cast<std::size_t>(rng.below(k - 1));
+    if (to >= from) ++to;
+    messages.push_back({from, to, b});
+  }
+  return messages;
+}
+
+std::vector<TransportKind> live_transports() {
+  std::vector<TransportKind> kinds = {TransportKind::kInProc};
+  if (LoopbackSocketTransport::available()) kinds.push_back(TransportKind::kSocket);
+  return kinds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::configure_threads(flags);
+  const auto count = static_cast<std::size_t>(flags.get_int("messages", 200));
+  bench::JsonRows json(flags, "bench_net");
+
+  bench::header("E-NET bench_net",
+                "Section 2 message-passing -> coordinator overhead on real relayed "
+                "frames: measured == simulated, both <= 2 + log(k)/b");
+
+  std::printf("\n-- relay overhead (%zu messages per cell) --\n", count);
+  for (const TransportKind kind : live_transports()) {
+    for (const std::size_t k : {3u, 8u, 32u}) {
+      for (const std::uint64_t b : {1u, 8u, 64u, 512u}) {
+        NetConfig cfg;
+        cfg.transport = kind;
+        const auto messages = random_batch(k, count, b, 17 * k + b);
+        const auto t0 = std::chrono::steady_clock::now();
+        const RelayReport r = relay_messages(k, 4096, messages, cfg);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        const bool exact = r.measured_bits == r.simulated_bits;
+        bench::row({{"k", static_cast<double>(k)},
+                    {"b", static_cast<double>(b)},
+                    {"measured_overhead", r.measured_overhead},
+                    {"bound", r.bound},
+                    {"wire_bytes", static_cast<double>(r.wire.wire_bytes)},
+                    {"measured_eq_sim", exact ? 1.0 : 0.0}});
+        json.row(to_string(kind), {{"k", static_cast<std::uint64_t>(k)},
+                                   {"b", b},
+                                   {"mp_bits", r.mp_bits},
+                                   {"measured_bits", r.measured_bits},
+                                   {"simulated_bits", r.simulated_bits},
+                                   {"measured_overhead", r.measured_overhead},
+                                   {"bound", r.bound},
+                                   {"wire_bytes", r.wire.wire_bytes},
+                                   {"seconds", secs}});
+        if (!exact) {
+          std::fprintf(stderr, "BUG: wire bits %llu != simulator bits %llu\n",
+                       static_cast<unsigned long long>(r.measured_bits),
+                       static_cast<unsigned long long>(r.simulated_bits));
+          return 1;
+        }
+      }
+    }
+  }
+
+  std::printf("\n-- ARQ throughput (1000 x 64-bit frames, one link) --\n");
+  for (const TransportKind kind : live_transports()) {
+    NetConfig cfg;
+    cfg.transport = kind;
+    const auto messages = random_batch(2, 1000, 64, 5);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RelayReport r = relay_messages(2, 4096, messages, cfg);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double fps = 2000.0 / secs;  // each message = up frame + forwarded frame
+    bench::row({{"frames_per_s", fps},
+                {"wire_bytes", static_cast<double>(r.wire.wire_bytes)}});
+    json.row(std::string("throughput-") + to_string(kind),
+             {{"frames_per_s", fps}, {"wire_bytes", r.wire.wire_bytes}});
+    std::printf("   (%s)\n", to_string(kind));
+  }
+
+  std::printf(
+      "\nReading: measured_overhead climbs toward the bound as b shrinks —\n"
+      "at b=1 every payload bit pays the full ceil(log k) recipient header\n"
+      "twice-over; at b=512 the relay is within a whisker of the factor-2\n"
+      "forwarding floor. measured_eq_sim = 1 everywhere: the simulator's\n"
+      "arithmetic is backed by bytes on a live transport.\n");
+  return 0;
+}

@@ -2,7 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "comm/conformance.h"
@@ -76,5 +81,93 @@ template <typename R, typename Pred>
   for (const R& r : results) ok += pred(r) ? 1 : 0;
   return static_cast<double>(ok) / static_cast<double>(results.size());
 }
+
+/// One scalar cell of a structured results row.
+class JsonValue {
+ public:
+  /*implicit*/ JsonValue(double v) { render_double(v); }             // NOLINT
+  /*implicit*/ JsonValue(std::uint64_t v) : text_(std::to_string(v)) {}  // NOLINT
+  /*implicit*/ JsonValue(std::int64_t v) : text_(std::to_string(v)) {}   // NOLINT
+  /*implicit*/ JsonValue(int v) : text_(std::to_string(v)) {}            // NOLINT
+  /*implicit*/ JsonValue(bool v) : text_(v ? "true" : "false") {}        // NOLINT
+  /*implicit*/ JsonValue(std::string_view v) { render_string(v); }       // NOLINT
+  /*implicit*/ JsonValue(const char* v) { render_string(v); }            // NOLINT
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  void render_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    text_ = buf;
+  }
+  void render_string(std::string_view v) {
+    text_ = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') {
+        text_ += '\\';
+        text_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        text_ += buf;
+      } else {
+        text_ += c;
+      }
+    }
+    text_ += '"';
+  }
+
+  std::string text_;
+};
+
+/// Machine-readable results sink behind the `--json=<path>` flag: one JSON
+/// object per line (JSON Lines), every line tagged with the bench name.
+/// Disabled (all calls no-ops) when the flag is absent, so benches call it
+/// unconditionally next to their printf rows. The structured rows carry the
+/// same deterministic measurement values as the text table — timing fields
+/// are the caller's choice to include — so `--json` output diffs clean
+/// across `--threads` exactly when the text output does.
+class JsonRows {
+ public:
+  JsonRows(const Flags& flags, std::string_view bench) : bench_(bench) {
+    const std::string path = flags.get_string("json", "");
+    if (!path.empty()) {
+      out_ = std::fopen(path.c_str(), "w");
+      if (out_ == nullptr) {
+        std::fprintf(stderr, "warning: --json=%s not writable; structured output disabled\n",
+                     path.c_str());
+      }
+    }
+  }
+  ~JsonRows() {
+    if (out_ != nullptr) std::fclose(out_);
+  }
+  JsonRows(const JsonRows&) = delete;
+  JsonRows& operator=(const JsonRows&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return out_ != nullptr; }
+
+  /// Emit one row: {"bench":"<name>","row":"<row>",<fields...>}.
+  void row(std::string_view row_name,
+           std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+    if (out_ == nullptr) return;
+    std::string line = "{\"bench\":" + JsonValue(bench_).text() +
+                       ",\"row\":" + JsonValue(row_name).text();
+    for (const auto& [key, value] : fields) {
+      line += ",";
+      line += JsonValue(std::string_view(key)).text();
+      line += ":";
+      line += value.text();
+    }
+    line += "}\n";
+    std::fputs(line.c_str(), out_);
+    std::fflush(out_);
+  }
+
+ private:
+  std::string bench_;
+  std::FILE* out_ = nullptr;
+};
 
 }  // namespace tft::bench

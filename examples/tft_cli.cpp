@@ -13,6 +13,12 @@
 //   --in=PATH                                 read a graph file
 //   --protocol=unrestricted|sim-low|sim-high|sim-oblivious|exact
 //   --k, --dup, --eps, --seed                 model parameters
+//   --transport=sim|inproc|socket             sim charges a Transcript only;
+//                                             inproc/socket execute the run as
+//                                             k+1 actors exchanging real frames
+//                                             and cross-check wire vs charged
+//   --fault-drop, --fault-dup, --fault-flip   per-attempt fault probabilities
+//   --fault-delay-us, --fault-seed            (executed transports only)
 
 #include <cstdio>
 #include <string>
@@ -22,6 +28,8 @@
 #include "graph/io.h"
 #include "graph/partition.h"
 #include "graph/triangles.h"
+#include "net/executed.h"
+#include "net/runtime.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -64,6 +72,25 @@ tft::ProtocolKind parse_protocol(const std::string& name) {
   std::exit(2);
 }
 
+tft::net::NetConfig parse_net_config(const tft::Flags& flags) {
+  tft::net::NetConfig cfg;
+  const std::string name = flags.get_string("transport", "sim");
+  const auto kind = tft::net::parse_transport(name);
+  if (!kind) {
+    std::fprintf(stderr, "unknown transport '%s' (sim|inproc|socket)\n", name.c_str());
+    std::exit(2);
+  }
+  cfg.transport = *kind;
+  cfg.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  cfg.faults.drop = flags.get_double("fault-drop", 0.0);
+  cfg.faults.duplicate = flags.get_double("fault-dup", 0.0);
+  cfg.faults.bit_flip = flags.get_double("fault-flip", 0.0);
+  const auto delay_us = static_cast<std::uint32_t>(flags.get_int("fault-delay-us", 0));
+  cfg.faults.delay_us = delay_us;
+  cfg.faults.delay = delay_us > 0 ? flags.get_double("fault-delay", 0.5) : 0.0;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,9 +124,17 @@ int main(int argc, char** argv) {
   opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1)) * 7919;
   opts.known_average_degree = std::max(1.0, graph.average_degree());
 
-  const auto report = tft::test_triangle_freeness(players, opts);
-  std::printf("protocol=%s k=%zu dup=%.1f bits=%llu\n", tft::to_string(report.protocol), k, dup,
-              static_cast<unsigned long long>(report.bits));
+  const tft::net::NetConfig net_cfg = parse_net_config(flags);
+  const auto [report, executed] = tft::net::run_executed(
+      k, net_cfg, [&] { return tft::test_triangle_freeness(players, opts); });
+  std::printf("protocol=%s k=%zu dup=%.1f bits=%llu transport=%s\n",
+              tft::to_string(report.protocol), k, dup,
+              static_cast<unsigned long long>(report.bits),
+              tft::net::to_string(net_cfg.transport));
+  if (executed.executed) {
+    std::printf("wire: %s\n", executed.wire.summary().c_str());
+    std::printf("wire/transcript accounting: exact (verified)\n");
+  }
   if (report.triangle) {
     std::printf("verdict: NOT triangle-free, witness (%u,%u,%u) [verified: %s]\n",
                 report.triangle->a, report.triangle->b, report.triangle->c,

@@ -1,0 +1,15 @@
+#include "comm/channel.h"
+
+namespace tft {
+
+namespace {
+thread_local ChannelSink* t_sink = nullptr;
+}  // namespace
+
+ChannelSink* thread_channel_sink() noexcept { return t_sink; }
+
+ChannelSinkScope::ChannelSinkScope(ChannelSink* sink) noexcept : prev_(t_sink) { t_sink = sink; }
+
+ChannelSinkScope::~ChannelSinkScope() { t_sink = prev_; }
+
+}  // namespace tft

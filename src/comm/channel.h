@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "comm/transcript.h"
+#include "util/bits.h"
+
+/// \file channel.h
+/// The communication facade every protocol charges through.
+///
+/// A Channel is a two-pointer handle over the run's Transcript plus an
+/// optional ChannelSink. In the legacy *simulated* mode the sink is null and
+/// a Channel is exactly a Transcript: every charge_* call updates the same
+/// tallies and message events as before. In *executed* mode (src/net/) the
+/// driver thread installs a sink — the transport session — and every charge
+/// additionally ships a real serialized frame across a thread or socket
+/// boundary to the charged endpoint. Protocol bodies are written once
+/// against this facade and run unmodified in either mode; the executed
+/// runtime then cross-checks the bits that actually arrived on the wire
+/// against the transcript the protocol charged (net::verify_accounting).
+///
+/// Channels convert implicitly from Transcript&, so call sites holding a
+/// raw Transcript (tests, harnesses) keep working; the conversion picks up
+/// the calling thread's installed sink, if any.
+
+namespace tft {
+
+/// Observer of every charge routed through a Channel. Implemented by the
+/// executed-transport session (net::NetSession), which turns each charge
+/// into a frame on the wire.
+class ChannelSink {
+ public:
+  virtual ~ChannelSink() = default;
+  /// Called after the transcript charge, with identical arguments. May
+  /// throw (e.g. net::NetError on an unrecoverable link failure); the
+  /// charge has already been recorded by then, mirroring a sender whose
+  /// message died in flight after being paid for.
+  virtual void on_charge(std::size_t player, Direction dir, std::uint64_t bits,
+                         std::uint64_t phase) = 0;
+};
+
+/// The calling thread's installed sink (null in simulated mode).
+[[nodiscard]] ChannelSink* thread_channel_sink() noexcept;
+
+/// RAII installer: while alive, Channels constructed on this thread route
+/// their charges to `sink`. Nests (restores the previous sink on exit).
+class ChannelSinkScope {
+ public:
+  explicit ChannelSinkScope(ChannelSink* sink) noexcept;
+  ~ChannelSinkScope();
+  ChannelSinkScope(const ChannelSinkScope&) = delete;
+  ChannelSinkScope& operator=(const ChannelSinkScope&) = delete;
+
+ private:
+  ChannelSink* prev_;
+};
+
+/// Value-type facade: copy freely, pass by value. Mirrors the Transcript
+/// charging API bit-for-bit (same util/bits.h widths) and forwards the
+/// read-only accessors protocols consult mid-run.
+class Channel {
+ public:
+  /*implicit*/ Channel(Transcript& t) noexcept  // NOLINT(google-explicit-constructor)
+      : t_(&t), sink_(thread_channel_sink()) {}
+
+  /// Charge `bits` to one message between `player` and the coordinator,
+  /// and — in executed mode — ship a frame of exactly those bits.
+  void charge(std::size_t player, Direction dir, std::uint64_t bits, std::uint64_t phase = 0) {
+    t_->charge(player, dir, bits, phase);
+    if (sink_ != nullptr) sink_->on_charge(player, dir, bits, phase);
+  }
+
+  void charge_flag(std::size_t player, Direction dir, std::uint64_t phase = 0) {
+    charge(player, dir, 1, phase);
+  }
+  void charge_vertex(std::size_t player, Direction dir, std::uint64_t phase = 0) {
+    charge(player, dir, vertex_bits(t_->universe()), phase);
+  }
+  void charge_edges(std::size_t player, Direction dir, std::uint64_t m, std::uint64_t phase = 0) {
+    charge(player, dir, m * edge_bits(t_->universe()), phase);
+  }
+  void charge_count(std::size_t player, Direction dir, std::uint64_t value,
+                    std::uint64_t phase = 0) {
+    charge(player, dir, count_bits(value), phase);
+  }
+
+  /// A broadcast from the coordinator: k private-channel messages, one per
+  /// player in index order (the sweep shape the conformance referee checks).
+  void charge_broadcast(std::uint64_t bits_per_player, std::uint64_t phase = 0) {
+    for (std::size_t j = 0; j < t_->num_players(); ++j) {
+      charge(j, Direction::kCoordinatorToPlayer, bits_per_player, phase);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total_bits() const noexcept { return t_->total_bits(); }
+  [[nodiscard]] std::uint64_t phase_bits(std::uint64_t phase) const noexcept {
+    return t_->phase_bits(phase);
+  }
+  [[nodiscard]] std::uint64_t upstream_bits() const noexcept { return t_->upstream_bits(); }
+  [[nodiscard]] std::uint64_t downstream_bits() const noexcept { return t_->downstream_bits(); }
+  [[nodiscard]] std::size_t num_players() const noexcept { return t_->num_players(); }
+  [[nodiscard]] std::uint64_t universe() const noexcept { return t_->universe(); }
+
+  /// The underlying transcript (for harnesses and referees; protocol code
+  /// must charge through the Channel so the executed transport sees it).
+  [[nodiscard]] Transcript& transcript() const noexcept { return *t_; }
+
+ private:
+  Transcript* t_;
+  ChannelSink* sink_;
+};
+
+}  // namespace tft

@@ -1,6 +1,7 @@
 #include "comm/conformance.h"
 
 #include <atomic>
+#include <cassert>
 #include <sstream>
 
 namespace tft {
@@ -205,6 +206,7 @@ const char* to_string(ViolationKind k) noexcept {
     case ViolationKind::kBrokenBroadcast: return "broken-broadcast";
     case ViolationKind::kPrivateDownstream: return "private-downstream";
   }
+  assert(!"to_string(ViolationKind): value outside the enum");
   return "?";
 }
 

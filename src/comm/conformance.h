@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/channel.h"
 #include "comm/model.h"
 #include "comm/transcript.h"
 
@@ -136,15 +137,22 @@ void detail_capture_run(CommModel model, const Transcript& t);
 
 /// The conformance wrapper every full-protocol entry point routes through:
 /// builds the run's Transcript (event recording tied to the referee switch),
-/// executes `body(t)`, replays the transcript against `model`'s rules and
-/// throws ConformanceError on any violation. Returns body's result.
+/// executes `body(Channel)`, replays the transcript against `model`'s rules
+/// and throws ConformanceError on any violation. Returns body's result.
+///
+/// The body receives a Channel — the same charging API as the Transcript,
+/// but routed through the thread's installed ChannelSink, so the identical
+/// protocol code runs in legacy simulated mode (no sink: charges are pure
+/// bookkeeping) or executed mode (net::NetSession sink: every charge ships
+/// a real serialized frame, and the runtime cross-checks delivered wire
+/// bits against this transcript).
 template <typename Fn>
 auto run_checked(CommModel model, std::size_t num_players, std::uint64_t universe_n, Fn&& body) {
   Transcript t(num_players, universe_n);
   t.set_record_events(conformance_checking() || detail::capture_active());
-  static_assert(!std::is_void_v<std::invoke_result_t<Fn&, Transcript&>>,
+  static_assert(!std::is_void_v<std::invoke_result_t<Fn&, Channel>>,
                 "run_checked bodies return the protocol result");
-  auto result = body(t);
+  auto result = body(Channel(t));
   enforce_conformance(model, t);
   detail_capture_run(model, t);
   return result;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cassert>
+
 /// \file model.h
 /// Communication-model tags (Section 2 of the paper).
 
@@ -26,6 +28,9 @@ enum class Direction {
     case CommModel::kOneWay: return "one-way";
     case CommModel::kBlackboard: return "blackboard";
   }
+  // Out-of-range values can only come from casts; make them loud in debug
+  // builds instead of silently labelling transcripts "?".
+  assert(!"to_string(CommModel): value outside the enum");
   return "?";
 }
 

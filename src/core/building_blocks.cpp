@@ -13,7 +13,7 @@ constexpr auto kDown = Direction::kCoordinatorToPlayer;
 
 }  // namespace
 
-bool query_edge(std::span<const PlayerInput> players, Transcript& t, const Edge& e) {
+bool query_edge(std::span<const PlayerInput> players, Channel t, const Edge& e) {
   bool present = false;
   for (const auto& p : players) {
     t.charge_flag(p.player_id, kUp, phase::kEdgeQuery);
@@ -24,7 +24,7 @@ bool query_edge(std::span<const PlayerInput> players, Transcript& t, const Edge&
   return present;
 }
 
-std::optional<Vertex> sample_uniform_btilde(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Vertex> sample_uniform_btilde(std::span<const PlayerInput> players, Channel t,
                                             const SharedRandomness& sr, SharedTag tag,
                                             std::uint32_t bucket) {
   std::optional<Vertex> best;
@@ -45,7 +45,7 @@ std::optional<Vertex> sample_uniform_btilde(std::span<const PlayerInput> players
   return best;
 }
 
-std::optional<Vertex> sample_uniform_where(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Vertex> sample_uniform_where(std::span<const PlayerInput> players, Channel t,
                                            const SharedRandomness& sr, SharedTag tag,
                                            bool (*accept)(const PlayerInput&, Vertex)) {
   std::optional<Vertex> best;
@@ -64,7 +64,7 @@ std::optional<Vertex> sample_uniform_where(std::span<const PlayerInput> players,
   return best;
 }
 
-std::optional<Edge> random_incident_edge(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Edge> random_incident_edge(std::span<const PlayerInput> players, Channel t,
                                          const SharedRandomness& sr, SharedTag tag, Vertex v) {
   // Shared permutation over the n-1 potential endpoints; each player reports
   // its first incident edge under it. The permutation makes the choice
@@ -87,7 +87,7 @@ std::optional<Edge> random_incident_edge(std::span<const PlayerInput> players, T
   return Edge(v, *best);
 }
 
-std::optional<Edge> random_edge(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Edge> random_edge(std::span<const PlayerInput> players, Channel t,
                                 const SharedRandomness& sr, SharedTag tag) {
   std::optional<Edge> best;
   const auto edge_priority = [&](const Edge& e) { return sr.value(tag, e.key()); };
@@ -107,7 +107,7 @@ std::optional<Edge> random_edge(std::span<const PlayerInput> players, Transcript
   return best;
 }
 
-std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Transcript& t,
+std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Channel t,
                                 const SharedRandomness& sr, SharedTag tag, Vertex start,
                                 std::uint32_t steps) {
   std::vector<Vertex> path{start};
@@ -123,7 +123,7 @@ std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Transcript
   return path;
 }
 
-std::vector<Edge> collect_induced_subgraph(std::span<const PlayerInput> players, Transcript& t,
+std::vector<Edge> collect_induced_subgraph(std::span<const PlayerInput> players, Channel t,
                                            std::span<const Vertex> sorted_s,
                                            std::size_t cap_per_player) {
   std::vector<Edge> collected;
@@ -146,7 +146,7 @@ std::vector<Edge> collect_induced_subgraph(std::span<const PlayerInput> players,
   return collected;
 }
 
-std::vector<Vertex> collect_sampled_neighbors(std::span<const PlayerInput> players, Transcript& t,
+std::vector<Vertex> collect_sampled_neighbors(std::span<const PlayerInput> players, Channel t,
                                               const SharedRandomness& sr, SharedTag tag, Vertex v,
                                               double p, std::size_t cap) {
   std::vector<Vertex> collected;
@@ -172,7 +172,7 @@ namespace {
 
 /// Collect the union of all players' neighbor lists of v, charging each
 /// player its posting cost.
-std::vector<Vertex> post_neighbors(std::span<const PlayerInput> players, Transcript& t,
+std::vector<Vertex> post_neighbors(std::span<const PlayerInput> players, Channel t,
                                    Vertex v) {
   std::vector<Vertex> all;
   for (const auto& p : players) {
@@ -188,7 +188,7 @@ std::vector<Vertex> post_neighbors(std::span<const PlayerInput> players, Transcr
 
 }  // namespace
 
-BfsResult distributed_bfs(std::span<const PlayerInput> players, Transcript& t, Vertex source,
+BfsResult distributed_bfs(std::span<const PlayerInput> players, Channel t, Vertex source,
                           std::size_t max_visits) {
   const Vertex n = players.front().n();
   BfsResult r;
@@ -214,7 +214,7 @@ BfsResult distributed_bfs(std::span<const PlayerInput> players, Transcript& t, V
 }
 
 std::optional<std::vector<Vertex>> distributed_odd_cycle(std::span<const PlayerInput> players,
-                                                         Transcript& t, Vertex source) {
+                                                         Channel t, Vertex source) {
   const Vertex n = players.front().n();
   std::vector<std::uint32_t> depth(n, UINT32_MAX);
   std::vector<Vertex> parent(n, source);
@@ -252,7 +252,7 @@ std::optional<std::vector<Vertex>> distributed_odd_cycle(std::span<const PlayerI
   return std::nullopt;
 }
 
-std::optional<Triangle> close_vee_round(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Triangle> close_vee_round(std::span<const PlayerInput> players, Channel t,
                                         Vertex source, std::span<const Vertex> candidates) {
   // Coordinator posts the candidate set to every player.
   for (const auto& p : players) {

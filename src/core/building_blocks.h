@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "comm/shared_randomness.h"
-#include "comm/transcript.h"
+#include "comm/channel.h"
 #include "graph/partition.h"
 
 /// \file building_blocks.h
@@ -37,14 +37,14 @@ inline constexpr std::uint64_t kBfs = 10;
 
 /// Dense-model primitive: does edge e exist in the union graph?
 /// Cost: k bits up + k bits down (answer broadcast). O(k).
-[[nodiscard]] bool query_edge(std::span<const PlayerInput> players, Transcript& t, const Edge& e);
+[[nodiscard]] bool query_edge(std::span<const PlayerInput> players, Channel t, const Edge& e);
 
 /// Algorithm 1 (SampleUniformFromB~_i): sample a uniformly random vertex of
 /// bucket-candidate set B~_i = union_j B~_i^j using a shared random
 /// permutation. Returns nullopt if the candidate set is empty.
 /// Cost: k * (1 + log n) bits up.
 [[nodiscard]] std::optional<Vertex> sample_uniform_btilde(std::span<const PlayerInput> players,
-                                                          Transcript& t,
+                                                          Channel t,
                                                           const SharedRandomness& sr,
                                                           SharedTag tag, std::uint32_t bucket);
 
@@ -52,7 +52,7 @@ inline constexpr std::uint64_t kBfs = 10;
 /// where acceptance is any player-local predicate evaluated on the local
 /// degree. Used by tests and by sample_uniform_btilde.
 [[nodiscard]] std::optional<Vertex> sample_uniform_where(
-    std::span<const PlayerInput> players, Transcript& t, const SharedRandomness& sr,
+    std::span<const PlayerInput> players, Channel t, const SharedRandomness& sr,
     SharedTag tag, bool (*accept)(const PlayerInput&, Vertex));
 
 /// Sparse-model primitive: uniformly random edge incident to v, unbiased by
@@ -60,18 +60,18 @@ inline constexpr std::uint64_t kBfs = 10;
 /// The chosen edge is broadcast back to all players.
 /// Cost: k * (1 + log n) up + k * log n down.
 [[nodiscard]] std::optional<Edge> random_incident_edge(std::span<const PlayerInput> players,
-                                                       Transcript& t, const SharedRandomness& sr,
+                                                       Channel t, const SharedRandomness& sr,
                                                        SharedTag tag, Vertex v);
 
 /// Uniformly random edge of the union graph (shared permutation over all
 /// potential edges), broadcast to all players. Cost: k*(1+2log n) up +
 /// k*2log n down.
-[[nodiscard]] std::optional<Edge> random_edge(std::span<const PlayerInput> players, Transcript& t,
+[[nodiscard]] std::optional<Edge> random_edge(std::span<const PlayerInput> players, Channel t,
                                               const SharedRandomness& sr, SharedTag tag);
 
 /// Random walk of `steps` steps from `start` via random_incident_edge.
 /// Returns the visited vertices (including start; stops early at a dead end).
-[[nodiscard]] std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Transcript& t,
+[[nodiscard]] std::vector<Vertex> random_walk(std::span<const PlayerInput> players, Channel t,
                                               const SharedRandomness& sr, SharedTag tag,
                                               Vertex start, std::uint32_t steps);
 
@@ -79,7 +79,7 @@ inline constexpr std::uint64_t kBfs = 10;
 /// the coordinator. Each player may send at most `cap_per_player` edges
 /// (0 = unlimited). Cost: sum over players of (#sent * 2 log n) + k counts.
 [[nodiscard]] std::vector<Edge> collect_induced_subgraph(std::span<const PlayerInput> players,
-                                                         Transcript& t,
+                                                         Channel t,
                                                          std::span<const Vertex> sorted_s,
                                                          std::size_t cap_per_player);
 
@@ -87,7 +87,7 @@ inline constexpr std::uint64_t kBfs = 10;
 /// (SampleEdges step 2, Algorithm 4). S is given implicitly as the shared
 /// Bernoulli(p) sample under `tag`; each player sends at most `cap` edges.
 [[nodiscard]] std::vector<Vertex> collect_sampled_neighbors(std::span<const PlayerInput> players,
-                                                            Transcript& t,
+                                                            Channel t,
                                                             const SharedRandomness& sr,
                                                             SharedTag tag, Vertex v, double p,
                                                             std::size_t cap);
@@ -103,7 +103,7 @@ struct BfsResult {
   std::vector<Vertex> parent;           ///< parent[source] == source
 };
 
-[[nodiscard]] BfsResult distributed_bfs(std::span<const PlayerInput> players, Transcript& t,
+[[nodiscard]] BfsResult distributed_bfs(std::span<const PlayerInput> players, Channel t,
                                         Vertex source, std::size_t max_visits = 0);
 
 /// Odd-cycle detection via BFS 2-coloring (the classic sparse-model
@@ -111,14 +111,14 @@ struct BfsResult {
 /// vertex sequence of an odd cycle in source's component, or nullopt if the
 /// component is bipartite.
 [[nodiscard]] std::optional<std::vector<Vertex>> distributed_odd_cycle(
-    std::span<const PlayerInput> players, Transcript& t, Vertex source);
+    std::span<const PlayerInput> players, Channel t, Vertex source);
 
 /// Broadcast a vee candidate set A (neighbors of source v) to all players
 /// and ask each to close a triangle from its own input. Returns the closing
 /// triangle if any player finds one. Cost: k * |A| * log n down + k bits up
 /// (+ 2 log n for the reported closing edge).
 [[nodiscard]] std::optional<Triangle> close_vee_round(std::span<const PlayerInput> players,
-                                                      Transcript& t, Vertex source,
+                                                      Channel t, Vertex source,
                                                       std::span<const Vertex> candidates);
 
 }  // namespace tft

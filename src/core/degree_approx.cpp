@@ -35,7 +35,7 @@ std::uint32_t experiments_per_guess(const DegreeApproxOptions& opts, std::uint32
 /// `LocalHit(j, tag, q)` : true iff any of player j's items is selected by
 ///                    the shared Bernoulli(q) sample named by `tag`.
 template <typename LocalCount, typename LocalHit>
-DegreeApproxResult two_phase_estimate(std::span<const PlayerInput> players, Transcript& t,
+DegreeApproxResult two_phase_estimate(std::span<const PlayerInput> players, Channel t,
                                       SharedTag tag, const DegreeApproxOptions& opts,
                                       LocalCount&& local_count, LocalHit&& local_hit) {
   DegreeApproxResult result;
@@ -99,7 +99,7 @@ DegreeApproxResult two_phase_estimate(std::span<const PlayerInput> players, Tran
 
 }  // namespace
 
-DegreeApproxResult approx_degree(std::span<const PlayerInput> players, Transcript& t,
+DegreeApproxResult approx_degree(std::span<const PlayerInput> players, Channel t,
                                  const SharedRandomness& sr, SharedTag tag, Vertex v,
                                  const DegreeApproxOptions& opts) {
   if (opts.no_duplication) return approx_degree_no_duplication(players, t, v, opts.alpha);
@@ -115,7 +115,7 @@ DegreeApproxResult approx_degree(std::span<const PlayerInput> players, Transcrip
 }
 
 DegreeApproxResult approx_degree_no_duplication(std::span<const PlayerInput> players,
-                                                Transcript& t, Vertex v, double alpha) {
+                                                Channel t, Vertex v, double alpha) {
   // Lemma 3.2: ship the top bits of each local count; truncation
   // under-counts each player by a factor < alpha when keeping
   // ceil(log2(1/(alpha-1))) + 1 bits below the MSB.
@@ -146,7 +146,7 @@ DegreeApproxResult approx_degree_no_duplication(std::span<const PlayerInput> pla
   return result;
 }
 
-DegreeApproxResult approx_distinct_edges(std::span<const PlayerInput> players, Transcript& t,
+DegreeApproxResult approx_distinct_edges(std::span<const PlayerInput> players, Channel t,
                                          const SharedRandomness& sr, SharedTag tag,
                                          const DegreeApproxOptions& opts) {
   return two_phase_estimate(

@@ -4,7 +4,7 @@
 #include <span>
 
 #include "comm/shared_randomness.h"
-#include "comm/transcript.h"
+#include "comm/channel.h"
 #include "graph/partition.h"
 
 /// \file degree_approx.h
@@ -46,7 +46,7 @@ struct DegreeApproxResult {
 
 /// Approximate deg(v) of the union graph. See file comment for guarantees.
 [[nodiscard]] DegreeApproxResult approx_degree(std::span<const PlayerInput> players,
-                                               Transcript& t, const SharedRandomness& sr,
+                                               Channel t, const SharedRandomness& sr,
                                                SharedTag tag, Vertex v,
                                                const DegreeApproxOptions& opts = {});
 
@@ -54,14 +54,14 @@ struct DegreeApproxResult {
 /// to its top bits; the sum under-estimates by < alpha. Cost
 /// O(k log log d). Returns an estimate with d/alpha <= d_hat <= d.
 [[nodiscard]] DegreeApproxResult approx_degree_no_duplication(
-    std::span<const PlayerInput> players, Transcript& t, Vertex v, double alpha = 1.25);
+    std::span<const PlayerInput> players, Channel t, Vertex v, double alpha = 1.25);
 
 /// Distinct-elements generalization (closing remark of Section 3.1):
 /// approximates |E| = # distinct edges across all inputs, using the same
 /// two-phase scheme over the edge universe. Same guarantee shape:
 /// |E| <= m_hat <= alpha |E| w.h.p.
 [[nodiscard]] DegreeApproxResult approx_distinct_edges(std::span<const PlayerInput> players,
-                                                       Transcript& t, const SharedRandomness& sr,
+                                                       Channel t, const SharedRandomness& sr,
                                                        SharedTag tag,
                                                        const DegreeApproxOptions& opts = {});
 

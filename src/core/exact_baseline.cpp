@@ -14,7 +14,7 @@ ExactResult exact_find_triangle(std::span<const PlayerInput> players) {
   // Structurally a simultaneous protocol: each player ships its whole input
   // in one message, nothing flows back.
   return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
-                     [&](Transcript& t) {
+                     [&](Channel t) {
                        ExactResult r;
                        std::vector<Edge> all;
                        for (const auto& p : players) {

@@ -34,7 +34,7 @@ OneWayResult oneway_vee_find_edge(std::span<const PlayerInput> players,
   const auto& charlie = players[2];
   const std::uint64_t n = alice.n();
 
-  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Channel t) {
     const SharedRandomness sr(opts.seed);
     OneWayResult result;
     const std::uint32_t hubs = std::max<std::uint32_t>(1, opts.hubs);

@@ -28,7 +28,7 @@ std::optional<Triangle> referee_find_triangle(Vertex n, std::span<const SimMessa
 }
 
 SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages) {
-  return run_checked(CommModel::kSimultaneous, messages.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kSimultaneous, messages.size(), n, [&](Channel t) {
     SimResult r;
     r.per_player_bits.resize(messages.size(), 0);
     std::size_t total_edges = 0;

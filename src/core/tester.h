@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -41,6 +42,7 @@ enum class ProtocolKind {
     case ProtocolKind::kSimOblivious: return "sim-oblivious";
     case ProtocolKind::kExact: return "exact";
   }
+  assert(!"to_string(ProtocolKind): value outside the enum");
   return "?";
 }
 

@@ -57,7 +57,7 @@ class BucketIndex {
 /// replacement", which only improves the hitting probabilities the protocol
 /// relies on (Lemma 3.14).
 std::vector<Vertex> topq_btilde(std::span<const PlayerInput> players, const BucketIndex& index,
-                                Transcript& t, const SharedRandomness& sr, SharedTag tag,
+                                Channel t, const SharedRandomness& sr, SharedTag tag,
                                 std::uint32_t bucket, std::size_t q) {
   std::vector<Vertex> merged;
   for (const auto& p : players) {
@@ -89,7 +89,7 @@ struct Candidate {
 /// (SampleEdges, Algorithm 4). In the coordinator model every player ships
 /// its own copy; on a blackboard players post in turn and never repeat an
 /// already-posted endpoint (Theorem 3.23).
-std::vector<Vertex> sample_neighbors(std::span<const PlayerInput> players, Transcript& t,
+std::vector<Vertex> sample_neighbors(std::span<const PlayerInput> players, Channel t,
                                      const SharedRandomness& sr, SharedTag tag, Vertex v,
                                      double p, std::size_t cap, bool blackboard) {
   if (!blackboard) return collect_sampled_neighbors(players, t, sr, tag, v, p, cap);
@@ -112,7 +112,7 @@ std::vector<Vertex> sample_neighbors(std::span<const PlayerInput> players, Trans
 
 /// Blackboard-aware vee-closing round: on a blackboard the candidate list is
 /// posted once instead of once per player.
-std::optional<Triangle> close_vee(std::span<const PlayerInput> players, Transcript& t,
+std::optional<Triangle> close_vee(std::span<const PlayerInput> players, Channel t,
                                   Vertex source, std::span<const Vertex> candidates,
                                   bool blackboard) {
   if (!blackboard) return close_vee_round(players, t, source, candidates);
@@ -193,7 +193,7 @@ namespace {
 
 UnrestrictedResult find_triangle_unrestricted_impl(std::span<const PlayerInput> players,
                                                    const UnrestrictedOptions& opts,
-                                                   Transcript& t) {
+                                                   Channel t) {
   const std::uint64_t n = players.front().n();
   const std::uint64_t k = players.size();
   const ProtocolConstants& C = opts.consts;
@@ -310,7 +310,7 @@ UnrestrictedResult find_triangle_unrestricted(std::span<const PlayerInput> playe
                                               const UnrestrictedOptions& opts) {
   if (players.empty()) throw std::invalid_argument("find_triangle_unrestricted: no players");
   const CommModel model = opts.blackboard ? CommModel::kBlackboard : CommModel::kCoordinator;
-  return run_checked(model, players.size(), players.front().n(), [&](Transcript& t) {
+  return run_checked(model, players.size(), players.front().n(), [&](Channel t) {
     return find_triangle_unrestricted_impl(players, opts, t);
   });
 }

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.h
+/// Typed failures of the executed transport (src/net/).
+///
+/// Transport failures are *expected* under fault injection, so they carry a
+/// machine-checkable kind; accounting failures are *never* expected — they
+/// mean the bits that actually crossed the wire disagree with the
+/// Transcript the protocol charged, i.e. the paper's bit accounting was
+/// violated — so they derive from std::logic_error and are not retried.
+
+namespace tft::net {
+
+enum class NetErrorKind {
+  kTimeout,  ///< retries exhausted without an acknowledgement
+  kClosed,   ///< the peer closed the link mid-operation
+  kCorrupt,  ///< a frame failed structural validation beyond recovery
+  kSetup,    ///< the transport could not be brought up (e.g. no loopback)
+  kProtocol, ///< the peer violated the link protocol (e.g. future sequence)
+};
+
+[[nodiscard]] constexpr const char* to_string(NetErrorKind k) noexcept {
+  switch (k) {
+    case NetErrorKind::kTimeout: return "timeout";
+    case NetErrorKind::kClosed: return "closed";
+    case NetErrorKind::kCorrupt: return "corrupt";
+    case NetErrorKind::kSetup: return "setup";
+    case NetErrorKind::kProtocol: return "protocol";
+  }
+  return "?";
+}
+
+/// Recoverable-in-principle transport failure (the channel layer already
+/// retried; catching code may rerun the protocol or surface the verdict
+/// "transport failed" — never a wrong protocol answer).
+class NetError : public std::runtime_error {
+ public:
+  NetError(NetErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + what), kind_(kind) {}
+
+  [[nodiscard]] NetErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  NetErrorKind kind_;
+};
+
+/// Hard error: delivered-on-the-wire bit totals do not equal the charged
+/// Transcript totals. This is the executable form of the paper's cost
+/// accounting; a mismatch is a bug, not a network condition.
+class AccountingError : public std::logic_error {
+ public:
+  explicit AccountingError(const std::string& what)
+      : std::logic_error("wire/transcript accounting mismatch: " + what) {}
+};
+
+}  // namespace tft::net

@@ -1,0 +1,165 @@
+#include "net/executed.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/error.h"
+#include "util/bits.h"
+
+namespace tft::net {
+
+namespace {
+
+/// One coordinator->player forwarding lane. The mutex serializes forwards:
+/// the coordinator's per-player servicer actors run concurrently and two of
+/// them may relay to the same recipient at once.
+struct DownLane {
+  DownLane(Transport& transport, std::uint32_t link_id, std::uint32_t coord, std::uint32_t player,
+           const NetConfig& cfg)
+      : link(transport.make_link()),
+        sender(link, link_id, cfg.retry, cfg.faults),
+        servicer(link, coord, player) {}
+
+  Link link;
+  ReliableSender sender;
+  LinkServicer servicer;
+  std::mutex mu;
+  std::thread thread;
+};
+
+struct UpLane {
+  UpLane(Transport& transport, std::uint32_t link_id, std::uint32_t player, std::uint32_t coord,
+         const NetConfig& cfg, std::function<void(const Frame&)> deliver)
+      : link(transport.make_link()),
+        sender(link, link_id, cfg.retry, cfg.faults),
+        servicer(link, player, coord, std::move(deliver)) {}
+
+  Link link;
+  ReliableSender sender;
+  LinkServicer servicer;
+  std::thread thread;
+};
+
+}  // namespace
+
+RelayReport relay_messages(std::size_t k, std::uint64_t universe_n,
+                           std::span<const MpMessage> messages, const NetConfig& cfg) {
+  if (cfg.transport == TransportKind::kSim) {
+    throw NetError(NetErrorKind::kSetup, "relay_messages needs an executed transport");
+  }
+  if (k < 2) {
+    throw NetError(NetErrorKind::kSetup, "message passing needs at least two players");
+  }
+  const std::uint32_t coord = static_cast<std::uint32_t>(k);
+  const std::uint64_t header_bits = vertex_bits(static_cast<std::uint64_t>(k));
+  auto transport = make_transport(cfg);
+
+  std::vector<std::unique_ptr<DownLane>> downs;
+  downs.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    downs.push_back(std::make_unique<DownLane>(*transport, coord + 1 + static_cast<std::uint32_t>(j),
+                                               coord, static_cast<std::uint32_t>(j), cfg));
+  }
+
+  // The coordinator actor: each upstream servicer decodes the recipient id
+  // out of the relay frame and forwards the payload downstream — a real
+  // execution of the Section 2 simulation.
+  const auto forward = [&](const Frame& fr) {
+    const std::size_t to = decode_relay_recipient(fr, k);
+    DownLane& lane = *downs[to];
+    const std::lock_guard lock(lane.mu);
+    Frame fwd;
+    fwd.header.type = FrameType::kData;
+    fwd.header.src = coord;
+    fwd.header.dst = static_cast<std::uint32_t>(to);
+    fwd.header.seq = lane.sender.next_seq();
+    fwd.header.payload_bits = fr.header.payload_bits - header_bits;
+    fwd.payload = make_filler_payload(fwd.header);
+    lane.sender.send(std::move(fwd));
+  };
+
+  std::vector<std::unique_ptr<UpLane>> ups;
+  ups.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    ups.push_back(std::make_unique<UpLane>(*transport, static_cast<std::uint32_t>(j),
+                                           static_cast<std::uint32_t>(j), coord, cfg, forward));
+  }
+
+  for (auto& d : downs) d->thread = std::thread([&lane = *d] { lane.servicer.run(); });
+  for (auto& u : ups) u->thread = std::thread([&lane = *u] { lane.servicer.run(); });
+
+  const auto shutdown = [&]() noexcept {
+    for (auto& u : ups) u->link.close();
+    for (auto& u : ups) {
+      if (u->thread.joinable()) u->thread.join();
+    }
+    // Up servicers (and their forwarding hooks) are quiescent now; the down
+    // lanes can drain and close.
+    for (auto& d : downs) d->link.close();
+    for (auto& d : downs) {
+      if (d->thread.joinable()) d->thread.join();
+    }
+  };
+
+  MessagePassingSimulator sim(k, universe_n);
+  try {
+    for (const MpMessage& msg : messages) {
+      sim.deliver(msg);  // validates indices; throws on self/out-of-range
+      UpLane& lane = *ups[msg.from];
+      lane.sender.send(make_relay_frame(static_cast<std::uint32_t>(msg.from),
+                                        lane.sender.next_seq(), k, msg.to, msg.bits));
+    }
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+  shutdown();
+
+  RelayReport report;
+  report.mp_bits = sim.mp_bits();
+  report.simulated_bits = sim.coordinator_bits();
+
+  WireStats& w = report.wire;
+  w.up_bits.resize(k);
+  w.down_bits.resize(k);
+  w.up_msgs.resize(k);
+  w.down_msgs.resize(k);
+  std::optional<std::string> failure;
+  const auto fold = [&](const ReceiverStats& r, const SenderStats& s, std::uint64_t& bits_slot,
+                        std::uint64_t& msgs_slot) {
+    bits_slot += r.payload_bits;
+    msgs_slot += r.frames;
+    if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
+    for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
+    w.wire_bytes += s.wire_bytes;
+    w.retransmissions += s.retransmissions;
+    w.duplicates += r.duplicates + s.duplicates_sent;
+    w.corrupt_frames += r.corrupt;
+    w.acks += s.acks_received;
+  };
+  for (std::size_t j = 0; j < k; ++j) {
+    fold(ups[j]->servicer.stats(), ups[j]->sender.stats(), w.up_bits[j], w.up_msgs[j]);
+    fold(downs[j]->servicer.stats(), downs[j]->sender.stats(), w.down_bits[j], w.down_msgs[j]);
+    if (!failure && ups[j]->servicer.error()) failure = ups[j]->servicer.error();
+    if (!failure && downs[j]->servicer.error()) failure = downs[j]->servicer.error();
+  }
+  if (failure) {
+    throw NetError(NetErrorKind::kProtocol, "relay servicer failed: " + *failure);
+  }
+
+  report.measured_bits = w.payload_bits();
+  report.measured_overhead =
+      report.mp_bits > 0
+          ? static_cast<double>(report.measured_bits) / static_cast<double>(report.mp_bits)
+          : 0.0;
+  std::uint64_t min_payload = UINT64_MAX;
+  for (const MpMessage& msg : messages) min_payload = std::min(min_payload, msg.bits);
+  report.bound = messages.empty()
+                     ? 0.0
+                     : MessagePassingSimulator::overhead_bound(min_payload, k);
+  return report;
+}
+
+}  // namespace tft::net

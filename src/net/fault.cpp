@@ -1,0 +1,28 @@
+#include "net/fault.h"
+
+#include "util/rng.h"
+
+namespace tft::net {
+
+namespace {
+
+/// Uniform [0,1) from one hash draw (same construction as Rng::uniform).
+double unit(std::uint64_t h) noexcept { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+FaultDecision FaultInjector::decide(std::uint32_t seq, std::uint32_t attempt) const noexcept {
+  FaultDecision d;
+  if (!plan_.any()) return d;
+  const std::uint64_t key =
+      mix_hash(plan_.seed, (std::uint64_t{link_id_} << 32) | seq, attempt);
+  // Independent sub-draws per fault class, each its own hash domain.
+  d.drop = unit(mix_hash(key, 1)) < plan_.drop;
+  d.duplicate = unit(mix_hash(key, 2)) < plan_.duplicate;
+  d.bit_flip = unit(mix_hash(key, 3)) < plan_.bit_flip;
+  d.delay = unit(mix_hash(key, 4)) < plan_.delay;
+  d.flip_bit = mix_hash(key, 5);
+  return d;
+}
+
+}  // namespace tft::net

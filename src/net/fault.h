@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file fault.h
+/// Deterministic seeded fault injection at the channel layer.
+///
+/// Every decision is a pure function of (plan.seed, link_id, seq, attempt):
+/// the same plan corrupts the same attempts of the same frames no matter
+/// how threads are scheduled or which transport carries the bytes. That is
+/// the determinism contract the fault tests assert — delivered bit totals
+/// and protocol verdicts are reproducible under a fixed seed at any thread
+/// count (retransmission *counts* may additionally grow under scheduler
+/// pressure; delivered frames never change, because the receiver
+/// deduplicates by sequence number).
+
+namespace tft::net {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop = 0.0;       ///< P[attempt never reaches the wire]
+  double duplicate = 0.0;  ///< P[attempt is written twice back-to-back]
+  double bit_flip = 0.0;   ///< P[one body bit is flipped in flight]
+  double delay = 0.0;      ///< P[attempt is delayed by delay_us]
+  std::uint32_t delay_us = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || bit_flip > 0.0 || delay > 0.0;
+  }
+};
+
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool bit_flip = false;
+  bool delay = false;
+  /// Which body bit to flip (mod the frame's body size; the length prefix
+  /// is never touched so the stream stays parseable).
+  std::uint64_t flip_bit = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint32_t link_id) noexcept
+      : plan_(plan), link_id_(link_id) {}
+
+  /// The (pure, deterministic) fate of one send attempt.
+  [[nodiscard]] FaultDecision decide(std::uint32_t seq, std::uint32_t attempt) const noexcept;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint32_t link_id_;
+};
+
+}  // namespace tft::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file frame.h
+/// The wire format of the executed transport: length-prefixed frames whose
+/// headers are `comm/wire.h` bit streams (MSB-first, gamma-coded fields)
+/// and whose payloads carry exactly the charged number of bits.
+///
+///   wire frame := [u32 LE body_len] [body] [u32 LE crc32(body)]
+///   body       := header bits (BitWriter), padded to a byte boundary,
+///                 then ceil(payload_bits / 8) payload bytes
+///   header     := magic(16) type(2) src(γ) dst(γ) seq(γ) phase(γ)
+///                 payload_bits(γ)
+///
+/// `payload_bits` — not the padded byte count — is what the runtime tallies
+/// against the Transcript, so the executed cost equals the charged cost
+/// bit for bit. The CRC covers the whole body; receivers discard frames
+/// that fail it (the ARQ layer retransmits). The length prefix is the
+/// resynchronization anchor: the fault injector never corrupts it, so a
+/// flipped body never desynchronizes the byte stream.
+
+namespace tft::net {
+
+enum class FrameType : std::uint8_t {
+  kData = 0,   ///< one charged protocol message (payload = deterministic filler)
+  kRelay = 1,  ///< message-passing payload: recipient id + payload filler
+  kAck = 2,    ///< acknowledgement of `seq`; never carries payload
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kData;
+  std::uint32_t src = 0;  ///< sending endpoint (player id, or k for the coordinator)
+  std::uint32_t dst = 0;  ///< receiving endpoint
+  std::uint32_t seq = 0;  ///< per-link sequence number (stop-and-wait ARQ)
+  std::uint64_t phase = 0;
+  std::uint64_t payload_bits = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;  ///< ceil(payload_bits/8) bytes, pad bits zero
+};
+
+/// Upper bound on a frame's payload (8 MiB of bits) and on the whole body;
+/// anything larger in a length prefix or header is treated as corrupt.
+inline constexpr std::uint64_t kMaxPayloadBits = std::uint64_t{1} << 26;
+inline constexpr std::size_t kMaxBodyBytes = (kMaxPayloadBits / 8) + 64;
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320), seedable for incremental use.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t crc = 0) noexcept;
+
+/// Serialize to the on-the-wire byte string (prefix + body + CRC).
+[[nodiscard]] std::vector<std::uint8_t> serialize_frame(const Frame& f);
+
+/// Bytes `serialize_frame` produces for this frame (without materializing).
+[[nodiscard]] std::size_t frame_wire_bytes(const Frame& f);
+
+/// Deterministic payload for a charge-driven data frame: a splitmix64
+/// stream keyed by (src, dst, seq, payload_bits), truncated to payload_bits
+/// with zero pad bits. Receivers regenerate and compare — corruption that
+/// slipped past the CRC (or a codec bug) is caught here.
+[[nodiscard]] std::vector<std::uint8_t> make_filler_payload(const FrameHeader& h);
+[[nodiscard]] bool verify_filler_payload(const Frame& f);
+
+/// Build / decode a message-passing relay frame: the payload is the
+/// recipient id in exactly vertex_bits(k) fixed-width bits — the header
+/// the Section 2 simulation charges — followed by `message_bits` of filler.
+/// `payload_bits` is therefore message_bits + vertex_bits(k).
+[[nodiscard]] Frame make_relay_frame(std::uint32_t src, std::uint32_t seq, std::size_t k,
+                                     std::size_t recipient, std::uint64_t message_bits);
+[[nodiscard]] std::size_t decode_relay_recipient(const Frame& f, std::size_t k);
+
+/// Incremental parser over an arbitrary chunking of the byte stream.
+/// CRC-invalid or structurally invalid bodies are skipped (counted in
+/// `corrupt_frames`) using the length prefix to resynchronize.
+class FrameParser {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+  /// Extract the next complete valid frame; false when none is buffered.
+  [[nodiscard]] bool next(Frame& out);
+  [[nodiscard]] std::uint64_t corrupt_frames() const noexcept { return corrupt_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::uint64_t corrupt_ = 0;
+};
+
+}  // namespace tft::net

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+/// \file reliable.h
+/// Stop-and-wait ARQ over one directed Link, with deterministic fault
+/// injection on the sending side.
+///
+/// `ReliableSender::send` blocks until the frame is acknowledged, retrying
+/// with bounded exponential backoff; retries exhausted is a typed
+/// NetError(kTimeout) — the channel layer never hangs and never lies.
+/// `LinkServicer::run` is the receiving actor: it reassembles frames from
+/// arbitrary byte chunks, discards CRC failures (the sender retransmits),
+/// deduplicates by sequence number (re-acknowledging, so a lost ack cannot
+/// wedge the sender), verifies the deterministic payload, acknowledges, and
+/// tallies exactly the *charged* payload bits of each frame accepted —
+/// the numbers net::verify_accounting later holds against the Transcript.
+
+namespace tft::net {
+
+struct RetryPolicy {
+  std::chrono::microseconds base_timeout{50'000};
+  double backoff = 2.0;
+  std::uint32_t max_retries = 8;  ///< total attempts = max_retries + 1
+  std::chrono::microseconds max_timeout{1'000'000};
+
+  [[nodiscard]] std::chrono::microseconds timeout_for(std::uint32_t attempt) const noexcept;
+};
+
+struct SenderStats {
+  std::uint64_t frames_sent = 0;       ///< distinct frames acknowledged
+  std::uint64_t wire_bytes = 0;        ///< bytes written incl. retransmits/dups
+  std::uint64_t retransmissions = 0;   ///< extra attempts beyond the first
+  std::uint64_t duplicates_sent = 0;   ///< injected duplicate writes
+  std::uint64_t acks_received = 0;
+};
+
+struct ReceiverStats {
+  std::uint64_t frames = 0;        ///< unique data/relay frames accepted
+  std::uint64_t payload_bits = 0;  ///< sum of accepted frames' charged bits
+  std::uint64_t duplicates = 0;    ///< retransmits discarded by seq dedup
+  std::uint64_t corrupt = 0;       ///< CRC/codec/filler failures discarded
+  std::uint64_t bytes_read = 0;
+  std::vector<std::uint64_t> phase_bits;  ///< per-phase accepted bits
+};
+
+/// Sending half. Not thread-safe; one sender per link, one thread at a time
+/// (the relay driver serializes access externally).
+class ReliableSender {
+ public:
+  ReliableSender(Link& link, std::uint32_t link_id, const RetryPolicy& policy,
+                 const FaultPlan& faults) noexcept
+      : link_(link), injector_(faults, link_id), policy_(policy) {}
+
+  /// Assigns the next sequence number, transmits, and blocks for the ack.
+  /// Throws NetError(kTimeout) after max_retries, NetError(kClosed) if the
+  /// link dies.
+  void send(Frame f);
+
+  [[nodiscard]] std::uint32_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] const SenderStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultInjector& injector() const noexcept { return injector_; }
+
+ private:
+  [[nodiscard]] bool await_ack(std::uint32_t seq, Clock::time_point deadline);
+
+  Link& link_;
+  FaultInjector injector_;
+  RetryPolicy policy_;
+  std::uint32_t next_seq_ = 0;
+  SenderStats stats_;
+  FrameParser ack_parser_;
+  std::vector<std::uint8_t> ack_buf_ = std::vector<std::uint8_t>(512);
+};
+
+/// Receiving actor for one link: call run() on a dedicated thread; it
+/// returns when the link is closed and drained. Never throws — a failure
+/// (e.g. a deliver hook that cannot forward) is recorded in error() and the
+/// link is closed, which surfaces at the blocked sender as a typed error.
+class LinkServicer {
+ public:
+  /// `src`/`dst` are the endpoint ids frames on this link must carry.
+  /// `deliver` (optional) sees each unique accepted frame, post-ack.
+  LinkServicer(Link& link, std::uint32_t src, std::uint32_t dst,
+               std::function<void(const Frame&)> deliver = nullptr) noexcept
+      : link_(link), src_(src), dst_(dst), deliver_(std::move(deliver)) {}
+
+  void run() noexcept;
+
+  [[nodiscard]] const ReceiverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::optional<std::string>& error() const noexcept { return error_; }
+
+ private:
+  void accept(const Frame& f);
+  void send_ack(std::uint32_t seq);
+
+  Link& link_;
+  std::uint32_t src_;
+  std::uint32_t dst_;
+  std::function<void(const Frame&)> deliver_;
+  std::uint32_t next_expected_ = 0;
+  ReceiverStats stats_;
+  std::optional<std::string> error_;
+};
+
+}  // namespace tft::net

@@ -1,0 +1,215 @@
+#include "net/runtime.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "net/error.h"
+
+namespace tft::net {
+
+std::optional<TransportKind> parse_transport(std::string_view s) noexcept {
+  if (s == "sim") return TransportKind::kSim;
+  if (s == "inproc") return TransportKind::kInProc;
+  if (s == "socket") return TransportKind::kSocket;
+  return std::nullopt;
+}
+
+std::unique_ptr<Transport> make_transport(const NetConfig& cfg) {
+  switch (cfg.transport) {
+    case TransportKind::kInProc: return std::make_unique<InProcTransport>(cfg.ring_capacity);
+    case TransportKind::kSocket: return std::make_unique<LoopbackSocketTransport>();
+    case TransportKind::kSim: break;
+  }
+  throw NetError(NetErrorKind::kSetup, "simulated mode has no transport to build");
+}
+
+std::uint64_t WireStats::payload_bits() const noexcept {
+  return std::accumulate(up_bits.begin(), up_bits.end(), std::uint64_t{0}) +
+         std::accumulate(down_bits.begin(), down_bits.end(), std::uint64_t{0});
+}
+
+std::uint64_t WireStats::messages() const noexcept {
+  return std::accumulate(up_msgs.begin(), up_msgs.end(), std::uint64_t{0}) +
+         std::accumulate(down_msgs.begin(), down_msgs.end(), std::uint64_t{0});
+}
+
+std::string WireStats::summary() const {
+  std::ostringstream os;
+  os << messages() << " frames / " << payload_bits() << " payload bits / " << wire_bytes
+     << " wire bytes (retransmits " << retransmissions << ", dups " << duplicates
+     << ", corrupt " << corrupt_frames << ")";
+  return os.str();
+}
+
+namespace {
+
+void mismatch(const std::string& what, std::uint64_t charged, std::uint64_t delivered) {
+  std::ostringstream os;
+  os << what << ": charged " << charged << ", delivered " << delivered;
+  throw AccountingError(os.str());
+}
+
+}  // namespace
+
+void ChargedTotals::add(const Transcript& t) {
+  if (t.num_players() != up_bits.size()) {
+    throw AccountingError("transcript player count disagrees with the wire topology");
+  }
+  for (std::size_t j = 0; j < up_bits.size(); ++j) {
+    up_bits[j] += t.upstream_bits(j);
+    down_bits[j] += t.downstream_bits(j);
+    up_msgs[j] += t.upstream_messages(j);
+    down_msgs[j] += t.downstream_messages(j);
+  }
+  if (phase_bits.size() < t.num_phases()) phase_bits.resize(t.num_phases());
+  for (std::size_t ph = 0; ph < t.num_phases(); ++ph) phase_bits[ph] += t.phase_bits(ph);
+}
+
+void verify_accounting(const ChargedTotals& c, const WireStats& w) {
+  const std::size_t k = c.up_bits.size();
+  if (w.up_bits.size() != k || w.down_bits.size() != k) {
+    throw AccountingError("player count disagrees with the wire topology");
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    if (c.up_bits[j] != w.up_bits[j]) {
+      mismatch("player " + std::to_string(j) + " upstream bits", c.up_bits[j], w.up_bits[j]);
+    }
+    if (c.down_bits[j] != w.down_bits[j]) {
+      mismatch("player " + std::to_string(j) + " downstream bits", c.down_bits[j],
+               w.down_bits[j]);
+    }
+    if (c.up_msgs[j] != w.up_msgs[j]) {
+      mismatch("player " + std::to_string(j) + " upstream messages", c.up_msgs[j], w.up_msgs[j]);
+    }
+    if (c.down_msgs[j] != w.down_msgs[j]) {
+      mismatch("player " + std::to_string(j) + " downstream messages", c.down_msgs[j],
+               w.down_msgs[j]);
+    }
+  }
+  const std::size_t phases = std::max(c.phase_bits.size(), w.phase_bits.size());
+  for (std::size_t ph = 0; ph < phases; ++ph) {
+    const std::uint64_t charged = ph < c.phase_bits.size() ? c.phase_bits[ph] : 0;
+    const std::uint64_t delivered = ph < w.phase_bits.size() ? w.phase_bits[ph] : 0;
+    if (charged != delivered) {
+      mismatch("phase " + std::to_string(ph) + " bits", charged, delivered);
+    }
+  }
+}
+
+void verify_accounting(const Transcript& t, const WireStats& w) {
+  ChargedTotals c(t.num_players());
+  c.add(t);
+  verify_accounting(c, w);
+}
+
+/// One directed link plus its two actors: the sender half lives with the
+/// driving thread, the servicer half runs on its own thread.
+struct NetSession::Endpoint {
+  Endpoint(Transport& transport, std::uint32_t link_id, std::uint32_t src, std::uint32_t dst,
+           const NetConfig& cfg)
+      : link(transport.make_link()),
+        sender(link, link_id, cfg.retry, cfg.faults),
+        servicer(link, src, dst) {
+    thread = std::thread([this] { servicer.run(); });
+  }
+
+  Link link;
+  ReliableSender sender;
+  LinkServicer servicer;
+  std::thread thread;
+};
+
+NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_players) {
+  if (cfg.transport == TransportKind::kSim) {
+    throw NetError(NetErrorKind::kSetup, "NetSession requires an executed transport");
+  }
+  if (k_ == 0) {
+    throw NetError(NetErrorKind::kSetup, "NetSession requires at least one player");
+  }
+  transport_ = make_transport(cfg);
+  const std::uint32_t coord = static_cast<std::uint32_t>(k_);
+  up_.reserve(k_);
+  down_.reserve(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::uint32_t pj = static_cast<std::uint32_t>(j);
+    up_.push_back(
+        std::make_unique<Endpoint>(*transport_, pj, pj, coord, cfg));
+    down_.push_back(
+        std::make_unique<Endpoint>(*transport_, coord + 1 + pj, coord, pj, cfg));
+  }
+}
+
+NetSession::~NetSession() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor cleanup must not throw; finish() rethrows on explicit use.
+  }
+}
+
+void NetSession::on_charge(std::size_t player, Direction dir, std::uint64_t bits,
+                           std::uint64_t phase) {
+  if (finished_) {
+    throw NetError(NetErrorKind::kClosed, "charge after the session finished");
+  }
+  if (player >= k_) {
+    throw NetError(NetErrorKind::kProtocol, "charge names a player outside [0, k)");
+  }
+  const bool upstream = dir == Direction::kPlayerToCoordinator;
+  Endpoint& ep = upstream ? *up_[player] : *down_[player];
+  Frame f;
+  f.header.type = FrameType::kData;
+  f.header.src = upstream ? static_cast<std::uint32_t>(player) : static_cast<std::uint32_t>(k_);
+  f.header.dst = upstream ? static_cast<std::uint32_t>(k_) : static_cast<std::uint32_t>(player);
+  f.header.seq = ep.sender.next_seq();
+  f.header.phase = phase;
+  f.header.payload_bits = bits;
+  f.payload = make_filler_payload(f.header);
+  ep.sender.send(std::move(f));
+}
+
+WireStats NetSession::finish() {
+  if (finished_) return result_;
+  finished_ = true;
+
+  for (auto& ep : up_) ep->link.close();
+  for (auto& ep : down_) ep->link.close();
+  for (auto& ep : up_) {
+    if (ep->thread.joinable()) ep->thread.join();
+  }
+  for (auto& ep : down_) {
+    if (ep->thread.joinable()) ep->thread.join();
+  }
+
+  WireStats w;
+  w.up_bits.resize(k_);
+  w.down_bits.resize(k_);
+  w.up_msgs.resize(k_);
+  w.down_msgs.resize(k_);
+  std::optional<std::string> failure;
+  const auto fold = [&](const Endpoint& ep, std::uint64_t& bits_slot, std::uint64_t& msgs_slot) {
+    const ReceiverStats& r = ep.servicer.stats();
+    const SenderStats& s = ep.sender.stats();
+    bits_slot += r.payload_bits;
+    msgs_slot += r.frames;
+    if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
+    for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
+    w.wire_bytes += s.wire_bytes;
+    w.retransmissions += s.retransmissions;
+    w.duplicates += r.duplicates + s.duplicates_sent;
+    w.corrupt_frames += r.corrupt;
+    w.acks += s.acks_received;
+    if (!failure && ep.servicer.error()) failure = ep.servicer.error();
+  };
+  for (std::size_t j = 0; j < k_; ++j) {
+    fold(*up_[j], w.up_bits[j], w.up_msgs[j]);
+    fold(*down_[j], w.down_bits[j], w.down_msgs[j]);
+  }
+  result_ = std::move(w);
+  if (failure) {
+    throw NetError(NetErrorKind::kProtocol, "link servicer failed: " + *failure);
+  }
+  return result_;
+}
+
+}  // namespace tft::net

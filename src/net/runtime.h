@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/transcript.h"
+#include "net/reliable.h"
+#include "net/transport.h"
+
+/// \file runtime.h
+/// The executed-mode session: one ChannelSink whose on_charge ships a real
+/// frame per charged message.
+///
+/// Topology: 2k directed links — player j -> coordinator (upstream) and
+/// coordinator -> player j (downstream). Each link's receiving half is a
+/// LinkServicer actor on its own std::thread (the receivers block on pipe
+/// reads, so they cannot ride the fork-join compute pool of
+/// util/parallel.h — the pool's workers must stay available for the
+/// protocol's own parallel_for work; trial-level parallelism still fans
+/// executed sessions across the pool, each session bringing its own
+/// servicer threads). The protocol itself stays single-threaded on the
+/// driving thread, exactly as in simulated mode, so transcripts and
+/// verdicts are bit-identical across transports and thread counts.
+
+namespace tft::net {
+
+enum class TransportKind {
+  kSim,     ///< legacy simulated mode: no frames, Transcript-only
+  kInProc,  ///< ByteRing SPSC queues + condvars
+  kSocket,  ///< TCP on 127.0.0.1
+};
+
+[[nodiscard]] constexpr const char* to_string(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::kSim: return "sim";
+    case TransportKind::kInProc: return "inproc";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<TransportKind> parse_transport(std::string_view s) noexcept;
+
+struct NetConfig {
+  TransportKind transport = TransportKind::kInProc;
+  FaultPlan faults;     ///< applied to every data link
+  RetryPolicy retry;
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
+
+[[nodiscard]] std::unique_ptr<Transport> make_transport(const NetConfig& cfg);
+
+/// What actually crossed the wire, per player and direction — the executed
+/// counterpart of the Transcript's tallies, plus transport-level truth
+/// (header/ack/retransmit bytes) the idealized accounting abstracts away.
+struct WireStats {
+  std::vector<std::uint64_t> up_bits;    ///< delivered charged bits, player j -> C
+  std::vector<std::uint64_t> down_bits;  ///< delivered charged bits, C -> player j
+  std::vector<std::uint64_t> up_msgs;
+  std::vector<std::uint64_t> down_msgs;
+  std::vector<std::uint64_t> phase_bits;
+  std::uint64_t wire_bytes = 0;  ///< framed bytes written incl. retransmits
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates = 0;      ///< frames discarded by seq dedup
+  std::uint64_t corrupt_frames = 0;  ///< frames discarded by CRC/codec checks
+  std::uint64_t acks = 0;
+
+  [[nodiscard]] std::uint64_t payload_bits() const noexcept;
+  [[nodiscard]] std::uint64_t messages() const noexcept;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The charged side of the cross-check, summable over several transcripts
+/// (an executed body may run more than one checked protocol).
+struct ChargedTotals {
+  std::vector<std::uint64_t> up_bits;
+  std::vector<std::uint64_t> down_bits;
+  std::vector<std::uint64_t> up_msgs;
+  std::vector<std::uint64_t> down_msgs;
+  std::vector<std::uint64_t> phase_bits;
+
+  explicit ChargedTotals(std::size_t num_players)
+      : up_bits(num_players), down_bits(num_players), up_msgs(num_players),
+        down_msgs(num_players) {}
+
+  /// Fold one transcript's tallies in. Throws AccountingError if it names
+  /// a different player count than the wire topology.
+  void add(const Transcript& t);
+};
+
+/// Throws AccountingError unless the delivered-on-wire totals equal the
+/// charged totals exactly: per player, per direction, per message count,
+/// and per phase. The paper's cost model, enforced at the byte level.
+void verify_accounting(const ChargedTotals& charged, const WireStats& w);
+
+/// Convenience: one transcript against the wire.
+void verify_accounting(const Transcript& t, const WireStats& w);
+
+/// The ChannelSink of executed mode. Single driving thread; on_charge
+/// blocks until the frame is acknowledged by the counterparty's servicer.
+class NetSession final : public ChannelSink {
+ public:
+  NetSession(std::size_t num_players, const NetConfig& cfg);
+  ~NetSession() override;
+
+  NetSession(const NetSession&) = delete;
+  NetSession& operator=(const NetSession&) = delete;
+
+  void on_charge(std::size_t player, Direction dir, std::uint64_t bits,
+                 std::uint64_t phase) override;
+
+  /// Close every link, join the servicer actors, aggregate their tallies.
+  /// Idempotent; a servicer-recorded failure rethrows as NetError.
+  WireStats finish();
+
+  [[nodiscard]] std::size_t num_players() const noexcept { return k_; }
+
+ private:
+  struct Endpoint;
+
+  std::size_t k_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<Endpoint>> up_;    // player j -> coordinator
+  std::vector<std::unique_ptr<Endpoint>> down_;  // coordinator -> player j
+  bool finished_ = false;
+  WireStats result_;
+};
+
+}  // namespace tft::net

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+/// \file transport.h
+/// Byte-stream transports for the executed runtime.
+///
+/// A `Pipe` is one direction of a link: an ordered, bounded byte stream
+/// with blocking writes (backpressure) and deadline-aware reads. A `Link`
+/// bundles the data direction with the reverse acknowledgement direction.
+/// `Transport` mints links; the two implementations —
+/// `InProcTransport` (lock-protected SPSC rings + condvars) and
+/// `LoopbackSocketTransport` (TCP on 127.0.0.1) — sit behind the same API,
+/// so the ARQ layer, the fault injector and the protocols above never know
+/// which wire they are on.
+
+namespace tft::net {
+
+using Clock = std::chrono::steady_clock;
+
+/// One direction of a link. Single producer, single consumer.
+class Pipe {
+ public:
+  virtual ~Pipe() = default;
+
+  /// Write all of `bytes`, blocking while the receiving buffer is full.
+  /// Throws NetError(kClosed) if the pipe closes first, NetError(kTimeout)
+  /// if the deadline passes with the buffer still full.
+  virtual void write(std::span<const std::uint8_t> bytes, Clock::time_point deadline) = 0;
+
+  /// Read up to `buf.size()` bytes. Returns the count read (> 0), 0 if the
+  /// deadline passed with nothing available, or -1 once the pipe is closed
+  /// *and* drained (buffered bytes are always delivered first).
+  virtual int read_some(std::span<std::uint8_t> buf, Clock::time_point deadline) = 0;
+
+  /// Close both ends: pending and future writers throw kClosed, readers
+  /// drain what is buffered and then see -1. Idempotent, thread-safe.
+  virtual void close() = 0;
+};
+
+/// A directed link: framed data one way, acknowledgements the other.
+struct Link {
+  std::unique_ptr<Pipe> data;  ///< sender -> receiver frame bytes
+  std::unique_ptr<Pipe> ack;   ///< receiver -> sender acknowledgement bytes
+
+  void close() {
+    if (data) data->close();
+    if (ack) ack->close();
+  }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual Link make_link() = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Bounded SPSC byte ring: one mutex + two condvars per direction. The
+/// in-process wire — bytes are memcpy'd through a fixed circular buffer,
+/// so a frame really is serialized, chunked and reassembled even when both
+/// actors live in one process.
+class ByteRing final : public Pipe {
+ public:
+  explicit ByteRing(std::size_t capacity);
+
+  void write(std::span<const std::uint8_t> bytes, Clock::time_point deadline) override;
+  int read_some(std::span<std::uint8_t> buf, Clock::time_point deadline) override;
+  void close() override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::vector<std::uint8_t> ring_;
+  std::size_t head_ = 0;  // next byte to read
+  std::size_t size_ = 0;  // bytes buffered
+  bool closed_ = false;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::size_t ring_capacity = std::size_t{1} << 16)
+      : ring_capacity_(ring_capacity) {}
+
+  [[nodiscard]] Link make_link() override;
+  [[nodiscard]] const char* name() const noexcept override { return "inproc"; }
+
+ private:
+  std::size_t ring_capacity_;
+};
+
+/// TCP over 127.0.0.1: one real kernel socket pair per link (data flows
+/// client->server, acks server->client on the same connection, Nagle off).
+/// Construction throws NetError(kSetup) when loopback networking is
+/// unavailable; tests skip in that case.
+class LoopbackSocketTransport final : public Transport {
+ public:
+  LoopbackSocketTransport();
+  ~LoopbackSocketTransport() override;
+
+  [[nodiscard]] Link make_link() override;
+  [[nodiscard]] const char* name() const noexcept override { return "socket"; }
+
+  /// True iff a LoopbackSocketTransport can be constructed here.
+  [[nodiscard]] static bool available() noexcept;
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace tft::net

@@ -12,7 +12,7 @@ StreamingOneWayReport one_way_via_streaming(std::span<const PlayerInput> players
                                             std::uint64_t seed) {
   if (players.empty()) throw std::invalid_argument("one_way_via_streaming: no players");
   return run_checked(
-      CommModel::kOneWay, players.size(), players.front().n(), [&](Transcript& t) {
+      CommModel::kOneWay, players.size(), players.front().n(), [&](Channel t) {
         StreamingOneWayReport report;
         StreamingTriangleDetector detector(memory_budget_bits, players.front().n(), seed);
         for (std::size_t j = 0; j < players.size(); ++j) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "comm/cost.h"
+#include "comm/model.h"
 #include "comm/shared_randomness.h"
 #include "comm/transcript.h"
 
@@ -219,6 +220,15 @@ TEST(SharedRandomness, SampleVerticesMatchesBernoulli) {
   EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
   for (const auto v : sample) EXPECT_TRUE(sr.bernoulli(tag, v, 0.2));
   EXPECT_NEAR(static_cast<double>(sample.size()), 200.0, 60.0);
+}
+
+TEST(CommModel, EveryTagHasAName) {
+  // Exhaustive: a new enumerator must get a string (the "?" fallthrough is
+  // an assertion failure in debug builds, not a reachable return).
+  EXPECT_STREQ(to_string(CommModel::kCoordinator), "coordinator");
+  EXPECT_STREQ(to_string(CommModel::kSimultaneous), "simultaneous");
+  EXPECT_STREQ(to_string(CommModel::kOneWay), "one-way");
+  EXPECT_STREQ(to_string(CommModel::kBlackboard), "blackboard");
 }
 
 }  // namespace

@@ -84,7 +84,7 @@ TEST(Conformance, ReportRendersKindAndDetail) {
 /// follow-up. (The classic way a 1-round bound gets silently broken.)
 SimResult mutant_sim_second_round(std::span<const PlayerInput> players) {
   return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
-                     [&](Transcript& t) {
+                     [&](Channel t) {
                        SimResult r;
                        for (const auto& p : players) {
                          const SimObliviousOptions o;
@@ -111,7 +111,7 @@ TEST(ConformanceMutants, SimultaneousSecondRoundRejected) {
 /// verdict bit to the players, which a genuinely one-shot model forbids.
 bool mutant_sim_referee_feedback(std::span<const PlayerInput> players) {
   return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
-                     [&](Transcript& t) {
+                     [&](Channel t) {
                        for (const auto& p : players) {
                          t.charge(p.player_id, kUp, edge_bits(p.n()));
                        }
@@ -135,8 +135,8 @@ TEST(ConformanceMutants, SimultaneousRefereeFeedbackRejected) {
 /// referee must treat as a violation rather than vacuous success.
 bool mutant_unreported_traffic(std::span<const PlayerInput> players) {
   return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
-                     [&](Transcript& t) {
-                       t.set_record_events(false);
+                     [&](Channel t) {
+                       t.transcript().set_record_events(false);
                        for (const auto& p : players) t.charge(p.player_id, kUp, 100);
                        return true;
                      });
@@ -156,9 +156,9 @@ TEST(ConformanceMutants, UnreportedTrafficRejected) {
 /// the event stream no longer accounts for the tallies.
 bool mutant_partially_hidden_traffic(std::span<const PlayerInput> players) {
   return run_checked(CommModel::kSimultaneous, players.size(), players.front().n(),
-                     [&](Transcript& t) {
+                     [&](Channel t) {
                        t.charge(0, kUp, 10);
-                       t.set_record_events(false);
+                       t.transcript().set_record_events(false);
                        t.charge(1, kUp, 10);  // invisible to the event stream
                        return true;
                      });
@@ -178,7 +178,7 @@ TEST(ConformanceMutants, PartiallyHiddenTrafficRejected) {
 /// after Bob, i.e. she saw Bob's message, which one-way forbids.
 bool mutant_oneway_back_edge(std::span<const PlayerInput> players) {
   const std::uint64_t n = players.front().n();
-  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Channel t) {
     t.charge(0, kUp, vertex_bits(n));  // Alice
     t.charge(1, kUp, vertex_bits(n));  // Bob
     t.charge(0, kUp, vertex_bits(n));  // Alice replies to Bob: back-edge
@@ -200,7 +200,7 @@ TEST(ConformanceMutants, OneWayBackEdgeRejected) {
 /// announce the answer from what he received, never send payload bits.
 bool mutant_oneway_output_player_talks(std::span<const PlayerInput> players) {
   const std::uint64_t n = players.front().n();
-  return run_checked(CommModel::kOneWay, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kOneWay, players.size(), n, [&](Channel t) {
     t.charge(0, kUp, vertex_bits(n));
     t.charge(1, kUp, vertex_bits(n));
     t.charge(players.size() - 1, kUp, edge_bits(n));  // Charlie ships an edge
@@ -224,7 +224,7 @@ TEST(ConformanceMutants, OneWayOutputPlayerTalksRejected) {
 /// bug that would undercount the protocol's downstream cost by a k factor.
 bool mutant_coordinator_private_hint(std::span<const PlayerInput> players) {
   const std::uint64_t n = players.front().n();
-  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Channel t) {
     for (const auto& p : players) t.charge_flag(p.player_id, kUp);
     t.charge(1, kDown, vertex_bits(n));  // only player 1 learns the sample
     return true;
@@ -246,7 +246,7 @@ TEST(ConformanceMutants, CoordinatorPrivateHintRejected) {
 /// accounting.
 bool mutant_coordinator_partial_sweep(std::span<const PlayerInput> players) {
   const std::uint64_t n = players.front().n();
-  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kCoordinator, players.size(), n, [&](Channel t) {
     for (const auto& p : players) t.charge_flag(p.player_id, kUp);
     t.charge(0, kDown, vertex_bits(n));
     t.charge(1, kDown, vertex_bits(n));  // sweep stops one player short
@@ -268,7 +268,7 @@ TEST(ConformanceMutants, CoordinatorPartialSweepRejected) {
 /// can read contradicts the model (everything written is public).
 bool mutant_blackboard_private_message(std::span<const PlayerInput> players) {
   const std::uint64_t n = players.front().n();
-  return run_checked(CommModel::kBlackboard, players.size(), n, [&](Transcript& t) {
+  return run_checked(CommModel::kBlackboard, players.size(), n, [&](Channel t) {
     t.charge(0, kDown, vertex_bits(n));  // legitimate board post
     t.charge(2, kDown, vertex_bits(n));  // private whisper: impossible
     return true;

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/exact_baseline.h"
+#include "core/unrestricted.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "net/error.h"
+#include "net/executed.h"
+#include "net/fault.h"
+#include "net/runtime.h"
+#include "util/rng.h"
+
+namespace tft::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<PlayerInput> small_instance(std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  const Graph g = gen::planted_triangles(48, 5, rng);
+  return partition_random(g, k, rng);
+}
+
+RetryPolicy snappy() {
+  RetryPolicy p;
+  p.base_timeout = 5ms;
+  p.max_timeout = 100ms;
+  p.max_retries = 12;
+  return p;
+}
+
+/// Run the exact protocol in executed mode under `faults`; run_executed
+/// itself enforces wire == charged and model conformance, so reaching the
+/// return is already the recovery claim.
+ExecutedReport run_under(const FaultPlan& faults) {
+  const auto players = small_instance(3, 101);
+  NetConfig cfg;
+  cfg.faults = faults;
+  cfg.retry = snappy();
+  auto [result, report] =
+      run_executed(3, cfg, [&] { return exact_find_triangle(players); });
+  EXPECT_TRUE(result.triangle.has_value());
+  return report;
+}
+
+TEST(NetFault, DropsAreRecoveredByRetransmission) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop = 0.4;
+  const ExecutedReport report = run_under(plan);
+  EXPECT_GT(report.wire.retransmissions, 0u) << "a 40% drop rate must cost retries";
+  EXPECT_EQ(report.wire.corrupt_frames, 0u);
+}
+
+TEST(NetFault, BitFlipsAreCaughtByCrcAndRetransmitted) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.bit_flip = 0.7;
+  const ExecutedReport report = run_under(plan);
+  EXPECT_GT(report.wire.corrupt_frames, 0u) << "flipped frames must be detected, not accepted";
+  EXPECT_GT(report.wire.retransmissions, 0u);
+}
+
+TEST(NetFault, DuplicatesAreDiscardedBySequenceNumbers) {
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.duplicate = 0.6;
+  const ExecutedReport report = run_under(plan);
+  EXPECT_GT(report.wire.duplicates, 0u);
+}
+
+TEST(NetFault, DelaysOnlySlowThingsDown) {
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.delay = 0.5;
+  plan.delay_us = 300;
+  const ExecutedReport report = run_under(plan);
+  EXPECT_EQ(report.wire.corrupt_frames, 0u);
+}
+
+TEST(NetFault, CombinedFaultsStillVerifyExactAccounting) {
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.drop = 0.15;
+  plan.duplicate = 0.15;
+  plan.bit_flip = 0.15;
+  plan.delay = 0.1;
+  plan.delay_us = 100;
+  const ExecutedReport report = run_under(plan);
+  // Every fault class should have fired at least once somewhere.
+  EXPECT_GT(report.wire.retransmissions + report.wire.duplicates + report.wire.corrupt_frames,
+            0u);
+}
+
+TEST(NetFault, TotalLossIsATypedTimeoutNotAHang) {
+  const auto players = small_instance(3, 101);
+  NetConfig cfg;
+  cfg.faults.seed = 31;
+  cfg.faults.drop = 1.0;  // nothing ever reaches the wire
+  cfg.retry.base_timeout = 2ms;
+  cfg.retry.max_timeout = 10ms;
+  cfg.retry.max_retries = 3;
+
+  const auto start = Clock::now();
+  try {
+    (void)run_executed(3, cfg, [&] { return exact_find_triangle(players); });
+    FAIL() << "a fully lossy link cannot deliver a protocol";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetErrorKind::kTimeout);
+  }
+  EXPECT_LT(Clock::now() - start, 10s) << "retries must be bounded, never a hang";
+}
+
+TEST(NetFault, DecisionsArePureFunctionsOfTheKey) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop = 0.3;
+  plan.duplicate = 0.3;
+  plan.bit_flip = 0.3;
+  plan.delay = 0.3;
+  const FaultInjector a(plan, /*link_id=*/4);
+  const FaultInjector b(plan, /*link_id=*/4);
+  bool link_streams_differ = false;
+  const FaultInjector other_link(plan, /*link_id=*/5);
+  for (std::uint32_t seq = 0; seq < 64; ++seq) {
+    for (std::uint32_t attempt = 0; attempt < 4; ++attempt) {
+      const FaultDecision da = a.decide(seq, attempt);
+      const FaultDecision db = b.decide(seq, attempt);
+      EXPECT_EQ(da.drop, db.drop);
+      EXPECT_EQ(da.duplicate, db.duplicate);
+      EXPECT_EQ(da.bit_flip, db.bit_flip);
+      EXPECT_EQ(da.delay, db.delay);
+      EXPECT_EQ(da.flip_bit, db.flip_bit);
+      const FaultDecision dc = other_link.decide(seq, attempt);
+      link_streams_differ |= da.drop != dc.drop || da.bit_flip != dc.bit_flip;
+    }
+  }
+  EXPECT_TRUE(link_streams_differ) << "links must draw from independent fault streams";
+}
+
+TEST(NetFault, CleanPlanInjectsNothing) {
+  const FaultInjector quiet(FaultPlan{}, 0);
+  for (std::uint32_t seq = 0; seq < 32; ++seq) {
+    const FaultDecision d = quiet.decide(seq, 0);
+    EXPECT_FALSE(d.drop || d.duplicate || d.bit_flip || d.delay);
+  }
+  EXPECT_FALSE(FaultPlan{}.any());
+}
+
+/// The determinism contract: under a fixed seed the *delivered* totals and
+/// the protocol verdict are reproducible run over run — only retransmission
+/// counts may drift with scheduling.
+TEST(NetFault, DeliveredTotalsAreReproducibleUnderAFixedSeed) {
+  const auto players = small_instance(4, 131);
+  UnrestrictedOptions opts;
+  opts.seed = 3;
+  opts.known_average_degree = 4.0;
+  FaultPlan plan;
+  plan.seed = 41;
+  // Low rates: the protocol ships thousands of frames and every faulted
+  // attempt costs one retry timeout; keep total wall time in check.
+  plan.drop = 0.03;
+  plan.bit_flip = 0.03;
+
+  auto once = [&] {
+    NetConfig cfg;
+    cfg.faults = plan;
+    cfg.retry = snappy();
+    cfg.retry.base_timeout = std::chrono::milliseconds(2);
+    return run_executed(4, cfg,
+                        [&] { return find_triangle_unrestricted(players, opts); });
+  };
+  const auto [r1, w1] = once();
+  const auto [r2, w2] = once();
+  EXPECT_EQ(r1.triangle.has_value(), r2.triangle.has_value());
+  EXPECT_EQ(r1.total_bits, r2.total_bits);
+  EXPECT_EQ(w1.wire.up_bits, w2.wire.up_bits);
+  EXPECT_EQ(w1.wire.down_bits, w2.wire.down_bits);
+  EXPECT_EQ(w1.wire.phase_bits, w2.wire.phase_bits);
+  EXPECT_EQ(w1.wire.messages(), w2.wire.messages());
+}
+
+}  // namespace
+}  // namespace tft::net

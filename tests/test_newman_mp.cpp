@@ -108,6 +108,40 @@ TEST(MessagePassing, RejectsBadMessages) {
   EXPECT_THROW(sim.deliver({1, 1, 1}), std::invalid_argument);
 }
 
+TEST(MessagePassing, OverheadBoundAtOneBitMessages) {
+  // b = 1 is the worst case: 2 + vertex_bits(k) / 1.
+  EXPECT_DOUBLE_EQ(MessagePassingSimulator::overhead_bound(1, 8),
+                   2.0 + static_cast<double>(vertex_bits(8)));
+  EXPECT_DOUBLE_EQ(MessagePassingSimulator::overhead_bound(1, 2), 3.0);
+}
+
+TEST(MessagePassing, OverheadBoundWithOnePlayer) {
+  // k = 1 still needs one recipient bit (vertex_bits(1) = 1); the bound is
+  // well-defined even though no message can legally be delivered.
+  EXPECT_DOUBLE_EQ(MessagePassingSimulator::overhead_bound(4, 1),
+                   2.0 + static_cast<double>(vertex_bits(1)) / 4.0);
+}
+
+TEST(MessagePassing, OverheadBoundAtZeroPayloadIsZero) {
+  // Degenerate b = 0: no payload to amortize against, defined as 0.
+  EXPECT_DOUBLE_EQ(MessagePassingSimulator::overhead_bound(0, 8), 0.0);
+}
+
+TEST(MessagePassing, ZeroPayloadDeliveryChargesOnlyTheHeader) {
+  MessagePassingSimulator sim(4, 64);
+  sim.deliver({1, 3, 0});
+  EXPECT_EQ(sim.mp_bits(), 0u);
+  EXPECT_EQ(sim.coordinator_bits(), vertex_bits(4));  // recipient id only
+  EXPECT_EQ(sim.overhead_factor(), 0.0);              // guarded division
+}
+
+TEST(MessagePassing, FreshSimulatorReportsZeroOverhead) {
+  const MessagePassingSimulator sim(5, 100);
+  EXPECT_EQ(sim.mp_bits(), 0u);
+  EXPECT_EQ(sim.coordinator_bits(), 0u);
+  EXPECT_EQ(sim.overhead_factor(), 0.0);
+}
+
 TEST(MessagePassing, BatchHelper) {
   const double overhead = simulate_message_passing_overhead(
       4, 256, {{0, 1, 50}, {1, 2, 50}, {2, 3, 50}});
