@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Deterministic bench baseline on a toy grid, for the CI bench-smoke job.
+#
+# Every bench below emits its structured rows (--json) with fixed seeds and
+# fixed grid flags; the measured bit counts, min-budgets, success counts and
+# packing numbers are exact integers / order-fixed floating point sums, so
+# the concatenated file must be byte-comparable across machines and thread
+# counts once time-like fields are stripped (bench/check_baseline.py does
+# the stripping). bench_net is excluded on purpose: executed-transport
+# retransmission counts depend on host timing under load, so its wire rows
+# are not bit-exact across machines.
+#
+# Usage: bench/baseline.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-bench/BENCH_baseline.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+i=0
+run() {
+  local name=$1
+  shift
+  i=$((i + 1))
+  printf '  [%02d] bench_%s %s\n' "$i" "$name" "$*" >&2
+  "$BUILD/bench/bench_$name" "$@" --json="$TMP/$(printf '%02d' "$i")_$name.json" \
+    > /dev/null
+}
+
+run counting --trials=3
+run kernels --n=2000 --trials=1
+run oneway_lb --side_max=1024
+run sim_lb --side_max=1024
+run bm_lb --pairs_max=4096
+run sim_low --nmax=65536 --nmax_hub=16384 --trials=3
+run sim_high --nmax=8192 --trials=2
+run mu_farness --trials=5
+run unrestricted --nmax=16384 --trials=2
+run oblivious --n=4096 --trials=2
+run exact_gap --nmax=16384 --trials=1
+run realistic --nmax=16384 --trials=2
+run streaming --trials=4
+run subgraph --nmax=4096 --trials=2
+run symmetrization --trials=10
+run information --side=8 --samples=2000
+run ablations --trials=2
+
+cat "$TMP"/*.json > "$OUT"
+echo "wrote $(wc -l < "$OUT") rows to $OUT" >&2

@@ -27,6 +27,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "ablations");
   const int trials = static_cast<int>(flags.get_int("trials", 8));
 
   bench::header("E-ABL bench_ablations", "design-choice ablations (see DESIGN.md E-ABL)");
@@ -69,6 +70,15 @@ int main(int argc, char** argv) {
                  bench::summarize(results, [](const Trial& r) { return r.bucket_bits; }).mean()},
                 {"naive_bits",
                  bench::summarize(results, [](const Trial& r) { return r.naive_bits; }).mean()}});
+    json.row("a1_bucketing",
+             {{"bucket_success",
+               bench::success_rate(results, [](const Trial& r) { return r.bucket_ok; })},
+              {"naive_success",
+               bench::success_rate(results, [](const Trial& r) { return r.naive_ok; })},
+              {"bucket_bits",
+               bench::summarize(results, [](const Trial& r) { return r.bucket_bits; }).mean()},
+              {"naive_bits",
+               bench::summarize(results, [](const Trial& r) { return r.naive_bits; }).mean()}});
   }
 
   std::printf("\n-- A2: cap tightness sweep (sim-high, heavy player holds 90%% of edges) --\n");
@@ -111,6 +121,11 @@ int main(int argc, char** argv) {
                   {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })},
                   {"worst_player_bits",
                    bench::summarize(results, [](const Trial& r) { return r.worst; }).mean()}});
+      json.row("a2_caps",
+               {{"beta", beta > 0 ? beta : -1.0},
+                {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })},
+                {"worst_player_bits",
+                 bench::summarize(results, [](const Trial& r) { return r.worst; }).mean()}});
     }
   }
 
@@ -136,6 +151,10 @@ int main(int argc, char** argv) {
       bench::row({{"dup", dup},
                   {"bits", bench::summarize(results, [](const Trial& r) { return r.bits; }).mean()},
                   {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
+      json.row("a3_duplication",
+               {{"dup", dup},
+                {"bits", bench::summarize(results, [](const Trial& r) { return r.bits; }).mean()},
+                {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
     }
   }
 
@@ -182,6 +201,11 @@ int main(int argc, char** argv) {
                   {"sampling_saving(x)",
                    coord_sampling.mean() / std::max(1.0, board_sampling.mean())},
                   {"total_saving(x)", coord_total.mean() / std::max(1.0, board_total.mean())}});
+      json.row("a4_blackboard", {{"k", static_cast<std::uint64_t>(k)},
+                                 {"coord_sampling_bits", coord_sampling.mean()},
+                                 {"board_sampling_bits", board_sampling.mean()},
+                                 {"coord_total_bits", coord_total.mean()},
+                                 {"board_total_bits", board_total.mean()}});
     }
   }
   return 0;

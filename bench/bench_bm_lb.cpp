@@ -17,6 +17,7 @@
 #include "lower_bounds/boolean_matching.h"
 #include "lower_bounds/budget_search.h"
 #include "runner.h"
+#include "sweep_instances.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -24,16 +25,17 @@ using namespace tft;
 
 namespace {
 
-BudgetTrial make_trial(const std::vector<BmInstance>* pool) {
-  return [pool](std::uint64_t budget, std::uint64_t trial_index) {
-    const auto& inst = (*pool)[trial_index % pool->size()];
-    const auto players = bm_two_players(inst);
+BudgetTrial make_trial(const bench::SweepContext& sweep, std::uint32_t pairs,
+                       std::uint64_t seed, std::size_t instances) {
+  return [&sweep, pairs, seed, instances](std::uint64_t budget, std::uint64_t trial_index) {
+    const auto inst =
+        bench::bm_sweep_instance(sweep, pairs, /*zero_case=*/true, seed, trial_index % instances);
     SimLowOptions o;
     o.average_degree = 2.0;
     o.c = 4.0;
     o.seed = 0xB30 + trial_index;
     o.cap_edges_per_player = budget;
-    const auto r = sim_low_find_triangle(players, o);
+    const auto r = sim_low_find_triangle(inst->players, o);
     return r.triangle.has_value();
   };
 }
@@ -43,7 +45,9 @@ BudgetTrial make_trial(const std::vector<BmInstance>* pool) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
-  const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
+  const bench::SweepContext sweep(flags);
+  bench::JsonRows json(flags, "bm_lb");
+  const std::size_t instances = static_cast<std::size_t>(flags.get_int("instances", 10));
 
   bench::header("T1-R6 bench_bm_lb",
                 "d = Theta(1) simultaneous triangle-freeness: Omega(sqrt n) via the "
@@ -61,23 +65,24 @@ int main(int argc, char** argv) {
                   {"zero_triangles", static_cast<double>(count_triangles(gz))},
                   {"one_triangles", static_cast<double>(count_triangles(go))},
                   {"avg_degree", gz.average_degree()}});
+      json.row("promise", {{"n_pairs", static_cast<std::uint64_t>(pairs)},
+                           {"zero_triangles", static_cast<std::uint64_t>(count_triangles(gz))},
+                           {"one_triangles", static_cast<std::uint64_t>(count_triangles(go))}});
     }
   }
 
   std::printf("\n-- min per-player budget (edges) to catch the zero case w.p. 0.8 --\n");
   std::vector<double> ns, budgets;
-  for (std::uint32_t pairs = 256; pairs <= static_cast<std::uint32_t>(flags.get_int("pairs_max", 65536));
-       pairs *= 4) {
-    Rng rng(100 + pairs);
-    std::vector<BmInstance> pool;
-    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_bm(pairs, true, rng));
+  for (std::uint32_t pairs = 256;
+       pairs <= static_cast<std::uint32_t>(flags.get_int("pairs_max", 65536)); pairs *= 4) {
     BudgetSearchOptions opts;
     opts.target_success = 0.8;
     opts.trials_per_budget = 24;
     opts.budget_lo = 4;
     opts.budget_hi = 1ULL << 26;
     opts.refine_steps = 5;
-    const auto result = find_min_budget(make_trial(&pool), opts);
+    const auto result =
+        find_min_budget(make_trial(sweep, pairs, 100 + pairs, instances), sweep.tune(opts));
     if (!result.found) {
       std::printf("  pairs=%-8u NO passing budget found\n", pairs);
       continue;
@@ -86,11 +91,14 @@ int main(int argc, char** argv) {
     bench::row({{"n", n_vertices},
                 {"min_budget_edges", static_cast<double>(result.min_budget)},
                 {"sqrt_n", std::sqrt(n_vertices)}});
+    json.row("min_budget", {{"n_pairs", static_cast<std::uint64_t>(pairs)},
+                            {"min_budget_edges", result.min_budget}});
     ns.push_back(n_vertices);
     budgets.push_back(static_cast<double>(result.min_budget));
   }
   if (ns.size() >= 3) {
     bench::fit_line("min-budget vs n", loglog_fit(ns, budgets), 0.5);
+    json.row("fit", {{"slope_n", loglog_fit(ns, budgets).slope}});
   }
 
   std::printf("\n-- one-sidedness on the triangle-free case (never errs) --\n");
@@ -107,6 +115,8 @@ int main(int argc, char** argv) {
     int false_positives = 0;
     for (const bool fp : results) false_positives += fp ? 1 : 0;
     bench::row({{"trials", 50.0}, {"false_positives", static_cast<double>(false_positives)}});
+    json.row("one_sided", {{"trials", static_cast<std::uint64_t>(50)},
+                           {"false_positives", static_cast<std::int64_t>(false_positives)}});
   }
   return 0;
 }

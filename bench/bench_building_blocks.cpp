@@ -109,7 +109,7 @@ void BM_GreedyPackingBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyPackingBaseline)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 
-void print_bit_cost_table() {
+void print_bit_cost_table(bench::JsonRows& json) {
   bench::header("E-BB bench_building_blocks (bit costs)",
                 "degree approx: O(k loglog d + k polylog k); random edge: O(k log n)");
   std::printf("\n-- approx_degree bit cost vs true degree (k = 8, duplication 2x) --\n");
@@ -122,6 +122,9 @@ void print_bit_cost_table() {
                 {"bits", static_cast<double>(t.total_bits())},
                 {"estimate", r.estimate},
                 {"guesses", static_cast<double>(r.guesses)}});
+    json.row("degree_cost", {{"deg", static_cast<std::uint64_t>(deg)},
+                             {"bits", t.total_bits()},
+                             {"estimate", r.estimate}});
   }
   std::printf("\n-- approx_degree bit cost vs k (degree 4096) --\n");
   for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
@@ -130,6 +133,7 @@ void print_bit_cost_table() {
     t.set_record_events(false);
     (void)approx_degree(f.players, t, f.sr, SharedTag{0xF1, k, 0}, 0);
     bench::row({{"k", static_cast<double>(k)}, {"bits", static_cast<double>(t.total_bits())}});
+    json.row("k_cost", {{"k", static_cast<std::uint64_t>(k)}, {"bits", t.total_bits()}});
   }
 }
 
@@ -139,8 +143,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);  // strips --benchmark_* flags first
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "building_blocks");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_bit_cost_table();
+  print_bit_cost_table(json);
   return 0;
 }

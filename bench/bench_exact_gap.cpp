@@ -21,6 +21,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "exact_gap");
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
   const int trials = static_cast<int>(flags.get_int("trials", 3));
 
@@ -62,6 +63,11 @@ int main(int argc, char** argv) {
     const double gap = exact_bits.mean() / std::max(1.0, unres_bits.mean());
     std::printf("%-10u %-12.0f %-14.4g %-16.4g %-16.4g %-10.1f\n", n, m_mean,
                 exact_bits.mean(), unres_bits.mean(), obl_bits.mean(), gap);
+    json.row("gap", {{"n", static_cast<std::uint64_t>(n)},
+                     {"exact_bits", exact_bits.mean()},
+                     {"unrestricted_bits", unres_bits.mean()},
+                     {"oblivious_bits", obl_bits.mean()},
+                     {"gap", gap}});
     ns.push_back(static_cast<double>(n));
     gaps.push_back(gap);
   }

@@ -28,6 +28,8 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  const bench::SweepContext sweep(flags);  // installs --pool/--cache for A/B parity
+  bench::JsonRows json(flags, "information");
   const auto side = static_cast<Vertex>(flags.get_int("side", 10));
   const double gamma = flags.get_double("gamma", 1.2);
   const std::size_t samples = static_cast<std::size_t>(flags.get_int("samples", 30000));
@@ -87,6 +89,12 @@ int main(int argc, char** argv) {
     std::printf("%-8llu %-14.3f %-14.3f %-14.0f %-10zu\n",
                 static_cast<unsigned long long>(budget), est.total_information_bits,
                 est.message_entropy_bits, charged, est.distinct_messages);
+    json.row("information", {{"budget", budget},
+                             {"sum_edge_information", est.total_information_bits},
+                             {"message_entropy", est.message_entropy_bits},
+                             {"charged_bits", charged},
+                             {"distinct_messages",
+                              static_cast<std::uint64_t>(est.distinct_messages)}});
   }
 
   std::printf(

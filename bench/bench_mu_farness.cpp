@@ -19,6 +19,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);  // mu_farness_stats fans trials internally
+  bench::JsonRows json(flags, "mu_farness");
   const std::size_t trials = static_cast<std::size_t>(flags.get_int("trials", 20));
 
   bench::header("E-MU bench_mu_farness",
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
                 {"mean_packing", s.mean_packing},
                 {"threshold", s.threshold},
                 {"packing/side^1.5", s.mean_packing / std::pow(1024.0, 1.5)}});
+    json.row("gamma_sweep", {{"gamma", gamma},
+                             {"far_fraction", s.far_fraction()},
+                             {"mean_packing", s.mean_packing}});
   }
 
   std::printf("\n-- side sweep at gamma = 0.9 --\n");
@@ -42,6 +46,9 @@ int main(int argc, char** argv) {
     bench::row({{"side", static_cast<double>(side)},
                 {"far_fraction", s.far_fraction()},
                 {"mean_packing", s.mean_packing}});
+    json.row("side_sweep", {{"side", static_cast<std::uint64_t>(side)},
+                            {"far_fraction", s.far_fraction()},
+                            {"mean_packing", s.mean_packing}});
     sides.push_back(static_cast<double>(side));
     packs.push_back(s.mean_packing);
   }

@@ -25,6 +25,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "oblivious");
   const Vertex n = static_cast<Vertex>(flags.get_int("n", 16384));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
   const int trials = static_cast<int>(flags.get_int("trials", 5));
@@ -89,6 +90,10 @@ int main(int argc, char** argv) {
                 obl_bits.mean(),
                 bench::success_rate(results, [](const Trial& r) { return r.obl_ok; }),
                 aware_bits.mean() > 0 ? obl_bits.mean() / aware_bits.mean() : 0.0);
+    json.row("density", {{"d", d},
+                         {"regime", d >= sqrt_n ? "high" : "low"},
+                         {"aware_bits", aware_bits.mean()},
+                         {"oblivious_bits", obl_bits.mean()}});
   }
 
   std::printf(

@@ -16,6 +16,7 @@
 #include "lower_bounds/budget_search.h"
 #include "lower_bounds/mu_distribution.h"
 #include "runner.h"
+#include "sweep_instances.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -23,17 +24,19 @@ using namespace tft;
 
 namespace {
 
-/// Budget trial on a pre-sampled instance pool: success iff the protocol
-/// outputs an edge (always a true triangle edge by one-sidedness).
-BudgetTrial make_trial(const std::vector<MuInstance>* pool) {
-  return [pool](std::uint64_t budget, std::uint64_t trial_index) {
-    const auto& mu = (*pool)[trial_index % pool->size()];
-    const auto players = partition_mu_three(mu);
+/// Budget trial over a pool of `instances` cached mu instances: success iff
+/// the protocol outputs an edge (always a true triangle edge by
+/// one-sidedness).
+BudgetTrial make_trial(const bench::SweepContext& sweep, Vertex side, double gamma,
+                       std::uint64_t seed, std::size_t instances) {
+  return [&sweep, side, gamma, seed, instances](std::uint64_t budget, std::uint64_t trial_index) {
+    const auto inst =
+        bench::mu_sweep_instance(sweep, side, gamma, seed, trial_index % instances);
     OneWayOptions o;
     o.seed = 0xABC0 + trial_index;
     o.hubs = 4;
     o.budget_edges_per_player = budget;
-    const auto r = oneway_vee_find_edge(players, mu.layout, o);
+    const auto r = oneway_vee_find_edge(inst->players, inst->mu.layout, o);
     return r.triangle_edge.has_value();
   };
 }
@@ -43,8 +46,10 @@ BudgetTrial make_trial(const std::vector<MuInstance>* pool) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  const bench::SweepContext sweep(flags);
+  bench::JsonRows json(flags, "oneway_lb");
   const double gamma = flags.get_double("gamma", 0.9);
-  const std::size_t pool_size = static_cast<std::size_t>(flags.get_int("pool", 10));
+  const std::size_t instances = static_cast<std::size_t>(flags.get_int("instances", 10));
 
   bench::header("T1-R3 bench_oneway_lb",
                 "one-way 3-player triangle-edge detection: Theta~(n^{1/4}) on mu "
@@ -53,17 +58,14 @@ int main(int argc, char** argv) {
   std::vector<double> sides, budgets;
   for (Vertex side = 256; side <= static_cast<Vertex>(flags.get_int("side_max", 16384));
        side *= 4) {
-    Rng rng(1000 + side);
-    std::vector<MuInstance> pool;
-    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_mu(side, gamma, rng));
-
     BudgetSearchOptions opts;
     opts.target_success = 0.8;
     opts.trials_per_budget = 30;
     opts.budget_lo = 4;
     opts.budget_hi = 1ULL << 24;
     opts.refine_steps = 5;
-    const auto result = find_min_budget(make_trial(&pool), opts);
+    const auto result =
+        find_min_budget(make_trial(sweep, side, gamma, 1000 + side, instances), sweep.tune(opts));
     if (!result.found) {
       std::printf("  side=%-8u NO passing budget found\n", side);
       continue;
@@ -74,6 +76,8 @@ int main(int argc, char** argv) {
                 {"nd", nd},
                 {"min_budget_edges", static_cast<double>(result.min_budget)},
                 {"side^0.25", std::pow(static_cast<double>(side), 0.25)}});
+    json.row("min_budget", {{"side", static_cast<std::uint64_t>(side)},
+                            {"min_budget_edges", result.min_budget}});
     sides.push_back(static_cast<double>(side));
     budgets.push_back(static_cast<double>(result.min_budget));
   }
@@ -83,23 +87,37 @@ int main(int argc, char** argv) {
     std::vector<double> nds;
     for (const double s : sides) nds.push_back(std::pow(s, 1.5));
     bench::fit_line("min-budget vs nd", loglog_fit(nds, budgets), 1.0 / 6.0);
+    json.row("fit", {{"slope_side", loglog_fit(sides, budgets).slope},
+                     {"slope_nd", loglog_fit(nds, budgets).slope}});
   }
 
   std::printf("\n-- success curve at side=4096 (threshold behaviour) --\n");
   {
-    Rng rng(77);
-    std::vector<MuInstance> pool;
-    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(sample_mu(4096, gamma, rng));
-    const auto trial = make_trial(&pool);
-    for (std::uint64_t b = 2; b <= 512; b *= 2) {
-      // The trial closure is already counter-seeded in t; the derived rng
-      // is unused.
-      const auto oks =
-          bench::run_trials(30, b, [&](Rng&, std::size_t t) { return trial(b, t); });
-      SuccessRate r;
-      r.trials = 30;
-      for (const bool ok : oks) r.successes += ok ? 1 : 0;
-      bench::row({{"budget", static_cast<double>(b)}, {"success", r.rate()}});
+    // One search call measures both the threshold and the printed curve:
+    // opts.curve_budgets rides on the search's evaluator, so grid points the
+    // doubling phase already resolved in full are memo hits and the rest
+    // reuse per-trial monotone verdicts. Curve points always report all 30
+    // trials (never early-stopped), so these rows are byte-identical across
+    // every --adaptive / --cache / --threads setting.
+    BudgetSearchOptions opts;
+    opts.target_success = 0.8;
+    opts.trials_per_budget = 30;
+    opts.budget_lo = 4;
+    opts.budget_hi = 1ULL << 24;
+    opts.refine_steps = 5;
+    for (std::uint64_t b = 2; b <= 512; b *= 2) opts.curve_budgets.push_back(b);
+    const auto result =
+        find_min_budget(make_trial(sweep, 4096, gamma, 77, instances), sweep.tune(opts));
+    if (result.found) {
+      bench::row({{"threshold_min_budget", static_cast<double>(result.min_budget)}});
+      json.row("curve_min_budget", {{"min_budget_edges", result.min_budget}});
+    }
+    const std::size_t first = result.curve.size() - opts.curve_budgets.size();
+    for (std::size_t i = first; i < result.curve.size(); ++i) {
+      const auto& p = result.curve[i];
+      bench::row({{"budget", static_cast<double>(p.budget)}, {"success", p.success.rate()}});
+      json.row("curve", {{"budget", p.budget},
+                         {"successes", static_cast<std::uint64_t>(p.success.successes)}});
     }
   }
   return 0;

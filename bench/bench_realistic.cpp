@@ -26,6 +26,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "realistic");
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 8));
   const double d = flags.get_double("d", 12.0);
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
                 ob_bits.mean(),
                 bench::success_rate(results, [](const Trial& r) { return r.ob_ok; }),
                 ex_bits.mean(), ex_bits.mean() / std::max(1.0, un_bits.mean()));
+    json.row("scale", {{"n", static_cast<std::uint64_t>(n)},
+                       {"unrestricted_bits", un_bits.mean()},
+                       {"oblivious_bits", ob_bits.mean()},
+                       {"exact_bits", ex_bits.mean()}});
   }
 
   std::printf(

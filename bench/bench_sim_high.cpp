@@ -52,6 +52,7 @@ Measurement measure(Vertex n, double d, std::size_t k, int trials, std::uint64_t
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "sim_high");
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 
@@ -69,6 +70,10 @@ int main(int argc, char** argv) {
                   {"nd", static_cast<double>(n) * d},
                   {"bits", m.bits},
                   {"success", m.success}});
+      json.row("sweep", {{"exponent", exponent},
+                         {"n", static_cast<std::uint64_t>(n)},
+                         {"bits", m.bits},
+                         {"success", m.success}});
       nds.push_back(static_cast<double>(n) * d);
       bits.push_back(m.bits);
     }
@@ -89,6 +94,9 @@ int main(int argc, char** argv) {
     bench::row({{"dup", dup},
                 {"bits", static_cast<double>(r.total_bits)},
                 {"found", r.triangle ? 1.0 : 0.0}});
+    json.row("dup", {{"dup", dup},
+                     {"bits", static_cast<std::uint64_t>(r.total_bits)},
+                     {"found", r.triangle.has_value()}});
   }
   return 0;
 }

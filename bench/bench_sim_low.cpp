@@ -57,6 +57,7 @@ Measurement measure(MakeGraph&& make, std::size_t k, int trials, std::uint64_t s
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "sim_low");
   const int trials = static_cast<int>(flags.get_int("trials", 6));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
                 {"bits", m.bits},
                 {"bits/k", m.bits / static_cast<double>(k)},
                 {"success", m.success}});
+    json.row("planted", {{"n", static_cast<std::uint64_t>(n)},
+                         {"bits", m.bits},
+                         {"success", m.success}});
     ns.push_back(static_cast<double>(n));
     bits.push_back(m.bits);
   }
@@ -83,6 +87,9 @@ int main(int argc, char** argv) {
     const auto m =
         measure([n](Rng& rng) { return gen::hub_matching(n, 2, rng); }, k, trials, 19 + n);
     bench::row({{"n", static_cast<double>(n)}, {"bits", m.bits}, {"success", m.success}});
+    json.row("hub", {{"n", static_cast<std::uint64_t>(n)},
+                     {"bits", m.bits},
+                     {"success", m.success}});
     hns.push_back(static_cast<double>(n));
     hbits.push_back(m.bits);
   }
@@ -104,6 +111,9 @@ int main(int argc, char** argv) {
     bench::row({{"k", static_cast<double>(kk)},
                 {"bits_nodup", static_cast<double>(nodup.total_bits)},
                 {"bits_dup2", static_cast<double>(dup.total_bits)}});
+    json.row("dup", {{"k", static_cast<std::uint64_t>(kk)},
+                     {"bits_nodup", static_cast<std::uint64_t>(nodup.total_bits)},
+                     {"bits_dup2", static_cast<std::uint64_t>(dup.total_bits)}});
   }
   return 0;
 }

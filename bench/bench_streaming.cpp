@@ -25,6 +25,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "streaming");
   const int trials = static_cast<int>(flags.get_int("trials", 12));
 
   bench::header("E-STREAM bench_streaming",
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
       bench::row({{"mem_edges", static_cast<double>(mem_edges)},
                   {"success",
                    bench::success_rate(oks, [](bool ok) { return ok; })}});
+      json.row("detection", {{"side", static_cast<std::uint64_t>(side)},
+                             {"mem_edges", static_cast<std::uint64_t>(mem_edges)},
+                             {"success", bench::success_rate(oks, [](bool ok) { return ok; })}});
     }
   }
 
@@ -63,6 +67,10 @@ int main(int argc, char** argv) {
                   {"comm_bits", static_cast<double>(r.communication_bits)},
                   {"2x_peak_mem", 2.0 * static_cast<double>(r.peak_memory_bits)},
                   {"found", r.triangle ? 1.0 : 0.0}});
+      json.row("reduction", {{"mem_edges", static_cast<std::uint64_t>(mem_edges)},
+                             {"comm_bits", static_cast<std::uint64_t>(r.communication_bits)},
+                             {"peak_memory_bits",
+                              static_cast<std::uint64_t>(r.peak_memory_bits)}});
     }
   }
 

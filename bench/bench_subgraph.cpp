@@ -24,6 +24,7 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "subgraph");
   const int trials = static_cast<int>(flags.get_int("trials", 6));
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
 
@@ -68,6 +69,11 @@ int main(int argc, char** argv) {
       bench::row({{"n", static_cast<double>(n)},
                   {"bits", b.mean()},
                   {"success", bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
+      json.row("pattern", {{"pattern", name},
+                           {"n", static_cast<std::uint64_t>(n)},
+                           {"bits", b.mean()},
+                           {"success",
+                            bench::success_rate(results, [](const Trial& r) { return r.ok; })}});
       ns.push_back(static_cast<double>(n));
       bits.push_back(b.mean());
     }

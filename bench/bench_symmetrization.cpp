@@ -24,6 +24,10 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);  // run_symmetrization fans trials internally
+  // The reduction runs every protocol through run_checked, so --pool=0|1
+  // A/Bs transcript pooling here even though no budget search is involved.
+  const bench::SweepContext sweep(flags);
+  bench::JsonRows json(flags, "symmetrization");
   const std::size_t trials = static_cast<std::size_t>(flags.get_int("trials", 60));
   const Vertex n = static_cast<Vertex>(flags.get_int("n", 2048));
 
@@ -51,6 +55,10 @@ int main(int argc, char** argv) {
                 {"ratio", report.ratio()},
                 {"2/k", 2.0 / static_cast<double>(k)},
                 {"sim_success", report.sim_success.rate()}});
+    json.row("gnp", {{"k", static_cast<std::uint64_t>(k)},
+                     {"sim_total_bits", report.avg_sim_total_bits},
+                     {"oneway_bits", report.avg_one_way_bits},
+                     {"ratio", report.ratio()}});
   }
 
   std::printf("\n-- ratio vs k (mu-derived parts, sim-oblivious) --\n");
@@ -70,6 +78,7 @@ int main(int argc, char** argv) {
                 {"ratio", report.ratio()},
                 {"2/k", 2.0 / static_cast<double>(k)},
                 {"sim_success", report.sim_success.rate()}});
+    json.row("mu", {{"k", static_cast<std::uint64_t>(k)}, {"ratio", report.ratio()}});
   }
 
   std::printf(

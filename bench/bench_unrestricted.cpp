@@ -67,6 +67,7 @@ Measurement measure(Vertex n, double d_target, std::size_t k, int trials, std::u
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
+  bench::JsonRows json(flags, "unrestricted");
   const int trials = static_cast<int>(flags.get_int("trials", 5));
   const double d_target = flags.get_double("d", 8.0);
   const std::size_t k = static_cast<std::size_t>(flags.get_int("k", 4));
@@ -88,6 +89,11 @@ int main(int argc, char** argv) {
                 {"edge_sampling", m.edge_sampling_bits},
                 {"overhead", m.overhead_bits},
                 {"success", m.success}});
+    json.row("n_sweep", {{"n", static_cast<std::uint64_t>(n)},
+                         {"bits", m.bits},
+                         {"edge_sampling", m.edge_sampling_bits},
+                         {"overhead", m.overhead_bits},
+                         {"success", m.success}});
     if (m.bits > 0) {
       nds.push_back(nd);
       total_bits.push_back(m.bits);
@@ -110,6 +116,9 @@ int main(int argc, char** argv) {
   for (const std::size_t kk : {2u, 4u, 8u, 16u, 32u}) {
     const auto m = measure(32768, d_target, kk, trials, 1000 + kk);
     bench::row({{"k", static_cast<double>(kk)}, {"bits", m.bits}, {"success", m.success}});
+    json.row("k_sweep", {{"k", static_cast<std::uint64_t>(kk)},
+                         {"bits", m.bits},
+                         {"success", m.success}});
     if (m.bits > 0) {
       ks.push_back(static_cast<double>(kk));
       kbits.push_back(m.bits);

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON-lines files, ignoring time-like fields.
+
+Usage: bench/check_baseline.py <expected.json> <actual.json>
+
+Bit counts, min-budgets and success statistics are exact (fixed seeds,
+order-fixed aggregation — see the determinism contract in bench/runner.h),
+so everything except wall-clock-derived fields must match byte-for-byte.
+Exit 0 on match, 1 with a row-level diff otherwise.
+"""
+
+import json
+import re
+import sys
+
+TIME_KEY = re.compile(r"(seconds|_s$|/s$|medges|time|wall|frames_per)", re.IGNORECASE)
+
+
+def load(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            rows.append({k: v for k, v in row.items() if not TIME_KEY.search(k)})
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    expected, actual = load(sys.argv[1]), load(sys.argv[2])
+    if expected == actual:
+        print(f"OK: {len(expected)} rows identical (time-like fields ignored)")
+        return 0
+    status = 1
+    if len(expected) != len(actual):
+        print(f"FAIL: row count {len(expected)} (expected) vs {len(actual)} (actual)")
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        if e != a:
+            print(f"FAIL row {i}:\n  expected: {json.dumps(e, sort_keys=True)}"
+                  f"\n  actual:   {json.dumps(a, sort_keys=True)}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

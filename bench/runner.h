@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -11,8 +12,11 @@
 #include <vector>
 
 #include "comm/conformance.h"
+#include "graph/instance_cache.h"
+#include "lower_bounds/budget_search.h"
 #include "util/flags.h"
 #include "util/parallel.h"
+#include "util/pool.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -44,6 +48,58 @@ inline void configure_threads(const Flags& flags) {
   set_default_threads(static_cast<int>(flags.get_int("threads", 0)));
   set_conformance_checking(flags.get_bool("conformance", true));
 }
+
+/// Sweep-layer wiring shared by the budget-driven benches: installs the
+/// instance cache, transcript pooling and adaptive budget search behind
+/// bench flags so any layer can be A/B'd off without rebuilding:
+///   --cache=0|1     instance cache on/off          (default 1)
+///   --pool=0|1      transcript pooling on/off      (default 1)
+///   --adaptive=0|1  adaptive budget search on/off  (default 1)
+///   --cache_mb=N    instance cache byte budget     (default 256 MiB)
+/// Every switch preserves printed bits/min-budget bytes (the determinism
+/// contract in EXPERIMENTS.md "Sweep methodology"); only the wall-clock
+/// columns move. Construct once in main(), after configure_threads.
+class SweepContext {
+ public:
+  explicit SweepContext(const Flags& flags)
+      : adaptive_(flags.get_bool("adaptive", true)) {
+    set_instance_caching(flags.get_bool("cache", true));
+    set_buffer_pooling(flags.get_bool("pool", true));
+    auto& cache = InstanceCache::global();
+    cache.set_byte_budget(static_cast<std::size_t>(flags.get_int("cache_mb", 256)) << 20);
+    cache.clear();
+    cache.reset_stats();
+    reset_pool_stats();
+  }
+
+  [[nodiscard]] bool adaptive() const noexcept { return adaptive_; }
+
+  /// Applies the --adaptive switch: with it off, every search falls back to
+  /// the legacy exhaustive evaluation for A/B runs.
+  [[nodiscard]] BudgetSearchOptions tune(BudgetSearchOptions opts) const {
+    if (!adaptive_) {
+      opts.memoize_budgets = false;
+      opts.monotone_reuse = false;
+      opts.early_stop = false;
+    }
+    return opts;
+  }
+
+  /// Keyed fetch from the global instance cache. `generator` tags the
+  /// builder (unique per bench + instance type); build() must be a pure
+  /// function of the key fields, deriving all randomness from them.
+  template <typename T, typename Build>
+  [[nodiscard]] std::shared_ptr<const T> instance(std::uint64_t generator, std::uint64_t n,
+                                                  double param, std::uint64_t k,
+                                                  std::uint64_t seed, std::uint64_t trial,
+                                                  Build&& build) const {
+    const InstanceKey key{generator, n, InstanceKey::pack_param(param), k, seed, trial};
+    return InstanceCache::global().get_or_build<T>(key, std::forward<Build>(build));
+  }
+
+ private:
+  bool adaptive_ = true;
+};
 
 /// Runs fn(rng, t) for every t in [0, trials) across the pool and returns
 /// the results in trial order. fn must not touch state shared with other

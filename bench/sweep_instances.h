@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/instance_cache.h"
+#include "graph/partition.h"
+#include "lower_bounds/boolean_matching.h"
+#include "lower_bounds/mu_distribution.h"
+#include "runner.h"
+#include "util/rng.h"
+
+/// \file sweep_instances.h
+/// Cached payloads for the budget sweeps: a sampled hard-distribution
+/// instance together with its player partition, generated once per
+/// (size, seed, index) key and shared across every budget probe — the
+/// seed harnesses re-partitioned the same pooled graph inside every
+/// single trial closure invocation.
+///
+/// Builders derive all randomness from the key (`derive_rng(seed, idx)`),
+/// satisfying the instance cache's purity contract, so sweeps print
+/// byte-identical results with `--cache=0|1`.
+
+namespace tft::bench {
+
+struct MuSweepInstance {
+  MuInstance mu;
+  std::vector<PlayerInput> players;  ///< the canonical 3-player split
+};
+[[nodiscard]] inline std::size_t approx_bytes(const MuSweepInstance& c) noexcept {
+  return sizeof(c) + tft::approx_bytes(c.mu.graph) + tft::approx_bytes(c.players);
+}
+
+struct BmSweepInstance {
+  BmInstance bm;
+  std::vector<PlayerInput> players;  ///< Alice's stars / Bob's gadgets
+};
+[[nodiscard]] inline std::size_t approx_bytes(const BmSweepInstance& c) noexcept {
+  return sizeof(c) + c.bm.x.capacity() + c.bm.w.capacity() +
+         c.bm.m.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>) +
+         tft::approx_bytes(c.players);
+}
+
+// Builder tags for InstanceKey::generator (unique per payload type).
+inline constexpr std::uint64_t kGenMuThree = 0x3A01;
+inline constexpr std::uint64_t kGenBmTwo = 0x3A02;
+
+/// The mu instance + 3-player split for (side, gamma, seed, idx), through
+/// the global instance cache.
+[[nodiscard]] inline std::shared_ptr<const MuSweepInstance> mu_sweep_instance(
+    const SweepContext& sweep, Vertex side, double gamma, std::uint64_t seed,
+    std::uint64_t idx) {
+  return sweep.instance<MuSweepInstance>(kGenMuThree, side, gamma, 3, seed, idx, [&] {
+    Rng rng = derive_rng(seed, idx);
+    MuSweepInstance c;
+    c.mu = sample_mu(side, gamma, rng);
+    c.players = partition_mu_three(c.mu);
+    return c;
+  });
+}
+
+/// The Boolean Matching reduction instance + 2-player split for
+/// (pairs, zero_case, seed, idx), through the global instance cache.
+[[nodiscard]] inline std::shared_ptr<const BmSweepInstance> bm_sweep_instance(
+    const SweepContext& sweep, std::uint32_t pairs, bool zero_case, std::uint64_t seed,
+    std::uint64_t idx) {
+  return sweep.instance<BmSweepInstance>(kGenBmTwo, pairs, zero_case ? 1.0 : 0.0, 2, seed, idx,
+                                         [&] {
+                                           Rng rng = derive_rng(seed, idx);
+                                           BmSweepInstance c;
+                                           c.bm = sample_bm(pairs, zero_case, rng);
+                                           c.players = bm_two_players(c.bm);
+                                           return c;
+                                         });
+}
+
+}  // namespace tft::bench

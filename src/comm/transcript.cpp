@@ -51,12 +51,28 @@ void Transcript::merge(const Transcript& other) {
     down_msgs_[j] += other.down_msgs_[j];
   }
   if (other.phase_bits_.size() > phase_bits_.size()) {
+    phase_bits_.reserve(other.phase_bits_.size());
     phase_bits_.resize(other.phase_bits_.size(), 0);
   }
   for (std::size_t ph = 0; ph < other.phase_bits_.size(); ++ph) {
     phase_bits_[ph] += other.phase_bits_[ph];
   }
+  // One up-front reservation instead of O(log) doubling reallocations when
+  // many partial transcripts are folded into one (parallel trial merges).
+  events_.reserve(events_.size() + other.events_.size());
   events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void Transcript::reset(std::size_t num_players, std::uint64_t universe_n) {
+  universe_n_ = universe_n;
+  total_bits_ = 0;
+  up_bits_.assign(num_players, 0);
+  down_bits_.assign(num_players, 0);
+  up_msgs_.assign(num_players, 0);
+  down_msgs_.assign(num_players, 0);
+  events_.clear();
+  phase_bits_.clear();
+  record_events_ = true;
 }
 
 }  // namespace tft

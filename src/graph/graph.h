@@ -96,6 +96,13 @@ class Graph {
   [[nodiscard]] double average_degree() const noexcept {
     return n_ == 0 ? 0.0 : 2.0 * static_cast<double>(edges_.size()) / static_cast<double>(n_);
   }
+
+  /// Heap bytes backing this graph (edge list + CSR arrays); what the
+  /// instance cache charges against its byte budget.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return edges_.capacity() * sizeof(Edge) + offsets_.capacity() * sizeof(std::uint32_t) +
+           adj_.capacity() * sizeof(Vertex);
+  }
   [[nodiscard]] Vertex max_degree() const noexcept;
 
   /// True if all three edges of t are present.

@@ -1,57 +1,200 @@
 #include "lower_bounds/budget_search.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "util/parallel.h"
 
 namespace tft {
 
 namespace {
 
-SuccessRate evaluate(const BudgetTrial& trial, std::uint64_t budget, std::size_t trials) {
-  // trial_index fully determines a run's randomness (see BudgetTrial), so
-  // the trials at one budget are independent and fan across the pool; the
-  // success count is an integer sum, identical at any thread count.
-  std::vector<std::uint8_t> ok(trials, 0);
-  parallel_for(
-      trials, [&](std::size_t t) { ok[t] = trial(budget, t) ? 1 : 0; }, /*grain=*/1);
-  SuccessRate r;
-  r.trials = trials;
-  for (const std::uint8_t o : ok) r.successes += o;
-  return r;
+/// Smallest success count whose rate passes the target, under exactly the
+/// comparison the legacy search used (`SuccessRate::rate() >= target` in
+/// double precision). May return trials + 1: the target is unreachable.
+std::size_t needed_successes(double target, std::size_t trials) {
+  for (std::size_t s = 0; s <= trials; ++s) {
+    SuccessRate sr;
+    sr.successes = s;
+    sr.trials = trials;
+    if (sr.rate() >= target) return s;
+  }
+  return trials + 1;
 }
+
+/// One budget's evaluation: the recorded curve point plus the pass/fail
+/// decision. `pass` is carried explicitly because under early stopping the
+/// stored rate can be partial while the decision is exact.
+struct Eval {
+  SuccessRate rate;
+  bool pass = false;
+};
+
+/// Evaluates budgets for one find_min_budget call, carrying the memo and
+/// the per-trial monotone state across probes.
+class BudgetEvaluator {
+ public:
+  BudgetEvaluator(const BudgetTrial& trial, const BudgetSearchOptions& opts,
+                  BudgetSearchResult& result)
+      : trial_(trial),
+        opts_(opts),
+        result_(result),
+        needed_(needed_successes(opts.target_success, opts.trials_per_budget)),
+        pass_at_(opts.trials_per_budget, UINT64_MAX),
+        fail_at_(opts.trials_per_budget, 0) {}
+
+  Eval evaluate(std::uint64_t budget) {
+    if (opts_.memoize_budgets) {
+      const auto it = memo_.find(budget);
+      if (it != memo_.end()) {
+        ++result_.memo_hits;
+        return it->second;
+      }
+    }
+    const Eval e = run_budget(budget, /*allow_early_stop=*/true);
+    if (opts_.memoize_budgets) memo_.emplace(budget, e);
+    return e;
+  }
+
+  /// Curve-point evaluation: always reports the full trial count. A memoized
+  /// search probe is reused only when it resolved every trial (early
+  /// stopping stores partial counts, which must not masquerade as a full
+  /// curve point); a fresh run suppresses early stopping.
+  Eval evaluate_full(std::uint64_t budget) {
+    if (opts_.memoize_budgets) {
+      const auto it = memo_.find(budget);
+      if (it != memo_.end() && it->second.rate.trials == opts_.trials_per_budget) {
+        ++result_.memo_hits;
+        return it->second;
+      }
+    }
+    const Eval e = run_budget(budget, /*allow_early_stop=*/false);
+    if (opts_.memoize_budgets) memo_[budget] = e;  // full eval supersedes partial
+    return e;
+  }
+
+ private:
+  Eval run_budget(std::uint64_t budget, bool allow_early_stop) {
+    const std::size_t total = opts_.trials_per_budget;
+
+    // Resolve what monotonicity already knows, collect the rest to run.
+    std::size_t inferred_pass = 0;
+    std::size_t inferred_fail = 0;
+    std::vector<std::uint32_t> to_run;
+    to_run.reserve(total);
+    for (std::size_t t = 0; t < total; ++t) {
+      if (opts_.monotone_reuse && pass_at_[t] <= budget) {
+        ++inferred_pass;
+      } else if (opts_.monotone_reuse && fail_at_[t] >= budget) {
+        ++inferred_fail;
+      } else {
+        to_run.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    result_.trials_inferred += inferred_pass + inferred_fail;
+
+    // Execute, in trial-index order. Chunks advance exactly to the next
+    // index at which a decision could become forced; chunk boundaries
+    // depend only on success counts, never on thread count or timing, so
+    // the set of trials run (and hence every downstream byte) is
+    // deterministic. Without early stopping this is a single chunk and
+    // matches the seed implementation's one parallel_for.
+    std::vector<std::uint8_t> ok(to_run.size(), 0);
+    std::size_t run_successes = 0;
+    std::size_t ran = 0;
+    while (ran < to_run.size()) {
+      const std::size_t successes = inferred_pass + run_successes;
+      const std::size_t remaining = to_run.size() - ran;
+      std::size_t chunk = remaining;
+      if (opts_.early_stop && allow_early_stop) {
+        if (successes >= needed_) break;                // pass already forced
+        if (successes + remaining < needed_) break;     // fail already forced
+        const std::size_t to_pass = needed_ - successes;
+        const std::size_t to_fail = remaining - to_pass + 1;
+        chunk = std::min(remaining, std::max<std::size_t>(1, std::min(to_pass, to_fail)));
+      }
+      parallel_for(
+          chunk,
+          [&](std::size_t i) {
+            const std::uint32_t t = to_run[ran + i];
+            ok[ran + i] = trial_(budget, t) ? 1 : 0;
+          },
+          /*grain=*/1);
+      for (std::size_t i = 0; i < chunk; ++i) run_successes += ok[ran + i];
+      ran += chunk;
+    }
+    result_.trials_run += ran;
+    result_.trials_skipped += to_run.size() - ran;
+
+    // Fold the fresh verdicts into the monotone state.
+    if (opts_.monotone_reuse) {
+      for (std::size_t i = 0; i < ran; ++i) {
+        const std::uint32_t t = to_run[i];
+        if (ok[i]) {
+          pass_at_[t] = std::min(pass_at_[t], budget);
+        } else {
+          fail_at_[t] = std::max(fail_at_[t], budget);
+        }
+      }
+    }
+
+    Eval e;
+    e.rate.successes = inferred_pass + run_successes;
+    e.rate.trials = inferred_pass + inferred_fail + ran;  // == total unless early-stopped
+    e.pass = e.rate.successes >= needed_;
+    return e;
+  }
+
+  const BudgetTrial& trial_;
+  const BudgetSearchOptions& opts_;
+  BudgetSearchResult& result_;
+  const std::size_t needed_;
+  std::vector<std::uint64_t> pass_at_;  ///< per trial: min budget known to pass
+  std::vector<std::uint64_t> fail_at_;  ///< per trial: max budget known to fail
+  std::unordered_map<std::uint64_t, Eval> memo_;
+};
 
 }  // namespace
 
 BudgetSearchResult find_min_budget(const BudgetTrial& trial, const BudgetSearchOptions& opts) {
   BudgetSearchResult result;
+  BudgetEvaluator eval(trial, opts, result);
 
   // Doubling phase.
   std::uint64_t lo = 0;  // highest known-failing budget
   std::uint64_t hi = 0;  // lowest known-passing budget
   for (std::uint64_t b = opts.budget_lo; b <= opts.budget_hi; b *= 2) {
-    const auto rate = evaluate(trial, b, opts.trials_per_budget);
-    result.curve.push_back({b, rate});
-    if (rate.rate() >= opts.target_success) {
+    const auto e = eval.evaluate(b);
+    result.curve.push_back({b, e.rate});
+    if (e.pass) {
       hi = b;
       break;
     }
     lo = b;
     if (b > opts.budget_hi / 2) break;  // avoid overflow past the cap
   }
-  if (hi == 0) return result;  // never passed
-
-  // Bisection refinement.
-  for (std::uint32_t step = 0; step < opts.refine_steps && hi > lo + 1; ++step) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    const auto rate = evaluate(trial, mid, opts.trials_per_budget);
-    result.curve.push_back({mid, rate});
-    if (rate.rate() >= opts.target_success) {
-      hi = mid;
-    } else {
-      lo = mid;
+  if (hi != 0) {
+    // Bisection refinement.
+    for (std::uint32_t step = 0; step < opts.refine_steps && hi > lo + 1; ++step) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      const auto e = eval.evaluate(mid);
+      result.curve.push_back({mid, e.rate});
+      if (e.pass) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
     }
+    result.found = true;
+    result.min_budget = hi;
   }
-  result.found = true;
-  result.min_budget = hi;
+
+  // The requested success-curve grid rides on the same evaluator, so grid
+  // points the search already measured in full come from the memo and the
+  // rest reuse every monotone-resolved trial verdict.
+  for (const std::uint64_t b : opts.curve_budgets) {
+    result.curve.push_back({b, eval.evaluate_full(b).rate});
+  }
   return result;
 }
 

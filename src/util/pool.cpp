@@ -1,0 +1,33 @@
+#include "util/pool.h"
+
+#include <atomic>
+
+namespace tft {
+
+namespace {
+std::atomic<bool> g_pooling{true};
+std::atomic<std::uint64_t> g_acquires{0};
+std::atomic<std::uint64_t> g_reuses{0};
+}  // namespace
+
+void set_buffer_pooling(bool on) noexcept { g_pooling.store(on, std::memory_order_relaxed); }
+
+bool buffer_pooling() noexcept { return g_pooling.load(std::memory_order_relaxed); }
+
+PoolStats pool_stats() noexcept {
+  return {g_acquires.load(std::memory_order_relaxed), g_reuses.load(std::memory_order_relaxed)};
+}
+
+void reset_pool_stats() noexcept {
+  g_acquires.store(0, std::memory_order_relaxed);
+  g_reuses.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_pool_acquire(bool reused) noexcept {
+  g_acquires.fetch_add(1, std::memory_order_relaxed);
+  if (reused) g_reuses.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace tft

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+/// \file pool.h
+/// Per-thread object pooling for the sweep layer's hot trial loops.
+///
+/// Every protocol run builds a Transcript whose event vector grows by
+/// reallocation; a min-budget sweep executes tens of thousands of such runs,
+/// so the allocator churn dominates once the graph kernels are fast. The
+/// pool keeps a small per-thread free list of retired objects and hands them
+/// back (after a caller-supplied reset) instead of allocating fresh ones.
+///
+/// Determinism contract: pooling is invisible. A pooled object is reset to
+/// the freshly-constructed state before reuse, so every observable output —
+/// transcripts, bench rows, golden files — is byte-identical with pooling on
+/// or off (tests/test_sweep.cpp locks this in). The free lists are
+/// thread_local, so no locks sit on the trial path and the thread-count
+/// byte-identity contract of util/parallel.h is untouched.
+///
+/// The global switch exists for A/B benchmarking (`--pool=0` in the bench
+/// harness) and is read atomically; flipping it mid-run only changes where
+/// memory comes from, never what is computed.
+
+namespace tft {
+
+/// Global pooling switch, default on. Reads/writes are atomic.
+void set_buffer_pooling(bool on) noexcept;
+[[nodiscard]] bool buffer_pooling() noexcept;
+
+/// Aggregate pool telemetry (all threads, all pooled types).
+struct PoolStats {
+  std::uint64_t acquires = 0;  ///< total acquire_pooled calls
+  std::uint64_t reuses = 0;    ///< acquires served from a free list
+};
+[[nodiscard]] PoolStats pool_stats() noexcept;
+void reset_pool_stats() noexcept;
+
+namespace detail {
+void note_pool_acquire(bool reused) noexcept;
+
+/// Retired objects awaiting reuse on this thread. One list per T; bounded so
+/// a burst of nested leases cannot pin unbounded memory.
+template <typename T>
+[[nodiscard]] inline std::vector<std::unique_ptr<T>>& pool_free_list() {
+  static thread_local std::vector<std::unique_ptr<T>> list;
+  return list;
+}
+
+inline constexpr std::size_t kMaxFreeListSize = 8;
+}  // namespace detail
+
+/// RAII lease over a pooled object: returns it to the owning thread's free
+/// list on destruction (or frees it outright when pooling is off). Leases
+/// must be destroyed on the thread that acquired them — exactly the shape of
+/// a trial body, which runs start-to-finish on one worker.
+template <typename T>
+class PoolLease {
+ public:
+  PoolLease(std::unique_ptr<T> obj, bool pooled) noexcept
+      : obj_(std::move(obj)), pooled_(pooled) {}
+  ~PoolLease() {
+    if (!pooled_ || obj_ == nullptr) return;
+    auto& list = detail::pool_free_list<T>();
+    if (list.size() < detail::kMaxFreeListSize) list.push_back(std::move(obj_));
+  }
+  PoolLease(PoolLease&& other) noexcept
+      : obj_(std::move(other.obj_)), pooled_(other.pooled_) {}
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  PoolLease& operator=(PoolLease&&) = delete;
+
+  [[nodiscard]] T& operator*() const noexcept { return *obj_; }
+  [[nodiscard]] T* operator->() const noexcept { return obj_.get(); }
+  [[nodiscard]] T* get() const noexcept { return obj_.get(); }
+
+ private:
+  std::unique_ptr<T> obj_;
+  bool pooled_;
+};
+
+/// Acquire a T: reuse the most recently retired one on this thread (calling
+/// reset(T&) to restore the freshly-made state) or invoke make() for a new
+/// one. make: () -> std::unique_ptr<T>; reset: (T&) -> void.
+template <typename T, typename Make, typename Reset>
+[[nodiscard]] PoolLease<T> acquire_pooled(Make&& make, Reset&& reset) {
+  if (buffer_pooling()) {
+    auto& list = detail::pool_free_list<T>();
+    if (!list.empty()) {
+      std::unique_ptr<T> obj = std::move(list.back());
+      list.pop_back();
+      reset(*obj);
+      detail::note_pool_acquire(/*reused=*/true);
+      return PoolLease<T>(std::move(obj), /*pooled=*/true);
+    }
+    detail::note_pool_acquire(/*reused=*/false);
+    return PoolLease<T>(make(), /*pooled=*/true);
+  }
+  detail::note_pool_acquire(/*reused=*/false);
+  return PoolLease<T>(make(), /*pooled=*/false);
+}
+
+}  // namespace tft
