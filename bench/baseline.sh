@@ -6,9 +6,11 @@
 # packing numbers are exact integers / order-fixed floating point sums, so
 # the concatenated file must be byte-comparable across machines and thread
 # counts once time-like fields are stripped (bench/check_baseline.py does
-# the stripping). bench_net is excluded on purpose: executed-transport
-# retransmission counts depend on host timing under load, so its wire rows
-# are not bit-exact across machines.
+# the stripping). bench_net runs inproc-only (socket availability varies by
+# machine) with the virtual clock on: logical time makes retransmission /
+# duplicate / corrupt / ack counts pure functions of the fault seed, so even
+# the fault-grid rows are bit-exact. Wall-clock fields (*_s, seconds,
+# speedup_time, frames_per_s) are stripped by the checker as usual.
 #
 # Usage: bench/baseline.sh [build-dir] [output.json]
 set -euo pipefail
@@ -45,6 +47,7 @@ run subgraph --nmax=4096 --trials=2
 run symmetrization --trials=10
 run information --side=8 --samples=2000
 run ablations --trials=2
+run net --messages=200 --transports=inproc
 
 cat "$TMP"/*.json > "$OUT"
 echo "wrote $(wc -l < "$OUT") rows to $OUT" >&2

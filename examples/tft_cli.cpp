@@ -88,6 +88,17 @@ tft::net::NetConfig parse_net_config(const tft::Flags& flags) {
   const auto delay_us = static_cast<std::uint32_t>(flags.get_int("fault-delay-us", 0));
   cfg.faults.delay_us = delay_us;
   cfg.faults.delay = delay_us > 0 ? flags.get_double("fault-delay", 0.5) : 0.0;
+  const std::string arq = flags.get_string("arq", "windowed");
+  if (arq == "windowed") {
+    cfg.arq = tft::net::ArqPolicy::windowed(
+        static_cast<std::uint32_t>(flags.get_int("window", 32)));
+  } else if (arq == "stopwait") {
+    cfg.arq = tft::net::ArqPolicy::stop_and_wait();
+  } else {
+    std::fprintf(stderr, "unknown arq policy '%s' (windowed|stopwait)\n", arq.c_str());
+    std::exit(2);
+  }
+  cfg.virtual_clock = flags.get_bool("vclock", false);
   return cfg;
 }
 

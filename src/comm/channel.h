@@ -38,6 +38,12 @@ class ChannelSink {
   /// message died in flight after being paid for.
   virtual void on_charge(std::size_t player, Direction dir, std::uint64_t bits,
                          std::uint64_t phase) = 0;
+  /// Barrier: deliver everything charged so far before returning. A no-op
+  /// by default (simulated mode has nothing in flight); the executed
+  /// transport drains its ARQ pipeline end to end. Protocols call this via
+  /// Channel::flush() at round boundaries where they need wire-level
+  /// synchrony beyond what the automatic phase barrier provides.
+  virtual void on_flush() {}
 };
 
 /// The calling thread's installed sink (null in simulated mode).
@@ -91,6 +97,12 @@ class Channel {
     for (std::size_t j = 0; j < t_->num_players(); ++j) {
       charge(j, Direction::kCoordinatorToPlayer, bits_per_player, phase);
     }
+  }
+
+  /// Wire-level barrier: in executed mode, block until every charge so far
+  /// is delivered and acknowledged. Free in simulated mode.
+  void flush() {
+    if (sink_ != nullptr) sink_->on_flush();
   }
 
   [[nodiscard]] std::uint64_t total_bits() const noexcept { return t_->total_bits(); }

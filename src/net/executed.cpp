@@ -2,47 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
-#include <thread>
 
 #include "net/error.h"
+#include "net/servicer.h"
 #include "util/bits.h"
 
 namespace tft::net {
-
-namespace {
-
-/// One coordinator->player forwarding lane. The mutex serializes forwards:
-/// the coordinator's per-player servicer actors run concurrently and two of
-/// them may relay to the same recipient at once.
-struct DownLane {
-  DownLane(Transport& transport, std::uint32_t link_id, std::uint32_t coord, std::uint32_t player,
-           const NetConfig& cfg)
-      : link(transport.make_link()),
-        sender(link, link_id, cfg.retry, cfg.faults),
-        servicer(link, coord, player) {}
-
-  Link link;
-  ReliableSender sender;
-  LinkServicer servicer;
-  std::mutex mu;
-  std::thread thread;
-};
-
-struct UpLane {
-  UpLane(Transport& transport, std::uint32_t link_id, std::uint32_t player, std::uint32_t coord,
-         const NetConfig& cfg, std::function<void(const Frame&)> deliver)
-      : link(transport.make_link()),
-        sender(link, link_id, cfg.retry, cfg.faults),
-        servicer(link, player, coord, std::move(deliver)) {}
-
-  Link link;
-  ReliableSender sender;
-  LinkServicer servicer;
-  std::thread thread;
-};
-
-}  // namespace
 
 RelayReport relay_messages(std::size_t k, std::uint64_t universe_n,
                            std::span<const MpMessage> messages, const NetConfig& cfg) {
@@ -52,70 +17,59 @@ RelayReport relay_messages(std::size_t k, std::uint64_t universe_n,
   if (k < 2) {
     throw NetError(NetErrorKind::kSetup, "message passing needs at least two players");
   }
+  if (cfg.virtual_clock && cfg.transport != TransportKind::kInProc) {
+    throw NetError(NetErrorKind::kSetup,
+                   "virtual clock needs the in-proc transport (kernel socket buffers "
+                   "are invisible to the logical clock)");
+  }
   const std::uint32_t coord = static_cast<std::uint32_t>(k);
   const std::uint64_t header_bits = vertex_bits(static_cast<std::uint64_t>(k));
   auto transport = make_transport(cfg);
 
-  std::vector<std::unique_ptr<DownLane>> downs;
-  downs.reserve(k);
+  SharedServicer::Options opts;
+  opts.arq = cfg.arq;
+  opts.retry = cfg.retry;
+  opts.faults = cfg.faults;
+  opts.virtual_clock = cfg.virtual_clock;
+  opts.timed_recheck = cfg.transport == TransportKind::kSocket;
+  SharedServicer servicer(opts);
+
+  std::vector<Link> links;
+  links.reserve(2 * k);
+  for (std::size_t j = 0; j < 2 * k; ++j) links.push_back(transport->make_link());
+
+  // The coordinator actor, run inline on the servicer thread: decode the
+  // recipient id out of each relay frame and seal the forwarded payload
+  // onto the matching downstream lane — a real execution of the Section 2
+  // simulation. Relay lanes keep one message per frame (coalesce=false) so
+  // the overhead measurement stays per-message.
   for (std::size_t j = 0; j < k; ++j) {
-    downs.push_back(std::make_unique<DownLane>(*transport, coord + 1 + static_cast<std::uint32_t>(j),
-                                               coord, static_cast<std::uint32_t>(j), cfg));
+    const std::uint32_t pj = static_cast<std::uint32_t>(j);
+    servicer.add_link(&links[j], /*link_id=*/pj, /*src=*/pj, /*dst=*/coord,
+                      /*coalesce=*/false, [&servicer, k, header_bits](const Frame& fr) {
+                        const std::size_t to = decode_relay_recipient(fr, k);
+                        servicer.enqueue_from_hook(k + to, fr.header.phase,
+                                                   fr.header.payload_bits - header_bits);
+                      });
   }
-
-  // The coordinator actor: each upstream servicer decodes the recipient id
-  // out of the relay frame and forwards the payload downstream — a real
-  // execution of the Section 2 simulation.
-  const auto forward = [&](const Frame& fr) {
-    const std::size_t to = decode_relay_recipient(fr, k);
-    DownLane& lane = *downs[to];
-    const std::lock_guard lock(lane.mu);
-    Frame fwd;
-    fwd.header.type = FrameType::kData;
-    fwd.header.src = coord;
-    fwd.header.dst = static_cast<std::uint32_t>(to);
-    fwd.header.seq = lane.sender.next_seq();
-    fwd.header.payload_bits = fr.header.payload_bits - header_bits;
-    fwd.payload = make_filler_payload(fwd.header);
-    lane.sender.send(std::move(fwd));
-  };
-
-  std::vector<std::unique_ptr<UpLane>> ups;
-  ups.reserve(k);
   for (std::size_t j = 0; j < k; ++j) {
-    ups.push_back(std::make_unique<UpLane>(*transport, static_cast<std::uint32_t>(j),
-                                           static_cast<std::uint32_t>(j), coord, cfg, forward));
+    const std::uint32_t pj = static_cast<std::uint32_t>(j);
+    servicer.add_link(&links[k + j], /*link_id=*/coord + 1 + pj, /*src=*/coord, /*dst=*/pj,
+                      /*coalesce=*/false);
   }
-
-  for (auto& d : downs) d->thread = std::thread([&lane = *d] { lane.servicer.run(); });
-  for (auto& u : ups) u->thread = std::thread([&lane = *u] { lane.servicer.run(); });
-
-  const auto shutdown = [&]() noexcept {
-    for (auto& u : ups) u->link.close();
-    for (auto& u : ups) {
-      if (u->thread.joinable()) u->thread.join();
-    }
-    // Up servicers (and their forwarding hooks) are quiescent now; the down
-    // lanes can drain and close.
-    for (auto& d : downs) d->link.close();
-    for (auto& d : downs) {
-      if (d->thread.joinable()) d->thread.join();
-    }
-  };
+  servicer.start();
 
   MessagePassingSimulator sim(k, universe_n);
   try {
     for (const MpMessage& msg : messages) {
       sim.deliver(msg);  // validates indices; throws on self/out-of-range
-      UpLane& lane = *ups[msg.from];
-      lane.sender.send(make_relay_frame(static_cast<std::uint32_t>(msg.from),
-                                        lane.sender.next_seq(), k, msg.to, msg.bits));
+      servicer.enqueue_relay(msg.from, k, msg.to, msg.bits);
     }
   } catch (...) {
-    shutdown();
+    servicer.finish();
     throw;
   }
-  shutdown();
+  servicer.finish();
 
   RelayReport report;
   report.mp_bits = sim.mp_bits();
@@ -126,13 +80,15 @@ RelayReport relay_messages(std::size_t k, std::uint64_t universe_n,
   w.down_bits.resize(k);
   w.up_msgs.resize(k);
   w.down_msgs.resize(k);
-  std::optional<std::string> failure;
-  const auto fold = [&](const ReceiverStats& r, const SenderStats& s, std::uint64_t& bits_slot,
-                        std::uint64_t& msgs_slot) {
+  const auto fold = [&](std::size_t index, std::uint64_t& bits_slot, std::uint64_t& msgs_slot) {
+    const SharedServicer::LinkStats& st = servicer.stats(index);
+    const ReceiverStats& r = st.receiver;
+    const SenderStats& s = st.sender;
     bits_slot += r.payload_bits;
-    msgs_slot += r.frames;
+    msgs_slot += r.messages;
     if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
     for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
+    w.frames_delivered += r.frames;
     w.wire_bytes += s.wire_bytes;
     w.retransmissions += s.retransmissions;
     w.duplicates += r.duplicates + s.duplicates_sent;
@@ -140,14 +96,11 @@ RelayReport relay_messages(std::size_t k, std::uint64_t universe_n,
     w.acks += s.acks_received;
   };
   for (std::size_t j = 0; j < k; ++j) {
-    fold(ups[j]->servicer.stats(), ups[j]->sender.stats(), w.up_bits[j], w.up_msgs[j]);
-    fold(downs[j]->servicer.stats(), downs[j]->sender.stats(), w.down_bits[j], w.down_msgs[j]);
-    if (!failure && ups[j]->servicer.error()) failure = ups[j]->servicer.error();
-    if (!failure && downs[j]->servicer.error()) failure = downs[j]->servicer.error();
+    fold(j, w.up_bits[j], w.up_msgs[j]);
+    fold(k + j, w.down_bits[j], w.down_msgs[j]);
   }
-  if (failure) {
-    throw NetError(NetErrorKind::kProtocol, "relay servicer failed: " + *failure);
-  }
+  w.virtual_time_us = servicer.virtual_time_us();
+  servicer.rethrow_error();
 
   report.measured_bits = w.payload_bits();
   report.measured_overhead =

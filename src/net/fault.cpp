@@ -18,6 +18,9 @@ FaultDecision FaultInjector::decide(std::uint32_t seq, std::uint32_t attempt) co
       mix_hash(plan_.seed, (std::uint64_t{link_id_} << 32) | seq, attempt);
   // Independent sub-draws per fault class, each its own hash domain.
   d.drop = unit(mix_hash(key, 1)) < plan_.drop;
+  if (attempt == 0 && seq < 64 && ((plan_.drop_first_attempt_mask >> seq) & 1) != 0) {
+    d.drop = true;
+  }
   d.duplicate = unit(mix_hash(key, 2)) < plan_.duplicate;
   d.bit_flip = unit(mix_hash(key, 3)) < plan_.bit_flip;
   d.delay = unit(mix_hash(key, 4)) < plan_.delay;

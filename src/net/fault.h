@@ -23,9 +23,14 @@ struct FaultPlan {
   double bit_flip = 0.0;   ///< P[one body bit is flipped in flight]
   double delay = 0.0;      ///< P[attempt is delayed by delay_us]
   std::uint32_t delay_us = 0;
+  /// Bit s set => attempt 0 of sequence number s (s < 64) is dropped on
+  /// every link, unconditionally. A surgical knob for tests that want a
+  /// loss at an exact window position rather than a seeded coin flip.
+  std::uint64_t drop_first_attempt_mask = 0;
 
   [[nodiscard]] bool any() const noexcept {
-    return drop > 0.0 || duplicate > 0.0 || bit_flip > 0.0 || delay > 0.0;
+    return drop > 0.0 || duplicate > 0.0 || bit_flip > 0.0 || delay > 0.0 ||
+           drop_first_attempt_mask != 0;
   }
 };
 

@@ -17,19 +17,28 @@ constexpr std::uint64_t kMagic = 0xF7A7;  // "tft transport"
 constexpr std::uint32_t kMagicBits = 16;
 constexpr std::uint32_t kTypeBits = 2;
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slice-by-8 CRC tables: table[0] is the classic byte-at-a-time table,
+/// table[k][i] advances a byte through k+1 zero bytes, so eight input bytes
+/// fold into the running CRC with eight independent table lookups per
+/// iteration instead of eight dependent ones.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
-constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrcTables = make_crc_tables();
 
 void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
@@ -68,7 +77,7 @@ bool decode_body(std::span<const std::uint8_t> body, Frame& out) {
     BitReader r(body, body.size() * std::uint64_t{8});
     if (r.get_bits(kMagicBits) != kMagic) return false;
     const std::uint64_t type = r.get_bits(kTypeBits);
-    if (type > static_cast<std::uint64_t>(FrameType::kAck)) return false;
+    if (type > static_cast<std::uint64_t>(FrameType::kBatch)) return false;
     out.header.type = static_cast<FrameType>(type);
     const std::uint64_t src = r.get_gamma();
     const std::uint64_t dst = r.get_gamma();
@@ -114,13 +123,33 @@ void append_filler_bits(BitWriter& w, std::uint64_t seed, std::uint64_t bits) {
 
 std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t crc) noexcept {
   crc = ~crc;
-  for (const std::uint8_t b : bytes) {
-    crc = kCrcTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  // Byte loads composed into u32s keep the 8-byte hot loop endian-safe.
+  while (n >= 8) {
+    const std::uint32_t lo = (static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24)) ^
+                             crc;
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    crc = kCrcTables[7][lo & 0xFF] ^ kCrcTables[6][(lo >> 8) & 0xFF] ^
+          kCrcTables[5][(lo >> 16) & 0xFF] ^ kCrcTables[4][lo >> 24] ^
+          kCrcTables[3][hi & 0xFF] ^ kCrcTables[2][(hi >> 8) & 0xFF] ^
+          kCrcTables[1][(hi >> 16) & 0xFF] ^ kCrcTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kCrcTables[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
   }
   return ~crc;
 }
 
-std::vector<std::uint8_t> serialize_frame(const Frame& f) {
+void serialize_frame_into(const Frame& f, std::vector<std::uint8_t>& out) {
   if (f.header.payload_bits > kMaxPayloadBits) {
     throw NetError(NetErrorKind::kProtocol, "frame payload exceeds kMaxPayloadBits");
   }
@@ -128,14 +157,19 @@ std::vector<std::uint8_t> serialize_frame(const Frame& f) {
     throw NetError(NetErrorKind::kProtocol, "frame payload size disagrees with payload_bits");
   }
   const BitWriter header = write_header(f.header);
-  std::vector<std::uint8_t> body = header.bytes();
-  body.insert(body.end(), f.payload.begin(), f.payload.end());
+  const std::size_t body_len = header.bytes().size() + f.payload.size();
 
+  out.clear();
+  out.reserve(body_len + 8);
+  put_u32_le(out, static_cast<std::uint32_t>(body_len));
+  out.insert(out.end(), header.bytes().begin(), header.bytes().end());
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  put_u32_le(out, crc32(std::span<const std::uint8_t>(out.data() + 4, body_len)));
+}
+
+std::vector<std::uint8_t> serialize_frame(const Frame& f) {
   std::vector<std::uint8_t> wire;
-  wire.reserve(body.size() + 8);
-  put_u32_le(wire, static_cast<std::uint32_t>(body.size()));
-  wire.insert(wire.end(), body.begin(), body.end());
-  put_u32_le(wire, crc32(body));
+  serialize_frame_into(f, wire);
   return wire;
 }
 

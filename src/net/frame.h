@@ -28,7 +28,8 @@ namespace tft::net {
 enum class FrameType : std::uint8_t {
   kData = 0,   ///< one charged protocol message (payload = deterministic filler)
   kRelay = 1,  ///< message-passing payload: recipient id + payload filler
-  kAck = 2,    ///< acknowledgement of `seq`; never carries payload
+  kAck = 2,    ///< cumulative ack of `seq`; payload (optional) = selective acks
+  kBatch = 3,  ///< several coalesced charged messages (see net/arq.h codec)
 };
 
 struct FrameHeader {
@@ -56,6 +57,10 @@ inline constexpr std::size_t kMaxBodyBytes = (kMaxPayloadBits / 8) + 64;
 
 /// Serialize to the on-the-wire byte string (prefix + body + CRC).
 [[nodiscard]] std::vector<std::uint8_t> serialize_frame(const Frame& f);
+
+/// Same encoding into a caller-owned buffer (cleared first) so hot paths
+/// can reuse one allocation per link instead of allocating per frame.
+void serialize_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
 
 /// Bytes `serialize_frame` produces for this frame (without materializing).
 [[nodiscard]] std::size_t frame_wire_bytes(const Frame& f);

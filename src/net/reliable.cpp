@@ -8,10 +8,16 @@
 namespace tft::net {
 
 std::chrono::microseconds RetryPolicy::timeout_for(std::uint32_t attempt) const noexcept {
-  double scale = 1.0;
-  for (std::uint32_t i = 0; i < attempt; ++i) scale *= backoff;
-  const double us = static_cast<double>(base_timeout.count()) * scale;
-  const double capped = std::min(us, static_cast<double>(max_timeout.count()));
+  const double cap = static_cast<double>(max_timeout.count());
+  double us = static_cast<double>(base_timeout.count());
+  // Exit once the value saturates (at the cap growing, below 1us shrinking,
+  // fixed at backoff == 1): huge attempt counts neither overflow the double
+  // nor loop 2^32 times.
+  for (std::uint32_t i = 0; i < attempt; ++i) {
+    if (backoff == 1.0 || (backoff > 1.0 && us >= cap) || (backoff < 1.0 && us < 1.0)) break;
+    us *= backoff;
+  }
+  const double capped = std::min(us, cap);
   return std::chrono::microseconds(static_cast<std::int64_t>(capped));
 }
 
@@ -86,6 +92,7 @@ void LinkServicer::send_ack(std::uint32_t seq) {
 void LinkServicer::accept(const Frame& f) {
   stats_.payload_bits += f.header.payload_bits;
   ++stats_.frames;
+  ++stats_.messages;  // stop-and-wait never coalesces: one charge per frame
   if (stats_.phase_bits.size() <= f.header.phase) {
     stats_.phase_bits.resize(static_cast<std::size_t>(f.header.phase) + 1, 0);
   }

@@ -15,6 +15,12 @@
 /// Stop-and-wait ARQ over one directed Link, with deterministic fault
 /// injection on the sending side.
 ///
+/// This is the *legacy* one-thread-per-link engine. The executed runtime
+/// now runs on the pipelined net/servicer.h engine; these classes survive
+/// as the independent byte-for-byte reference that
+/// `ArqPolicy::stop_and_wait()` is verified against (see test_net_arq.cpp),
+/// and as the backing of tests that exercise one link in isolation.
+///
 /// `ReliableSender::send` blocks until the frame is acknowledged, retrying
 /// with bounded exponential backoff; retries exhausted is a typed
 /// NetError(kTimeout) — the channel layer never hangs and never lies.
@@ -45,7 +51,8 @@ struct SenderStats {
 };
 
 struct ReceiverStats {
-  std::uint64_t frames = 0;        ///< unique data/relay frames accepted
+  std::uint64_t frames = 0;        ///< unique data/relay/batch frames accepted
+  std::uint64_t messages = 0;      ///< charged messages delivered (>= frames with coalescing)
   std::uint64_t payload_bits = 0;  ///< sum of accepted frames' charged bits
   std::uint64_t duplicates = 0;    ///< retransmits discarded by seq dedup
   std::uint64_t corrupt = 0;       ///< CRC/codec/filler failures discarded

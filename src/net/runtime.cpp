@@ -35,9 +35,9 @@ std::uint64_t WireStats::messages() const noexcept {
 
 std::string WireStats::summary() const {
   std::ostringstream os;
-  os << messages() << " frames / " << payload_bits() << " payload bits / " << wire_bytes
-     << " wire bytes (retransmits " << retransmissions << ", dups " << duplicates
-     << ", corrupt " << corrupt_frames << ")";
+  os << messages() << " messages / " << frames_delivered << " frames / " << payload_bits()
+     << " payload bits / " << wire_bytes << " wire bytes (retransmits " << retransmissions
+     << ", dups " << duplicates << ", corrupt " << corrupt_frames << ")";
   return os.str();
 }
 
@@ -102,23 +102,6 @@ void verify_accounting(const Transcript& t, const WireStats& w) {
   verify_accounting(c, w);
 }
 
-/// One directed link plus its two actors: the sender half lives with the
-/// driving thread, the servicer half runs on its own thread.
-struct NetSession::Endpoint {
-  Endpoint(Transport& transport, std::uint32_t link_id, std::uint32_t src, std::uint32_t dst,
-           const NetConfig& cfg)
-      : link(transport.make_link()),
-        sender(link, link_id, cfg.retry, cfg.faults),
-        servicer(link, src, dst) {
-    thread = std::thread([this] { servicer.run(); });
-  }
-
-  Link link;
-  ReliableSender sender;
-  LinkServicer servicer;
-  std::thread thread;
-};
-
 NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_players) {
   if (cfg.transport == TransportKind::kSim) {
     throw NetError(NetErrorKind::kSetup, "NetSession requires an executed transport");
@@ -126,17 +109,42 @@ NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_p
   if (k_ == 0) {
     throw NetError(NetErrorKind::kSetup, "NetSession requires at least one player");
   }
+  if (cfg.virtual_clock && cfg.transport != TransportKind::kInProc) {
+    throw NetError(NetErrorKind::kSetup,
+                   "virtual clock needs the in-proc transport (kernel socket buffers "
+                   "are invisible to the logical clock)");
+  }
   transport_ = make_transport(cfg);
+
+  SharedServicer::Options opts;
+  opts.arq = cfg.arq;
+  opts.retry = cfg.retry;
+  opts.faults = cfg.faults;
+  opts.virtual_clock = cfg.virtual_clock;
+  opts.timed_recheck = cfg.transport == TransportKind::kSocket;
+  servicer_ = std::make_unique<SharedServicer>(opts);
+
+  // Links must not reallocate once registered: the servicer keeps raw
+  // pointers into this vector.
+  links_.reserve(2 * k_);
   const std::uint32_t coord = static_cast<std::uint32_t>(k_);
-  up_.reserve(k_);
-  down_.reserve(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    links_.push_back(transport_->make_link());
+  }
+  for (std::size_t j = 0; j < k_; ++j) {
+    links_.push_back(transport_->make_link());
+  }
   for (std::size_t j = 0; j < k_; ++j) {
     const std::uint32_t pj = static_cast<std::uint32_t>(j);
-    up_.push_back(
-        std::make_unique<Endpoint>(*transport_, pj, pj, coord, cfg));
-    down_.push_back(
-        std::make_unique<Endpoint>(*transport_, coord + 1 + pj, coord, pj, cfg));
+    servicer_->add_link(&links_[j], /*link_id=*/pj, /*src=*/pj, /*dst=*/coord,
+                        /*coalesce=*/true);
   }
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::uint32_t pj = static_cast<std::uint32_t>(j);
+    servicer_->add_link(&links_[k_ + j], /*link_id=*/coord + 1 + pj, /*src=*/coord,
+                        /*dst=*/pj, /*coalesce=*/true);
+  }
+  servicer_->start();
 }
 
 NetSession::~NetSession() {
@@ -155,60 +163,58 @@ void NetSession::on_charge(std::size_t player, Direction dir, std::uint64_t bits
   if (player >= k_) {
     throw NetError(NetErrorKind::kProtocol, "charge names a player outside [0, k)");
   }
+  // Phase barrier: the pipeline drains completely before the first charge
+  // of a new phase, so frames never mix phases and the executed run keeps
+  // the round structure the Transcript records.
+  if (phase != last_phase_) {
+    servicer_->flush();
+    last_phase_ = phase;
+  }
   const bool upstream = dir == Direction::kPlayerToCoordinator;
-  Endpoint& ep = upstream ? *up_[player] : *down_[player];
-  Frame f;
-  f.header.type = FrameType::kData;
-  f.header.src = upstream ? static_cast<std::uint32_t>(player) : static_cast<std::uint32_t>(k_);
-  f.header.dst = upstream ? static_cast<std::uint32_t>(k_) : static_cast<std::uint32_t>(player);
-  f.header.seq = ep.sender.next_seq();
-  f.header.phase = phase;
-  f.header.payload_bits = bits;
-  f.payload = make_filler_payload(f.header);
-  ep.sender.send(std::move(f));
+  const std::size_t index = upstream ? player : k_ + player;
+  servicer_->enqueue_charge(index, phase, bits);
+}
+
+void NetSession::on_flush() {
+  if (finished_) return;
+  servicer_->flush();
 }
 
 WireStats NetSession::finish() {
   if (finished_) return result_;
   finished_ = true;
 
-  for (auto& ep : up_) ep->link.close();
-  for (auto& ep : down_) ep->link.close();
-  for (auto& ep : up_) {
-    if (ep->thread.joinable()) ep->thread.join();
-  }
-  for (auto& ep : down_) {
-    if (ep->thread.joinable()) ep->thread.join();
-  }
+  servicer_->finish();
 
   WireStats w;
   w.up_bits.resize(k_);
   w.down_bits.resize(k_);
   w.up_msgs.resize(k_);
   w.down_msgs.resize(k_);
-  std::optional<std::string> failure;
-  const auto fold = [&](const Endpoint& ep, std::uint64_t& bits_slot, std::uint64_t& msgs_slot) {
-    const ReceiverStats& r = ep.servicer.stats();
-    const SenderStats& s = ep.sender.stats();
+  const auto fold = [&](std::size_t index, std::uint64_t& bits_slot, std::uint64_t& msgs_slot) {
+    const SharedServicer::LinkStats& st = servicer_->stats(index);
+    const ReceiverStats& r = st.receiver;
+    const SenderStats& s = st.sender;
     bits_slot += r.payload_bits;
-    msgs_slot += r.frames;
+    msgs_slot += r.messages;
     if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
     for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
+    w.frames_delivered += r.frames;
     w.wire_bytes += s.wire_bytes;
     w.retransmissions += s.retransmissions;
     w.duplicates += r.duplicates + s.duplicates_sent;
     w.corrupt_frames += r.corrupt;
     w.acks += s.acks_received;
-    if (!failure && ep.servicer.error()) failure = ep.servicer.error();
   };
   for (std::size_t j = 0; j < k_; ++j) {
-    fold(*up_[j], w.up_bits[j], w.up_msgs[j]);
-    fold(*down_[j], w.down_bits[j], w.down_msgs[j]);
+    fold(j, w.up_bits[j], w.up_msgs[j]);
+    fold(k_ + j, w.down_bits[j], w.down_msgs[j]);
   }
+  w.virtual_time_us = servicer_->virtual_time_us();
   result_ = std::move(w);
-  if (failure) {
-    throw NetError(NetErrorKind::kProtocol, "link servicer failed: " + *failure);
-  }
+  // Stats are folded before rethrow so a failed run still reports what
+  // crossed the wire (matching the legacy engine's behavior).
+  servicer_->rethrow_error();
   return result_;
 }
 

@@ -11,23 +11,26 @@
 
 #include "comm/channel.h"
 #include "comm/transcript.h"
+#include "net/arq.h"
 #include "net/reliable.h"
+#include "net/servicer.h"
 #include "net/transport.h"
 
 /// \file runtime.h
 /// The executed-mode session: one ChannelSink whose on_charge ships a real
-/// frame per charged message.
+/// frame per charged message (or coalesces several charges into one frame
+/// under the windowed ARQ policy).
 ///
-/// Topology: 2k directed links — player j -> coordinator (upstream) and
-/// coordinator -> player j (downstream). Each link's receiving half is a
-/// LinkServicer actor on its own std::thread (the receivers block on pipe
-/// reads, so they cannot ride the fork-join compute pool of
-/// util/parallel.h — the pool's workers must stay available for the
-/// protocol's own parallel_for work; trial-level parallelism still fans
-/// executed sessions across the pool, each session bringing its own
-/// servicer threads). The protocol itself stays single-threaded on the
-/// driving thread, exactly as in simulated mode, so transcripts and
-/// verdicts are bit-identical across transports and thread counts.
+/// Topology: 2k directed links — player j -> coordinator (upstream, link id
+/// j) and coordinator -> player j (downstream, link id k+1+j; the ids seed
+/// the fault injector, so they are part of the reproducibility contract).
+/// All 2k links are drained by ONE SharedServicer thread; on_charge is
+/// enqueue-mostly and the driving thread blocks only at phase barriers
+/// (every phase change flushes the pipeline end to end), on queue
+/// backpressure, or at session close. The protocol itself stays
+/// single-threaded on the driving thread, exactly as in simulated mode, so
+/// transcripts and verdicts are bit-identical across transports, ArqPolicy
+/// choices and thread counts.
 
 namespace tft::net {
 
@@ -53,6 +56,11 @@ struct NetConfig {
   FaultPlan faults;     ///< applied to every data link
   RetryPolicy retry;
   std::size_t ring_capacity = std::size_t{1} << 16;
+  ArqPolicy arq = ArqPolicy::windowed();  ///< stop_and_wait() for the A/B reference
+  /// Deterministic logical time for timeouts/backoff (in-proc only):
+  /// retransmission counts become exactly reproducible under a fixed fault
+  /// seed. Throws NetError(kSetup) when combined with kSocket.
+  bool virtual_clock = false;
 };
 
 [[nodiscard]] std::unique_ptr<Transport> make_transport(const NetConfig& cfg);
@@ -71,7 +79,11 @@ struct WireStats {
   std::uint64_t duplicates = 0;      ///< frames discarded by seq dedup
   std::uint64_t corrupt_frames = 0;  ///< frames discarded by CRC/codec checks
   std::uint64_t acks = 0;
+  std::uint64_t frames_delivered = 0;  ///< unique wire frames accepted (<= messages when coalescing)
+  std::uint64_t virtual_time_us = 0;   ///< final logical clock (virtual-clock mode only)
 
+  /// Note: messages() counts *charged* messages delivered, so it equals the
+  /// Transcript's message count even when several charges share one frame.
   [[nodiscard]] std::uint64_t payload_bits() const noexcept;
   [[nodiscard]] std::uint64_t messages() const noexcept;
   [[nodiscard]] std::string summary() const;
@@ -104,7 +116,8 @@ void verify_accounting(const ChargedTotals& charged, const WireStats& w);
 void verify_accounting(const Transcript& t, const WireStats& w);
 
 /// The ChannelSink of executed mode. Single driving thread; on_charge
-/// blocks until the frame is acknowledged by the counterparty's servicer.
+/// enqueues onto the shared servicer and blocks only at phase barriers,
+/// queue backpressure, or (under ArqPolicy::block_per_frame) per frame.
 class NetSession final : public ChannelSink {
  public:
   NetSession(std::size_t num_players, const NetConfig& cfg);
@@ -116,19 +129,23 @@ class NetSession final : public ChannelSink {
   void on_charge(std::size_t player, Direction dir, std::uint64_t bits,
                  std::uint64_t phase) override;
 
-  /// Close every link, join the servicer actors, aggregate their tallies.
+  /// Phase barrier: seal open batches and drain the pipeline end to end.
+  /// Called automatically whenever a charge's phase differs from the
+  /// previous charge's, and by Channel::flush().
+  void on_flush() override;
+
+  /// Drain the pipeline, stop the servicer, aggregate its tallies.
   /// Idempotent; a servicer-recorded failure rethrows as NetError.
   WireStats finish();
 
   [[nodiscard]] std::size_t num_players() const noexcept { return k_; }
 
  private:
-  struct Endpoint;
-
   std::size_t k_;
   std::unique_ptr<Transport> transport_;
-  std::vector<std::unique_ptr<Endpoint>> up_;    // player j -> coordinator
-  std::vector<std::unique_ptr<Endpoint>> down_;  // coordinator -> player j
+  std::vector<Link> links_;  ///< 2k: up links [0,k), down links [k,2k)
+  std::unique_ptr<SharedServicer> servicer_;
+  std::uint64_t last_phase_ = 0;
   bool finished_ = false;
   WireStats result_;
 };

@@ -1,0 +1,529 @@
+#include "net/servicer.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "util/bits.h"
+
+namespace tft::net {
+
+namespace {
+
+/// Compact an out-buffer once its consumed prefix dominates.
+void compact(std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  if (pos == buf.size()) {
+    buf.clear();
+    pos = 0;
+  } else if (pos > (std::size_t{1} << 16) && pos >= buf.size() / 2) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos = 0;
+  }
+}
+
+}  // namespace
+
+/// Everything one directed link owns: the driving side's open batch and
+/// sealed-frame queue, the sender window with its pending out-bytes, and
+/// the receiving state machine with its ack out-bytes. All of it guarded
+/// by the servicer's one mutex.
+struct SharedServicer::LinkState {
+  LinkState(Link* l, std::uint32_t id, std::uint32_t s, std::uint32_t d, bool co,
+            std::function<void(const Frame&)> hook, const Options& opts)
+      : link(l),
+        link_id(id),
+        src(s),
+        dst(d),
+        coalesce(co),
+        deliver(std::move(hook)),
+        injector(opts.faults, id),
+        window(opts.arq),
+        rcv(opts.arq) {}
+
+  Link* link;
+  std::uint32_t link_id;
+  std::uint32_t src;
+  std::uint32_t dst;
+  bool coalesce;
+  std::function<void(const Frame&)> deliver;
+  FaultInjector injector;
+
+  // Driving side (sealed under mu_ by the enqueue calls).
+  std::vector<ChargeRec> open_batch;
+  std::uint64_t open_batch_bits = 0;
+  std::uint32_t next_seq = 0;
+  std::deque<Frame> queue;  ///< sealed, awaiting window admission
+
+  // Sender half.
+  ArqSenderWindow window;
+  std::vector<std::uint8_t> out_data;  ///< bytes pending on link->data
+  std::size_t out_data_pos = 0;
+  std::vector<std::uint8_t> wire_scratch;  ///< pooled serialization buffer
+  FrameParser ack_parser;
+  SenderStats sstats;
+
+  // Receiver half.
+  ArqReceiverWindow rcv;
+  FrameParser data_parser;
+  std::vector<std::uint8_t> out_ack;  ///< bytes pending on link->ack
+  std::size_t out_ack_pos = 0;
+  ReceiverStats rstats;
+  std::vector<ChargeRec> batch_scratch;
+  LinkStats folded;  ///< snapshot taken at finish()
+
+  [[nodiscard]] bool drained() const noexcept {
+    return open_batch.empty() && queue.empty() && window.empty();
+  }
+};
+
+SharedServicer::SharedServicer(const Options& opts) : opts_(opts), read_buf_(std::size_t{1} << 16) {
+  opts_.arq.validate();
+  if (opts_.virtual_clock && opts_.timed_recheck) {
+    throw NetError(NetErrorKind::kSetup,
+                   "virtual clock requires an in-process transport (kernel-buffered "
+                   "transports cannot reach quiescence deterministically)");
+  }
+}
+
+SharedServicer::~SharedServicer() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t SharedServicer::add_link(Link* link, std::uint32_t link_id, std::uint32_t src,
+                                     std::uint32_t dst, bool coalesce,
+                                     std::function<void(const Frame&)> deliver) {
+  if (started_) {
+    throw NetError(NetErrorKind::kSetup, "add_link after start");
+  }
+  links_.push_back(std::make_unique<LinkState>(link, link_id, src, dst,
+                                               coalesce && opts_.arq.coalesce,
+                                               std::move(deliver), opts_));
+  return links_.size() - 1;
+}
+
+void SharedServicer::start() {
+  if (started_) return;
+  started_ = true;
+  epoch_ = Clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+std::uint64_t SharedServicer::now_us() const noexcept {
+  if (opts_.virtual_clock) return vnow_us_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count());
+}
+
+void SharedServicer::record_error(NetErrorKind kind, std::string what) noexcept {
+  if (!error_kind_) {
+    error_kind_ = kind;
+    error_what_ = std::move(what);
+  }
+}
+
+void SharedServicer::throw_if_error_locked() const {
+  if (error_kind_) throw NetError(*error_kind_, error_what_);
+}
+
+void SharedServicer::rethrow_error() const {
+  const std::lock_guard lock(mu_);
+  throw_if_error_locked();
+}
+
+bool SharedServicer::all_drained() const noexcept {
+  for (const auto& link : links_) {
+    if (!link->drained()) return false;
+  }
+  return true;
+}
+
+bool SharedServicer::anything_unacked() const noexcept {
+  for (const auto& link : links_) {
+    if (!link->queue.empty() || !link->window.empty() ||
+        link->out_data_pos < link->out_data.size() || link->out_ack_pos < link->out_ack.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- sealing (driving thread or deliver hook, under mu_) --------------------
+
+void SharedServicer::seal_data_frame(LinkState& link, std::uint64_t phase, std::uint64_t bits) {
+  Frame f;
+  f.header.type = FrameType::kData;
+  f.header.src = link.src;
+  f.header.dst = link.dst;
+  f.header.seq = link.next_seq;
+  f.header.phase = phase;
+  f.header.payload_bits = bits;
+  f.payload = make_filler_payload(f.header);
+  link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
+  link.queue.push_back(std::move(f));
+}
+
+void SharedServicer::seal_open_batch(LinkState& link) {
+  if (link.open_batch.empty()) return;
+  if (link.open_batch.size() == 1) {
+    // A batch of one is emitted as a plain kData frame: byte-identical to
+    // the uncoalesced encoding, and a solo oversized charge keeps the
+    // full kMaxPayloadBits headroom.
+    seal_data_frame(link, link.open_batch.front().phase, link.open_batch.front().bits);
+  } else {
+    Frame f = make_batch_frame(link.src, link.dst, link.next_seq, link.open_batch);
+    link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
+    link.queue.push_back(std::move(f));
+  }
+  link.open_batch.clear();
+  link.open_batch_bits = 0;
+}
+
+void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
+                                    std::uint64_t bits) {
+  std::unique_lock lock(mu_);
+  throw_if_error_locked();
+  LinkState& link = *links_[link_index];
+  const std::size_t sealed_before = link.queue.size();
+  if (link.coalesce) {
+    const bool fits = link.open_batch.empty() ||
+                      (link.open_batch.size() < opts_.arq.max_batch_msgs &&
+                       link.open_batch_bits + bits <= opts_.arq.max_batch_bits &&
+                       link.open_batch.front().phase == phase);
+    if (!fits) seal_open_batch(link);
+    link.open_batch.push_back({phase, bits});
+    link.open_batch_bits += bits;
+    if (link.open_batch.size() >= opts_.arq.max_batch_msgs ||
+        link.open_batch_bits >= opts_.arq.max_batch_bits) {
+      seal_open_batch(link);
+    }
+  } else {
+    seal_data_frame(link, phase, bits);
+  }
+  // Wake the servicer only when a frame was actually sealed: a charge that
+  // merely grew the open batch gives it nothing to do, and the enqueue path
+  // is the windowed pipeline's hot loop.
+  if (link.queue.size() != sealed_before) work_cv_.notify_one();
+
+  // Backpressure: cap the sealed-but-unadmitted queue.
+  ++driving_waiting_;
+  while (!error_kind_ && link.queue.size() > opts_.arq.pending_cap) {
+    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  }
+  if (opts_.arq.block_per_frame) {
+    // Stop-and-wait discipline: this charge's frame must be acknowledged
+    // before the protocol continues.
+    while (!error_kind_ && !link.drained()) {
+      space_cv_.wait_for(lock, std::chrono::seconds(1));
+    }
+  }
+  --driving_waiting_;
+  throw_if_error_locked();
+}
+
+void SharedServicer::enqueue_relay(std::size_t link_index, std::size_t k, std::size_t recipient,
+                                   std::uint64_t message_bits) {
+  std::unique_lock lock(mu_);
+  throw_if_error_locked();
+  LinkState& link = *links_[link_index];
+  link.queue.push_back(
+      make_relay_frame(link.src, link.next_seq, k, recipient, message_bits));
+  link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
+  work_cv_.notify_one();
+
+  ++driving_waiting_;
+  while (!error_kind_ && link.queue.size() > opts_.arq.pending_cap) {
+    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  }
+  if (opts_.arq.block_per_frame) {
+    while (!error_kind_ && !link.drained()) {
+      space_cv_.wait_for(lock, std::chrono::seconds(1));
+    }
+  }
+  --driving_waiting_;
+  throw_if_error_locked();
+}
+
+void SharedServicer::enqueue_from_hook(std::size_t link_index, std::uint64_t phase,
+                                       std::uint64_t bits) {
+  // Already under mu_ on the servicer thread; no cap, no waiting — the
+  // servicer must never block on itself. Bounded in practice by the
+  // messages the driving thread itself enqueued upstream.
+  seal_data_frame(*links_[link_index], phase, bits);
+}
+
+void SharedServicer::flush() {
+  std::unique_lock lock(mu_);
+  throw_if_error_locked();
+  for (auto& link : links_) seal_open_batch(*link);
+  work_cv_.notify_one();
+  ++driving_waiting_;
+  while (!error_kind_ && !all_drained()) {
+    work_cv_.notify_one();
+    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  }
+  --driving_waiting_;
+  throw_if_error_locked();
+}
+
+void SharedServicer::finish() noexcept {
+  if (finished_) return;
+  try {
+    flush();
+  } catch (...) {
+    // The failure is recorded; rethrow_error() surfaces it after stats fold.
+  }
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  for (auto& link : links_) {
+    link->link->close();
+    link->folded.sender = link->sstats;
+    link->folded.receiver = link->rstats;
+    link->folded.receiver.corrupt += link->data_parser.corrupt_frames();
+  }
+  finished_ = true;
+}
+
+const SharedServicer::LinkStats& SharedServicer::stats(std::size_t link_index) const {
+  return links_[link_index]->folded;
+}
+
+// ---- servicer thread --------------------------------------------------------
+
+void SharedServicer::transmit(LinkState& link, ArqSenderWindow::Entry& entry,
+                              std::uint64_t now) {
+  const FaultDecision d = link.injector.decide(entry.seq, entry.attempts);
+  if (entry.attempts > 0) ++link.sstats.retransmissions;
+  entry.deadline_us =
+      now + static_cast<std::uint64_t>(opts_.retry.timeout_for(entry.attempts).count());
+  ++entry.attempts;
+  if (d.delay && !opts_.virtual_clock) {
+    // Wire latency: the sweep stalls exactly as a slow link would. Under
+    // the virtual clock delays are no-ops (they change no delivery fate).
+    std::this_thread::sleep_for(std::chrono::microseconds(link.injector.plan().delay_us));
+  }
+  if (d.drop) return;
+  serialize_frame_into(entry.frame, link.wire_scratch);
+  const std::size_t start = link.out_data.size();
+  link.out_data.insert(link.out_data.end(), link.wire_scratch.begin(), link.wire_scratch.end());
+  link.sstats.wire_bytes += link.wire_scratch.size();
+  if (d.bit_flip) {
+    // Flip one bit of the body/CRC region in place; the 4-byte length
+    // prefix is sacred (the parser's resynchronization anchor).
+    const std::uint64_t body_bits = (link.wire_scratch.size() - 4) * std::uint64_t{8};
+    const std::uint64_t bit = 32 + d.flip_bit % body_bits;
+    link.out_data[start + bit / 8] ^= static_cast<std::uint8_t>(1U << (7 - bit % 8));
+  }
+  if (d.duplicate) {
+    link.out_data.insert(link.out_data.end(), link.wire_scratch.begin(),
+                         link.wire_scratch.end());
+    link.sstats.wire_bytes += link.wire_scratch.size();
+    ++link.sstats.duplicates_sent;
+  }
+}
+
+void SharedServicer::accept_frame(LinkState& link, const Frame& f) {
+  ++link.rstats.frames;
+  const auto tally = [&link](std::uint64_t phase, std::uint64_t bits) {
+    ++link.rstats.messages;
+    link.rstats.payload_bits += bits;
+    if (link.rstats.phase_bits.size() <= phase) {
+      link.rstats.phase_bits.resize(static_cast<std::size_t>(phase) + 1, 0);
+    }
+    link.rstats.phase_bits[static_cast<std::size_t>(phase)] += bits;
+  };
+  if (f.header.type == FrameType::kBatch) {
+    if (!decode_batch_frame(f, link.batch_scratch)) {
+      throw NetError(NetErrorKind::kProtocol, "verified batch failed to re-decode");
+    }
+    for (const ChargeRec& rec : link.batch_scratch) tally(rec.phase, rec.bits);
+  } else {
+    tally(f.header.phase, f.header.payload_bits);
+  }
+  if (link.deliver) link.deliver(f);
+}
+
+void SharedServicer::handle_data_frame(LinkState& link, Frame f) {
+  if (f.header.type == FrameType::kAck) return;  // not this pipe's traffic
+  if (f.header.src != link.src || f.header.dst != link.dst) {
+    ++link.rstats.corrupt;  // CRC-valid but misaddressed: broken peer
+    return;
+  }
+  // Integrity beyond the CRC before the frame can enter the window.
+  if (f.header.type == FrameType::kData && !verify_filler_payload(f)) {
+    ++link.rstats.corrupt;
+    return;
+  }
+  if (f.header.type == FrameType::kBatch && !decode_batch_frame(f, link.batch_scratch)) {
+    ++link.rstats.corrupt;
+    return;
+  }
+  const auto verdict = link.rcv.on_frame(std::move(f));
+  switch (verdict) {
+    case ArqReceiverWindow::Verdict::kInOrder:
+      for (const Frame& run : link.rcv.take_deliverable()) accept_frame(link, run);
+      break;
+    case ArqReceiverWindow::Verdict::kBuffered:
+      break;
+    case ArqReceiverWindow::Verdict::kDuplicate:
+      ++link.rstats.duplicates;
+      break;
+    case ArqReceiverWindow::Verdict::kOverrun:
+      throw NetError(NetErrorKind::kProtocol,
+                     "sender overran its window (seq far ahead of next_expected)");
+  }
+  // One ack per intact arrival — duplicates included, so a lost ack can
+  // never wedge the sender, and the ack count stays a pure function of
+  // the fault plan (the virtual-clock determinism contract).
+  const Frame ack =
+      make_ack_frame(link.dst, link.src, link.rcv.ack(), opts_.arq.seq_modulus);
+  serialize_frame_into(ack, link.wire_scratch);
+  link.out_ack.insert(link.out_ack.end(), link.wire_scratch.begin(), link.wire_scratch.end());
+}
+
+bool SharedServicer::sweep(std::uint64_t now) {
+  bool progress = false;
+  for (auto& lp : links_) {
+    LinkState& link = *lp;
+    // Admit sealed frames into the window and transmit them.
+    while (!link.queue.empty() && link.window.has_space()) {
+      ArqSenderWindow::Entry& e = link.window.admit(std::move(link.queue.front()));
+      link.queue.pop_front();
+      transmit(link, e, now);
+      progress = true;
+    }
+    // Flush pending out-bytes (partial writes park here; never blocks).
+    if (link.out_data_pos < link.out_data.size()) {
+      const std::size_t n = link.link->data->write_some(std::span<const std::uint8_t>(
+          link.out_data.data() + link.out_data_pos, link.out_data.size() - link.out_data_pos));
+      link.out_data_pos += n;
+      progress |= n > 0;
+      compact(link.out_data, link.out_data_pos);
+    }
+    if (link.out_ack_pos < link.out_ack.size()) {
+      const std::size_t n = link.link->ack->write_some(std::span<const std::uint8_t>(
+          link.out_ack.data() + link.out_ack_pos, link.out_ack.size() - link.out_ack_pos));
+      link.out_ack_pos += n;
+      progress |= n > 0;
+      compact(link.out_ack, link.out_ack_pos);
+    }
+    // Drain arrivals: data frames into the receiver, acks into the window.
+    for (;;) {
+      const int n = link.link->data->read_some(read_buf_, Clock::now());
+      if (n <= 0) break;
+      link.rstats.bytes_read += static_cast<std::uint64_t>(n);
+      link.data_parser.feed(
+          std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+      progress = true;
+    }
+    Frame f;
+    while (link.data_parser.next(f)) {
+      handle_data_frame(link, std::move(f));
+      progress = true;
+    }
+    for (;;) {
+      const int n = link.link->ack->read_some(read_buf_, Clock::now());
+      if (n <= 0) break;
+      link.ack_parser.feed(
+          std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+      progress = true;
+    }
+    while (link.ack_parser.next(f)) {
+      progress = true;
+      if (f.header.type != FrameType::kAck) continue;
+      ++link.sstats.acks_received;
+      const std::size_t retired =
+          link.window.on_ack(decode_ack_frame(f, opts_.arq.seq_modulus));
+      link.sstats.frames_sent += retired;
+      if (retired > 0) space_cv_.notify_all();
+    }
+  }
+  if (progress) space_cv_.notify_all();
+  return progress;
+}
+
+bool SharedServicer::retransmit_due(std::uint64_t now) {
+  bool any = false;
+  for (auto& lp : links_) {
+    LinkState& link = *lp;
+    link.window.due(now, due_scratch_);
+    for (ArqSenderWindow::Entry* e : due_scratch_) {
+      if (e->attempts > opts_.retry.max_retries) {
+        throw NetError(NetErrorKind::kTimeout,
+                       "no ack for seq " + std::to_string(e->seq) + " after " +
+                           std::to_string(e->attempts) + " attempts");
+      }
+      transmit(link, *e, now);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool SharedServicer::advance_virtual_clock() {
+  // Quiescence: every readable byte has been consumed, so ack knowledge is
+  // complete and any still-unacked entry truly needs another attempt. Jump
+  // logical time to the earliest deadline and fire.
+  std::uint64_t earliest = 0;
+  bool found = false;
+  for (const auto& link : links_) {
+    std::uint64_t d = 0;
+    if (link->window.next_deadline(d)) {
+      if (!found || d < earliest) earliest = d;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  vnow_us_ = std::max(vnow_us_, earliest);
+  return retransmit_due(vnow_us_);
+}
+
+void SharedServicer::run() noexcept {
+  std::unique_lock lock(mu_);
+  try {
+    for (;;) {
+      const std::uint64_t now = now_us();
+      bool progress = sweep(now);
+      if (!opts_.virtual_clock) progress |= retransmit_due(now);
+      if (progress) continue;
+      if (stop_ && all_drained()) break;
+      if (error_kind_) break;
+      if (opts_.virtual_clock) {
+        if ((driving_waiting_ > 0 || stop_) && advance_virtual_clock()) continue;
+        space_cv_.notify_all();
+        work_cv_.wait(lock);
+        if (stop_ && all_drained()) break;
+      } else {
+        space_cv_.notify_all();
+        auto wake = Clock::now() + std::chrono::milliseconds(200);
+        std::uint64_t d = 0;
+        for (const auto& link : links_) {
+          std::uint64_t ld = 0;
+          if (link->window.next_deadline(ld)) d = (d == 0 || ld < d) ? ld : d;
+        }
+        if (d != 0) wake = std::min(wake, epoch_ + std::chrono::microseconds(d));
+        if (opts_.timed_recheck && anything_unacked()) {
+          // Kernel-buffered transport: bytes may become readable without
+          // any condvar signal; recheck soon.
+          wake = std::min(wake, Clock::now() + std::chrono::microseconds(500));
+        }
+        work_cv_.wait_until(lock, wake);
+      }
+    }
+  } catch (const NetError& e) {
+    record_error(e.kind(), e.what());
+  } catch (const std::exception& e) {
+    record_error(NetErrorKind::kProtocol, e.what());
+  }
+  space_cv_.notify_all();
+}
+
+}  // namespace tft::net

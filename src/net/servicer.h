@@ -1,0 +1,157 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/arq.h"
+#include "net/error.h"
+#include "net/fault.h"
+#include "net/reliable.h"
+#include "net/transport.h"
+
+/// \file servicer.h
+/// The shared event-driven servicer: ONE thread drains every link of a
+/// session — admitting sealed frames into each link's ARQ window, writing
+/// wire bytes (never blocking: partial writes park in per-link out-buffers),
+/// parsing arrivals, acknowledging, delivering, and retransmitting on
+/// timeout. It replaces the 2k LinkServicer threads of the stop-and-wait
+/// engine.
+///
+/// Division of labor:
+///  * The *driving* thread (the protocol) calls enqueue_charge /
+///    enqueue_relay / flush. Coalescing and sequence-number assignment
+///    happen there, under the lock, so the frame stream per link is a pure
+///    function of the charge stream — the determinism anchor. Enqueue
+///    blocks only on queue backpressure (pending_cap), at a flush barrier,
+///    or per frame under ArqPolicy::block_per_frame.
+///  * The servicer thread owns all pipe I/O. It sweeps links until no byte
+///    can move, then sleeps: on a condvar (in-proc — only it writes the
+///    rings, so nothing arrives while it sleeps), with a timed recheck
+///    (sockets — the kernel buffers bytes it cannot see), or until the
+///    earliest retransmit deadline.
+///
+/// Virtual-clock mode (Options::virtual_clock, in-proc only): no real
+/// timer ever fires. Logical time advances only at *quiescence* — the sweep
+/// moved nothing and the driving thread is blocked — jumping straight to
+/// the earliest retransmit deadline. At quiescence every delivered ack has
+/// been processed, so a frame is retransmitted iff no attempt so far
+/// delivered; attempt fates are pure functions of (link, seq, attempt);
+/// hence retransmission counts are exactly reproducible run to run — what
+/// lets bench_net's fault grid live in the committed baseline.
+
+namespace tft::net {
+
+class SharedServicer {
+ public:
+  struct Options {
+    ArqPolicy arq;
+    RetryPolicy retry;
+    FaultPlan faults;
+    bool virtual_clock = false;
+    /// Kernel-buffered transport: the servicer cannot assume "nothing
+    /// readable unless I wrote it", so quiescent waits recheck on a timer.
+    bool timed_recheck = false;
+  };
+
+  explicit SharedServicer(const Options& opts);
+  ~SharedServicer();  ///< stops and joins without draining (abandon)
+
+  SharedServicer(const SharedServicer&) = delete;
+  SharedServicer& operator=(const SharedServicer&) = delete;
+
+  /// Register a directed link before start(). `link` must outlive the
+  /// servicer. `coalesce` gates batching per link (relay lanes keep one
+  /// message per frame so the overhead measurement stays per-message).
+  /// `deliver` (optional) sees each unique accepted frame in sequence
+  /// order, on the servicer thread; it may call enqueue_from_hook only.
+  std::size_t add_link(Link* link, std::uint32_t link_id, std::uint32_t src, std::uint32_t dst,
+                       bool coalesce, std::function<void(const Frame&)> deliver = nullptr);
+
+  void start();
+
+  // ---- driving-thread API -------------------------------------------------
+
+  /// Append one charged message to the link's open batch (or seal a solo
+  /// frame when not coalescing). Blocks on queue backpressure; under
+  /// block_per_frame, blocks until the frame is acknowledged.
+  void enqueue_charge(std::size_t link_index, std::uint64_t phase, std::uint64_t bits);
+
+  /// Seal one kRelay frame (recipient id + message filler) immediately.
+  void enqueue_relay(std::size_t link_index, std::size_t k, std::size_t recipient,
+                     std::uint64_t message_bits);
+
+  /// Phase barrier: seal every open batch, then block until every queue,
+  /// window and out-buffer is drained (acknowledged end to end).
+  void flush();
+
+  /// Drain, stop and join; never throws (failures stay in error() and are
+  /// rethrown by rethrow_error()). Idempotent. Stats are valid after this.
+  void finish() noexcept;
+
+  /// Throws the recorded NetError, if any.
+  void rethrow_error() const;
+
+  // ---- servicer-thread API (deliver hooks only) ---------------------------
+
+  /// Seal a solo kData frame from inside a deliver hook (the relay
+  /// forwarding path). Lock already held; never blocks, ignores
+  /// pending_cap — the servicer must never wait on itself.
+  void enqueue_from_hook(std::size_t link_index, std::uint64_t phase, std::uint64_t bits);
+
+  // ---- results (after finish) ---------------------------------------------
+
+  struct LinkStats {
+    SenderStats sender;
+    ReceiverStats receiver;
+  };
+
+  [[nodiscard]] const LinkStats& stats(std::size_t link_index) const;
+  [[nodiscard]] std::uint64_t virtual_time_us() const noexcept { return vnow_us_; }
+  [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
+
+ private:
+  struct LinkState;
+
+  void run() noexcept;
+  bool sweep(std::uint64_t now_us);
+  void transmit(LinkState& link, ArqSenderWindow::Entry& entry, std::uint64_t now_us);
+  bool retransmit_due(std::uint64_t now_us);
+  bool advance_virtual_clock();
+  void handle_data_frame(LinkState& link, Frame f);
+  void accept_frame(LinkState& link, const Frame& f);
+  void seal_open_batch(LinkState& link);
+  void seal_data_frame(LinkState& link, std::uint64_t phase, std::uint64_t bits);
+  [[nodiscard]] bool all_drained() const noexcept;
+  [[nodiscard]] bool anything_unacked() const noexcept;
+  void record_error(NetErrorKind kind, std::string what) noexcept;
+  void throw_if_error_locked() const;
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  Options opts_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< wakes the servicer (new work / stop)
+  std::condition_variable space_cv_;  ///< wakes driving waits (space / drain / error)
+  bool started_ = false;
+  bool stop_ = false;
+  bool finished_ = false;
+  int driving_waiting_ = 0;  ///< driving threads blocked => quiescence may advance vclock
+  std::optional<NetErrorKind> error_kind_;
+  std::string error_what_;
+  std::uint64_t vnow_us_ = 0;
+  Clock::time_point epoch_;
+  std::vector<std::uint8_t> read_buf_;
+  std::vector<ArqSenderWindow::Entry*> due_scratch_;
+  std::thread thread_;
+};
+
+}  // namespace tft::net

@@ -39,6 +39,13 @@ void set_nodelay(int fd) {
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Shrink both kernel buffers (clamped upward to the kernel floor; even the
+/// floor forces a multi-KB frame through several short writes/reads).
+void set_buffer_sizes(int fd, int bytes) {
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
 /// Remaining deadline in milliseconds for poll(2); 0 when already past.
 int remaining_ms(Clock::time_point deadline) {
   const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
@@ -72,6 +79,8 @@ class SocketPipe final : public Pipe {
       : duplex_(std::move(duplex)), write_fd_(write_fd), read_fd_(read_fd) {}
 
   void write(std::span<const std::uint8_t> bytes, Clock::time_point deadline) override {
+    // Loop on short writes: with a shrunken SO_SNDBUF a frame routinely
+    // needs several send() calls, each one landing a partial chunk.
     while (!bytes.empty()) {
       if (duplex_->closed.load(std::memory_order_relaxed)) {
         throw NetError(NetErrorKind::kClosed, "socket write: closed");
@@ -84,12 +93,29 @@ class SocketPipe final : public Pipe {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         pollfd p{write_fd_, POLLOUT, 0};
-        if (::poll(&p, 1, remaining_ms(deadline)) == 0) {
+        const int rc = ::poll(&p, 1, remaining_ms(deadline));
+        if (rc < 0 && errno != EINTR) {
+          throw NetError(NetErrorKind::kClosed, std::string("socket poll: ") + std::strerror(errno));
+        }
+        if (rc == 0 && Clock::now() >= deadline) {
           throw NetError(NetErrorKind::kTimeout, "socket write: buffer full past deadline");
         }
-        continue;
+        continue;  // writable, EINTR, or a deadline not actually reached
       }
       if (n < 0 && errno == EINTR) continue;
+      throw NetError(NetErrorKind::kClosed, std::string("socket write: ") + std::strerror(errno));
+    }
+  }
+
+  std::size_t write_some(std::span<const std::uint8_t> bytes) override {
+    for (;;) {
+      if (duplex_->closed.load(std::memory_order_relaxed)) {
+        throw NetError(NetErrorKind::kClosed, "socket write: closed");
+      }
+      const ssize_t n = ::send(write_fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      if (errno == EINTR) continue;
       throw NetError(NetErrorKind::kClosed, std::string("socket write: ") + std::strerror(errno));
     }
   }
@@ -103,8 +129,10 @@ class SocketPipe final : public Pipe {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         if (duplex_->closed.load(std::memory_order_relaxed)) return -1;
         pollfd p{read_fd_, POLLIN, 0};
-        if (::poll(&p, 1, remaining_ms(deadline)) == 0) return 0;  // deadline tick
-        continue;
+        const int rc = ::poll(&p, 1, remaining_ms(deadline));
+        if (rc < 0 && errno != EINTR) return -1;
+        if (rc == 0 && Clock::now() >= deadline) return 0;  // deadline tick
+        continue;  // readable, EINTR, or poll rounded the deadline down
       }
       if (errno == EINTR) continue;
       return -1;  // reset by peer etc.: treat as closed
@@ -139,10 +167,20 @@ int make_loopback_listener(std::uint16_t& port_out) {
 
 }  // namespace
 
-LoopbackSocketTransport::LoopbackSocketTransport() {
+LoopbackSocketTransport::LoopbackSocketTransport(int socket_buffer_bytes)
+    : socket_buffer_bytes_(socket_buffer_bytes) {
   listen_fd_ = make_loopback_listener(port_);
   if (listen_fd_ < 0) {
     throw_errno(NetErrorKind::kSetup, "loopback listener");
+  }
+  if (socket_buffer_bytes_ > 0) {
+    // Buffer sizes must be in place *before* the handshake: the TCP window
+    // scale is negotiated at SYN time from the receive buffer, and shrinking
+    // SO_RCVBUF on an established connection can wedge the stream once the
+    // originally-advertised window's worth of data is in flight. Accepted
+    // sockets inherit these from the listener; the client side is set in
+    // make_link before connect().
+    set_buffer_sizes(listen_fd_, socket_buffer_bytes_);
   }
 }
 
@@ -161,6 +199,9 @@ bool LoopbackSocketTransport::available() noexcept {
 Link LoopbackSocketTransport::make_link() {
   const int client = ::socket(AF_INET, SOCK_STREAM, 0);
   if (client < 0) throw_errno(NetErrorKind::kSetup, "socket");
+  if (socket_buffer_bytes_ > 0) {
+    set_buffer_sizes(client, socket_buffer_bytes_);  // before connect(): see ctor
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

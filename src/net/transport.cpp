@@ -32,7 +32,12 @@ void ByteRing::write(std::span<const std::uint8_t> bytes, Clock::time_point dead
 int ByteRing::read_some(std::span<std::uint8_t> buf, Clock::time_point deadline) {
   if (buf.empty()) return 0;
   std::unique_lock lock(mu_);
-  readable_.wait_until(lock, deadline, [&] { return closed_ || size_ > 0; });
+  // Poll fast path: an expired deadline must not reach the timed wait — a
+  // futex wait with a past abstime still costs near a timer tick, and the
+  // shared servicer polls every pipe once per sweep.
+  if (size_ == 0 && !closed_ && Clock::now() < deadline) {
+    readable_.wait_until(lock, deadline, [&] { return closed_ || size_ > 0; });
+  }
   if (size_ == 0) {
     return closed_ ? -1 : 0;  // drained-and-closed vs deadline tick
   }
@@ -43,6 +48,26 @@ int ByteRing::read_some(std::span<std::uint8_t> buf, Clock::time_point deadline)
   size_ -= take;
   writable_.notify_one();
   return static_cast<int>(take);
+}
+
+std::size_t ByteRing::write_some(std::span<const std::uint8_t> bytes) {
+  const std::lock_guard lock(mu_);
+  if (closed_) {
+    throw NetError(NetErrorKind::kClosed, "pipe write: closed");
+  }
+  std::size_t written = 0;
+  while (!bytes.empty() && size_ < ring_.size()) {
+    const std::size_t tail = (head_ + size_) % ring_.size();
+    const std::size_t room = ring_.size() - size_;
+    const std::size_t contiguous = std::min(room, ring_.size() - tail);
+    const std::size_t take = std::min(bytes.size(), contiguous);
+    std::memcpy(ring_.data() + tail, bytes.data(), take);
+    size_ += take;
+    written += take;
+    bytes = bytes.subspan(take);
+  }
+  if (written > 0) readable_.notify_one();
+  return written;
 }
 
 void ByteRing::close() {

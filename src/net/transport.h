@@ -40,6 +40,15 @@ class Pipe {
   /// *and* drained (buffered bytes are always delivered first).
   virtual int read_some(std::span<std::uint8_t> buf, Clock::time_point deadline) = 0;
 
+  /// Write as many of `bytes` as fit *right now* without blocking; returns
+  /// the count written (possibly 0 when the buffer is full). Throws
+  /// NetError(kClosed) on a closed pipe. The shared servicer's only write
+  /// path: a single thread draining every link must never block on one.
+  virtual std::size_t write_some(std::span<const std::uint8_t> bytes) {
+    write(bytes, Clock::now() + std::chrono::seconds(5));
+    return bytes.size();
+  }
+
   /// Close both ends: pending and future writers throw kClosed, readers
   /// drain what is buffered and then see -1. Idempotent, thread-safe.
   virtual void close() = 0;
@@ -73,6 +82,7 @@ class ByteRing final : public Pipe {
 
   void write(std::span<const std::uint8_t> bytes, Clock::time_point deadline) override;
   int read_some(std::span<std::uint8_t> buf, Clock::time_point deadline) override;
+  std::size_t write_some(std::span<const std::uint8_t> bytes) override;
   void close() override;
 
  private:
@@ -103,7 +113,10 @@ class InProcTransport final : public Transport {
 /// unavailable; tests skip in that case.
 class LoopbackSocketTransport final : public Transport {
  public:
-  LoopbackSocketTransport();
+  /// `socket_buffer_bytes` > 0 shrinks SO_SNDBUF/SO_RCVBUF on every link
+  /// (clamped upward by the kernel minimum) — the partial-write/short-read
+  /// regression surface; 0 keeps the kernel defaults.
+  explicit LoopbackSocketTransport(int socket_buffer_bytes = 0);
   ~LoopbackSocketTransport() override;
 
   [[nodiscard]] Link make_link() override;
@@ -115,6 +128,7 @@ class LoopbackSocketTransport final : public Transport {
  private:
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int socket_buffer_bytes_ = 0;
 };
 
 }  // namespace tft::net

@@ -152,6 +152,47 @@ TEST(NetExecuted, RepeatRunsAreBitIdenticalUnderAFixedSeed) {
   EXPECT_EQ(w1.wire.phase_bits, w2.wire.phase_bits);
 }
 
+/// The tentpole's correctness bar: swapping the ARQ discipline (legacy
+/// stop-and-wait vs pipelined windows, with and without coalescing, across
+/// window sizes) changes nothing the protocol can observe — verdict, charged
+/// transcript and delivered per-player/per-phase totals are bit-identical.
+/// Only the wire framing may differ (coalescing packs several charges per
+/// frame).
+TEST(NetExecuted, ArqPolicyVariantsAreBitIdenticalEndToEnd) {
+  const auto players = small_instance(4, 31);
+  UnrestrictedOptions opts;
+  opts.seed = 9;
+  opts.known_average_degree = 4.0;
+  auto with = [&](const ArqPolicy& arq) {
+    NetConfig cfg;
+    cfg.arq = arq;
+    return run_executed(4, cfg,
+                        [&] { return find_triangle_unrestricted(players, opts); });
+  };
+
+  ArqPolicy solo = ArqPolicy::windowed(4);
+  solo.coalesce = false;
+  const auto [r_ref, w_ref] = with(ArqPolicy::stop_and_wait());
+  for (const ArqPolicy& arq : {ArqPolicy::windowed(), ArqPolicy::windowed(2), solo}) {
+    SCOPED_TRACE(arq.window);
+    const auto [r, w] = with(arq);
+    EXPECT_EQ(r.triangle, r_ref.triangle);
+    EXPECT_EQ(r.total_bits, r_ref.total_bits);
+    EXPECT_EQ(w.wire.up_bits, w_ref.wire.up_bits);
+    EXPECT_EQ(w.wire.down_bits, w_ref.wire.down_bits);
+    EXPECT_EQ(w.wire.up_msgs, w_ref.wire.up_msgs);
+    EXPECT_EQ(w.wire.down_msgs, w_ref.wire.down_msgs);
+    EXPECT_EQ(w.wire.phase_bits, w_ref.wire.phase_bits);
+    EXPECT_EQ(w.wire.corrupt_frames, 0u);
+  }
+
+  // Coalescing is real: the windowed default ships fewer frames than the
+  // one-frame-per-message reference for the same charged messages.
+  const auto [r_win, w_win] = with(ArqPolicy::windowed());
+  EXPECT_EQ(w_win.wire.messages(), w_ref.wire.messages());
+  EXPECT_LT(w_win.wire.frames_delivered, w_ref.wire.frames_delivered);
+}
+
 TEST(NetExecuted, AccountingMismatchIsAHardError) {
   // A charge the wire never saw: doctored charged totals vs honest wire.
   NetConfig cfg;

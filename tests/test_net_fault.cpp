@@ -184,5 +184,75 @@ TEST(NetFault, DeliveredTotalsAreReproducibleUnderAFixedSeed) {
   EXPECT_EQ(w1.wire.messages(), w2.wire.messages());
 }
 
+/// Under the virtual clock even the retransmission arithmetic is exact:
+/// logical time only advances at quiescence, so whether a retry fires is a
+/// pure function of the fault seed, not of scheduling. Every counter —
+/// including the ones the real-clock contract above exempts — must match
+/// run over run, which is what lets bench_net's fault grid live in the
+/// committed baseline.
+TEST(NetFault, VirtualClockMakesEveryFaultCounterReproducible) {
+  // The unrestricted protocol ships thousands of frames (the exact baseline
+  // only ships k); under the virtual clock every retry timeout is logical,
+  // so heavy traffic costs no wall-clock.
+  const auto players = small_instance(4, 131);
+  UnrestrictedOptions opts;
+  opts.seed = 3;
+  opts.known_average_degree = 4.0;
+  auto once = [&] {
+    NetConfig cfg;
+    cfg.virtual_clock = true;
+    cfg.arq.coalesce = false;  // one frame per charge: many targets for the plan
+    cfg.faults.seed = 47;
+    cfg.faults.drop = 0.1;
+    cfg.faults.bit_flip = 0.05;
+    cfg.faults.duplicate = 0.05;
+    cfg.retry = snappy();
+    return run_executed(4, cfg,
+                        [&] { return find_triangle_unrestricted(players, opts); });
+  };
+  const auto [r1, w1] = once();
+  const auto [r2, w2] = once();
+  EXPECT_EQ(r1.triangle, r2.triangle);
+  EXPECT_GT(w1.wire.retransmissions, 0u) << "the plan must actually bite";
+  EXPECT_EQ(w1.wire.retransmissions, w2.wire.retransmissions);
+  EXPECT_EQ(w1.wire.duplicates, w2.wire.duplicates);
+  EXPECT_EQ(w1.wire.corrupt_frames, w2.wire.corrupt_frames);
+  EXPECT_EQ(w1.wire.acks, w2.wire.acks);
+  // The logical *timeline* is not part of the contract: a frame sealed just
+  // before vs just after a clock jump transmits at a different vnow, and the
+  // k+1 actors race the servicer for those jump points. Only the counters —
+  // whose attempt fates key on (seed, link, seq, attempt) alone — are exact.
+  EXPECT_GT(w1.wire.virtual_time_us, 0u) << "faults must cost logical time";
+  EXPECT_EQ(w1.wire.up_bits, w2.wire.up_bits);
+  EXPECT_EQ(w1.wire.down_bits, w2.wire.down_bits);
+}
+
+/// A/B across ARQ disciplines under the same fault seed: the fault stream
+/// keys on (link, seq, attempt) and the receiver dedups by seq, so the
+/// *delivered* totals and the verdict cannot depend on the window size or
+/// on coalescing — only the recovery dynamics may.
+TEST(NetFault, ArqPolicyVariantsAgreeOnDeliveredTotalsUnderFaults) {
+  const auto players = small_instance(3, 101);
+  FaultPlan plan;
+  plan.seed = 53;
+  plan.drop = 0.1;
+  plan.bit_flip = 0.1;
+  plan.duplicate = 0.1;
+  auto with = [&](const ArqPolicy& arq) {
+    NetConfig cfg;
+    cfg.arq = arq;
+    cfg.faults = plan;
+    cfg.retry = snappy();
+    return run_executed(3, cfg, [&] { return exact_find_triangle(players); });
+  };
+  const auto [r_sw, w_sw] = with(ArqPolicy::stop_and_wait());
+  const auto [r_win, w_win] = with(ArqPolicy::windowed());
+  EXPECT_EQ(r_sw.triangle, r_win.triangle);
+  EXPECT_EQ(w_sw.wire.up_bits, w_win.wire.up_bits);
+  EXPECT_EQ(w_sw.wire.down_bits, w_win.wire.down_bits);
+  EXPECT_EQ(w_sw.wire.phase_bits, w_win.wire.phase_bits);
+  EXPECT_EQ(w_sw.wire.messages(), w_win.wire.messages());
+}
+
 }  // namespace
 }  // namespace tft::net

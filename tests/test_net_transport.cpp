@@ -7,9 +7,11 @@
 #include <thread>
 #include <vector>
 
+#include "net/arq.h"
 #include "net/error.h"
 #include "net/frame.h"
 #include "net/reliable.h"
+#include "net/servicer.h"
 #include "net/transport.h"
 
 namespace tft::net {
@@ -184,6 +186,70 @@ TEST(NetTransport, SenderTimesOutTypedWhenNobodyListens) {
   }
   EXPECT_LT(Clock::now() - start, 5s) << "timeout-and-retry must be bounded";
   EXPECT_EQ(sender.stats().retransmissions, 3u);
+}
+
+/// Partial-I/O regression: shrink SO_SNDBUF/SO_RCVBUF to the kernel floor so
+/// a multi-KB frame is forced through many short send()/recv() calls in both
+/// directions; the pipes must loop (EINTR/EAGAIN aware), never truncate, and
+/// the ARQ stack on top must deliver and tally every charged bit.
+TEST(NetTransport, LargeFramesSurviveTinySocketBuffers) {
+  if (!LoopbackSocketTransport::available()) {
+    GTEST_SKIP() << "no loopback networking in this environment";
+  }
+  LoopbackSocketTransport transport(/*socket_buffer_bytes=*/4096);
+  Link link = transport.make_link();
+  ReliableSender sender(link, /*link_id=*/0, RetryPolicy{}, FaultPlan{});
+  LinkServicer servicer(link, /*src=*/0, /*dst=*/1);
+  std::thread actor([&] { servicer.run(); });
+
+  const std::uint64_t payloads[] = {400'000, 7, 250'000};  // ~50 KB, tiny, ~31 KB
+  std::uint64_t total = 0;
+  for (const std::uint64_t bits : payloads) {
+    Frame f;
+    f.header.src = 0;
+    f.header.dst = 1;
+    f.header.payload_bits = bits;
+    f.header.seq = sender.next_seq();
+    f.payload = make_filler_payload(f.header);
+    sender.send(std::move(f));
+    total += bits;
+  }
+  link.close();
+  actor.join();
+
+  ASSERT_FALSE(servicer.error().has_value()) << *servicer.error();
+  EXPECT_EQ(servicer.stats().frames, 3u);
+  EXPECT_EQ(servicer.stats().payload_bits, total);
+  EXPECT_EQ(servicer.stats().corrupt, 0u) << "short reads must reassemble, not corrupt";
+  EXPECT_EQ(sender.stats().retransmissions, 0u) << "no timeout while a frame trickles";
+}
+
+/// The same squeezed buffers under the shared event-driven servicer: its
+/// write path is non-blocking write_some with parked out-buffers, so a frame
+/// larger than the socket buffer exercises the partial-write resume path.
+TEST(NetTransport, SharedServicerDrainsPartialSocketWrites) {
+  if (!LoopbackSocketTransport::available()) {
+    GTEST_SKIP() << "no loopback networking in this environment";
+  }
+  LoopbackSocketTransport transport(/*socket_buffer_bytes=*/4096);
+  Link link = transport.make_link();
+  SharedServicer::Options opts;
+  opts.arq = ArqPolicy::windowed(8);
+  opts.arq.coalesce = false;
+  opts.timed_recheck = true;  // kernel-buffered transport
+  SharedServicer svc(opts);
+  svc.add_link(&link, /*link_id=*/0, /*src=*/0, /*dst=*/1, /*coalesce=*/false);
+  svc.start();
+  std::uint64_t total = 0;
+  for (const std::uint64_t bits : {300'000u, 64u, 300'000u, 1u}) {
+    svc.enqueue_charge(0, /*phase=*/0, bits);
+    total += bits;
+  }
+  svc.finish();
+  svc.rethrow_error();
+  EXPECT_EQ(svc.stats(0).receiver.frames, 4u);
+  EXPECT_EQ(svc.stats(0).receiver.payload_bits, total);
+  EXPECT_EQ(svc.stats(0).receiver.corrupt, 0u);
 }
 
 TEST(NetTransport, ServicerRejectsMisaddressedFrames) {
