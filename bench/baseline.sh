@@ -49,5 +49,14 @@ run information --side=8 --samples=2000
 run ablations --trials=2
 run net --messages=200 --transports=inproc
 
+# Chunked generation (PR 6): same benches drawing instances through the
+# chunked generator. The draws are a different (equally valid) sample stream,
+# so they get their own bench names (oneway_lb_chunked, ...) and their own
+# baseline rows; each run also emits a chunk_identity row asserting the
+# k-chunk union hash equals the monolithic build's.
+run oneway_lb --side_max=1024 --chunked --trials=20
+run bm_lb --pairs_max=4096 --chunked --trials=12
+run mu_farness --trials=5 --chunked
+
 cat "$TMP"/*.json > "$OUT"
 echo "wrote $(wc -l < "$OUT") rows to $OUT" >&2

@@ -19,8 +19,17 @@ using namespace tft;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);  // mu_farness_stats fans trials internally
-  bench::JsonRows json(flags, "mu_farness");
+  // --chunked: draw each trial's mu sample through the chunked generator
+  // (streamed union build, O(chunk) generator scratch); --chunks sets the
+  // build granularity (the sampled graphs are chunk-count invariant).
+  const bool chunked = flags.get_bool("chunked", false);
+  const auto chunks = static_cast<std::uint64_t>(flags.get_int("chunks", 3));
+  bench::JsonRows json(flags, chunked ? "mu_farness_chunked" : "mu_farness");
   const std::size_t trials = static_cast<std::size_t>(flags.get_int("trials", 20));
+  const auto stats = [&](Vertex side, double gamma, std::uint64_t seed) {
+    return chunked ? mu_farness_stats_chunked(side, gamma, trials, 1.0 / 48.0, seed, chunks)
+                   : mu_farness_stats(side, gamma, trials, 1.0 / 48.0, seed);
+  };
 
   bench::header("E-MU bench_mu_farness",
                 "Lemma 4.5: mu is Omega(1)-far (>= c gamma^3 side^{3/2} disjoint "
@@ -28,7 +37,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- gamma sweep at side = 1024 --\n");
   for (const double gamma : {0.5, 0.7, 0.9, 1.2}) {
-    const auto s = mu_farness_stats(1024, gamma, trials, 1.0 / 48.0, 17);
+    const auto s = stats(1024, gamma, 17);
     bench::row({{"gamma", gamma},
                 {"far_fraction", s.far_fraction()},
                 {"mean_packing", s.mean_packing},
@@ -42,7 +51,7 @@ int main(int argc, char** argv) {
   std::printf("\n-- side sweep at gamma = 0.9 --\n");
   std::vector<double> sides, packs;
   for (const Vertex side : {256u, 512u, 1024u, 2048u, 4096u}) {
-    const auto s = mu_farness_stats(side, 0.9, trials, 1.0 / 48.0, 19);
+    const auto s = stats(side, 0.9, 19);
     bench::row({{"side", static_cast<double>(side)},
                 {"far_fraction", s.far_fraction()},
                 {"mean_packing", s.mean_packing}});

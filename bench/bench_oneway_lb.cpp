@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "core/oneway_vee.h"
+#include "graph/chunked.h"
 #include "lower_bounds/budget_search.h"
 #include "lower_bounds/mu_distribution.h"
 #include "runner.h"
@@ -26,18 +27,24 @@ namespace {
 
 /// Budget trial over a pool of `instances` cached mu instances: success iff
 /// the protocol outputs an edge (always a true triangle edge by
-/// one-sidedness).
+/// one-sidedness). Under --chunked the instance is generated chunk-wise with
+/// the k = 3 mu chunking doubling as the player partition (zero-copy,
+/// graph/chunked.h); the protocol and budget accounting are unchanged.
 BudgetTrial make_trial(const bench::SweepContext& sweep, Vertex side, double gamma,
                        std::uint64_t seed, std::size_t instances) {
   return [&sweep, side, gamma, seed, instances](std::uint64_t budget, std::uint64_t trial_index) {
-    const auto inst =
-        bench::mu_sweep_instance(sweep, side, gamma, seed, trial_index % instances);
     OneWayOptions o;
     o.seed = 0xABC0 + trial_index;
     o.hubs = 4;
     o.budget_edges_per_player = budget;
-    const auto r = oneway_vee_find_edge(inst->players, inst->mu.layout, o);
-    return r.triangle_edge.has_value();
+    if (sweep.chunked()) {
+      const auto inst =
+          bench::mu_chunk_instance(sweep, side, gamma, seed, trial_index % instances);
+      return oneway_vee_find_edge(inst->players, inst->layout, o).triangle_edge.has_value();
+    }
+    const auto inst =
+        bench::mu_sweep_instance(sweep, side, gamma, seed, trial_index % instances);
+    return oneway_vee_find_edge(inst->players, inst->mu.layout, o).triangle_edge.has_value();
   };
 }
 
@@ -47,9 +54,11 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::configure_threads(flags);
   const bench::SweepContext sweep(flags);
-  bench::JsonRows json(flags, "oneway_lb");
+  bench::JsonRows json(flags, sweep.chunked() ? "oneway_lb_chunked" : "oneway_lb");
   const double gamma = flags.get_double("gamma", 0.9);
   const std::size_t instances = static_cast<std::size_t>(flags.get_int("instances", 10));
+  const std::size_t trials_per_budget =
+      static_cast<std::size_t>(flags.get_int("trials", 30));
 
   bench::header("T1-R3 bench_oneway_lb",
                 "one-way 3-player triangle-edge detection: Theta~(n^{1/4}) on mu "
@@ -60,7 +69,7 @@ int main(int argc, char** argv) {
        side *= 4) {
     BudgetSearchOptions opts;
     opts.target_success = 0.8;
-    opts.trials_per_budget = 30;
+    opts.trials_per_budget = trials_per_budget;
     opts.budget_lo = 4;
     opts.budget_hi = 1ULL << 24;
     opts.refine_steps = 5;
@@ -101,7 +110,7 @@ int main(int argc, char** argv) {
     // every --adaptive / --cache / --threads setting.
     BudgetSearchOptions opts;
     opts.target_success = 0.8;
-    opts.trials_per_budget = 30;
+    opts.trials_per_budget = trials_per_budget;
     opts.budget_lo = 4;
     opts.budget_hi = 1ULL << 24;
     opts.refine_steps = 5;
@@ -119,6 +128,18 @@ int main(int argc, char** argv) {
       json.row("curve", {{"budget", p.budget},
                          {"successes", static_cast<std::uint64_t>(p.success.successes)}});
     }
+  }
+
+  if (sweep.chunked()) {
+    // A/B identity: the k-chunk build is edge-multiset-identical to the
+    // monolithic (k = 1) build of the same spec/seed. CI replays this row.
+    std::printf("\n-- chunked/monolithic identity (k=3 vs k=1) --\n");
+    const ChunkedSpec spec = ChunkedSpec::tripartite_mu(256, gamma);
+    const std::uint64_t s = bench::chunk_instance_seed(1000 + 256, 0);
+    const std::uint64_t hk = chunked_union_hash(spec, s, 3);
+    const std::uint64_t h1 = chunked_union_hash(spec, s, 1);
+    bench::row({{"chunk_identity_ok", hk == h1 ? 1.0 : 0.0}});
+    json.row("chunk_identity", {{"hash", hk}, {"match", hk == h1}});
   }
   return 0;
 }

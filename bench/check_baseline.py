@@ -6,6 +6,8 @@ Usage: bench/check_baseline.py <expected.json> <actual.json>
 Bit counts, min-budgets and success statistics are exact (fixed seeds,
 order-fixed aggregation — see the determinism contract in bench/runner.h),
 so everything except wall-clock-derived fields must match byte-for-byte.
+Memory telemetry (peak_rss_kb, arena_hw_bytes) varies with the host the
+same way wall clock does, so it is stripped too; wire/bit counts are NOT.
 Exit 0 on match, 1 with a row-level diff otherwise.
 """
 
@@ -13,7 +15,7 @@ import json
 import re
 import sys
 
-TIME_KEY = re.compile(r"(seconds|_s$|/s$|medges|time|wall|frames_per)", re.IGNORECASE)
+TIME_KEY = re.compile(r"(seconds|_s$|/s$|medges|time|wall|frames_per|rss|arena)", re.IGNORECASE)
 
 
 def load(path):

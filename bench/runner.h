@@ -16,6 +16,7 @@
 #include "lower_bounds/budget_search.h"
 #include "util/flags.h"
 #include "util/parallel.h"
+#include "util/mem.h"
 #include "util/pool.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -56,13 +57,20 @@ inline void configure_threads(const Flags& flags) {
 ///   --pool=0|1      transcript pooling on/off      (default 1)
 ///   --adaptive=0|1  adaptive budget search on/off  (default 1)
 ///   --cache_mb=N    instance cache byte budget     (default 256 MiB)
+///   --chunked=0|1   chunked instance generation    (default 0)
+///   --chunks=K      chunk count when --chunked     (default 8)
 /// Every switch preserves printed bits/min-budget bytes (the determinism
 /// contract in EXPERIMENTS.md "Sweep methodology"); only the wall-clock
-/// columns move. Construct once in main(), after configure_threads.
+/// columns move. `--chunked` additionally swaps the sampled instance stream
+/// (graph/chunked.h) — chunked rows are self-consistent at any --chunks but
+/// are a different draw than the legacy monolithic rows. Construct once in
+/// main(), after configure_threads.
 class SweepContext {
  public:
   explicit SweepContext(const Flags& flags)
-      : adaptive_(flags.get_bool("adaptive", true)) {
+      : adaptive_(flags.get_bool("adaptive", true)),
+        chunked_(flags.get_bool("chunked", false)),
+        chunks_(static_cast<std::uint64_t>(flags.get_int("chunks", 8))) {
     set_instance_caching(flags.get_bool("cache", true));
     set_buffer_pooling(flags.get_bool("pool", true));
     auto& cache = InstanceCache::global();
@@ -73,6 +81,8 @@ class SweepContext {
   }
 
   [[nodiscard]] bool adaptive() const noexcept { return adaptive_; }
+  [[nodiscard]] bool chunked() const noexcept { return chunked_; }
+  [[nodiscard]] std::uint64_t chunks() const noexcept { return chunks_ > 0 ? chunks_ : 1; }
 
   /// Applies the --adaptive switch: with it off, every search falls back to
   /// the legacy exhaustive evaluation for A/B runs.
@@ -97,8 +107,23 @@ class SweepContext {
     return InstanceCache::global().get_or_build<T>(key, std::forward<Build>(build));
   }
 
+  /// Per-chunk variant: the key carries `chunk` so each chunk's slice is an
+  /// independently cached, independently evictable entry — a sweep over a
+  /// k-chunk instance never needs more than one slice resident per probe
+  /// (plus whatever the LRU budget retains).
+  template <typename T, typename Build>
+  [[nodiscard]] std::shared_ptr<const T> instance(std::uint64_t generator, std::uint64_t n,
+                                                  double param, std::uint64_t k,
+                                                  std::uint64_t seed, std::uint64_t trial,
+                                                  std::uint64_t chunk, Build&& build) const {
+    const InstanceKey key{generator, n, InstanceKey::pack_param(param), k, seed, trial, chunk};
+    return InstanceCache::global().get_or_build<T>(key, std::forward<Build>(build));
+  }
+
  private:
   bool adaptive_ = true;
+  bool chunked_ = false;
+  std::uint64_t chunks_ = 8;
 };
 
 /// Runs fn(rng, t) for every t in [0, trials) across the pool and returns
@@ -205,6 +230,10 @@ class JsonRows {
   [[nodiscard]] bool enabled() const noexcept { return out_ != nullptr; }
 
   /// Emit one row: {"bench":"<name>","row":"<row>",<fields...>}.
+  /// Every row also records the process peak RSS and the instance-arena
+  /// high-water mark at emission time (util/mem.h) — observational,
+  /// machine-dependent fields that baseline comparison strips exactly like
+  /// the wall-clock columns (check_baseline.py TIME_KEY).
   void row(std::string_view row_name,
            std::initializer_list<std::pair<const char*, JsonValue>> fields) {
     if (out_ == nullptr) return;
@@ -216,6 +245,8 @@ class JsonRows {
       line += ":";
       line += value.text();
     }
+    line += ",\"peak_rss_kb\":" + JsonValue(peak_rss_kb()).text();
+    line += ",\"arena_hw_bytes\":" + JsonValue(arena_high_water()).text();
     line += "}\n";
     std::fputs(line.c_str(), out_);
     std::fflush(out_);

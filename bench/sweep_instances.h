@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/chunked.h"
 #include "graph/instance_cache.h"
 #include "graph/partition.h"
 #include "lower_bounds/boolean_matching.h"
@@ -45,6 +46,17 @@ struct BmSweepInstance {
 // Builder tags for InstanceKey::generator (unique per payload type).
 inline constexpr std::uint64_t kGenMuThree = 0x3A01;
 inline constexpr std::uint64_t kGenBmTwo = 0x3A02;
+inline constexpr std::uint64_t kGenMuChunk = 0x3A03;
+inline constexpr std::uint64_t kGenBmChunk = 0x3A04;
+
+/// Instance seed for the chunked builders: keys the chunked layer's block
+/// streams to (bench seed, instance index), mirroring derive_rng's role in
+/// the monolithic builders. Pure, so the cache purity contract holds per
+/// chunk.
+[[nodiscard]] inline std::uint64_t chunk_instance_seed(std::uint64_t seed,
+                                                       std::uint64_t idx) noexcept {
+  return mix_hash(0x1457EED, seed, idx);
+}
 
 /// The mu instance + 3-player split for (side, gamma, seed, idx), through
 /// the global instance cache.
@@ -58,6 +70,54 @@ inline constexpr std::uint64_t kGenBmTwo = 0x3A02;
     c.players = partition_mu_three(c.mu);
     return c;
   });
+}
+
+/// The chunked mu instance for (side, gamma, seed, idx): 3 players built
+/// directly from the 3 mu-aligned chunks (partition = chunk — see
+/// graph/chunked.h, the k = 3 chunking IS the Alice/Bob/Charlie split), no
+/// monolithic edge list ever materialized. A different (equally valid) draw
+/// of mu than mu_sweep_instance, so chunked sweep rows form their own
+/// self-consistent series.
+struct MuChunkInstance {
+  std::vector<PlayerInput> players;
+  TripartiteLayout layout;
+};
+[[nodiscard]] inline std::size_t approx_bytes(const MuChunkInstance& c) noexcept {
+  return sizeof(c) + tft::approx_bytes(c.players);
+}
+
+[[nodiscard]] inline std::shared_ptr<const MuChunkInstance> mu_chunk_instance(
+    const SweepContext& sweep, Vertex side, double gamma, std::uint64_t seed,
+    std::uint64_t idx) {
+  return sweep.instance<MuChunkInstance>(kGenMuChunk, side, gamma, 3, seed, idx, [&] {
+    const ChunkedView view(ChunkedSpec::tripartite_mu(side, gamma),
+                           chunk_instance_seed(seed, idx), /*num_chunks=*/3);
+    MuChunkInstance c;
+    c.players = view.build_players();
+    c.layout.side = side;
+    return c;
+  });
+}
+
+/// ONE chunk's slice of the chunked Boolean-Matching reduction graph for
+/// (pairs, zero_case, chunks, seed, idx) — the unit the n >= 1e8 sweeps
+/// fetch: each probe streams the k slices through sim_low_message_edges one
+/// at a time, so process residency stays O(m/k) + cache budget instead of
+/// O(m). Keyed per chunk (InstanceKey::chunk_id), so slices are cached and
+/// evicted independently.
+[[nodiscard]] inline std::shared_ptr<const EdgeSlice> bm_chunk_slice(
+    const SweepContext& sweep, std::uint64_t pairs, bool zero_case, std::uint64_t chunks,
+    std::uint64_t chunk, std::uint64_t seed, std::uint64_t idx) {
+  return sweep.instance<EdgeSlice>(
+      kGenBmChunk, pairs, zero_case ? 1.0 : 0.0, chunks, seed, idx, chunk, [&] {
+        const ChunkedSpec spec = ChunkedSpec::bm_reduction(pairs, zero_case);
+        EdgeSlice s;
+        s.player_id = static_cast<std::size_t>(chunk);
+        s.k = static_cast<std::size_t>(chunks);
+        s.n = static_cast<Vertex>(spec.n);
+        s.edges = generate_chunk(spec, chunk_instance_seed(seed, idx), chunk, chunks);
+        return s;
+      });
 }
 
 /// The Boolean Matching reduction instance + 2-player split for

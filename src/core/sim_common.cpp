@@ -50,6 +50,48 @@ SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages) {
   });
 }
 
+SimResult finalize_simultaneous_compact(Vertex n, std::vector<SimMessage> messages) {
+  return run_checked(CommModel::kSimultaneous, messages.size(), n, [&](Channel t) {
+    SimResult r;
+    r.per_player_bits.resize(messages.size(), 0);
+    std::size_t total_edges = 0;
+    for (const auto& m : messages) total_edges += m.edges.size();
+    std::vector<Edge> all;
+    all.reserve(total_edges);
+    for (const auto& m : messages) {
+      // Bits are charged against the true universe size n (an edge costs
+      // 2 ceil(log n) on the wire no matter how the referee stores it).
+      const std::uint64_t b = m.bits(n);
+      t.charge(m.player_id, Direction::kPlayerToCoordinator, b);
+      r.per_player_bits[m.player_id] = b;
+      r.total_bits += b;
+      r.any_truncated = r.any_truncated || m.truncated;
+      all.insert(all.end(), m.edges.begin(), m.edges.end());
+    }
+    // Compact: relabel endpoints onto [0, |endpoints|). The map is
+    // monotone, so edge normalization (u < v) and sort order survive.
+    std::vector<Vertex> verts;
+    verts.reserve(all.size() * 2);
+    for (const Edge& e : all) {
+      verts.push_back(e.u);
+      verts.push_back(e.v);
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    const auto compact = [&](Vertex v) {
+      return static_cast<Vertex>(std::lower_bound(verts.begin(), verts.end(), v) -
+                                 verts.begin());
+    };
+    for (Edge& e : all) e = Edge(compact(e.u), compact(e.v));
+    const Graph g(static_cast<Vertex>(std::max<std::size_t>(verts.size(), 1)), std::move(all));
+    r.edges_received = g.num_edges();
+    if (const auto t3 = find_triangle(g)) {
+      r.triangle = Triangle(verts[t3->a], verts[t3->b], verts[t3->c]);
+    }
+    return r;
+  });
+}
+
 void apply_cap(SimMessage& msg, std::size_t cap) {
   if (cap != 0 && msg.edges.size() > cap) {
     msg.edges.resize(cap);

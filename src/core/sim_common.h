@@ -54,6 +54,18 @@ struct SimResult {
 /// Assemble a SimResult (bit totals + referee decision) from messages.
 [[nodiscard]] SimResult finalize_simultaneous(Vertex n, std::vector<SimMessage> messages);
 
+/// finalize_simultaneous for huge sparse universes (the chunked n >= 1e8
+/// sweeps): identical bit accounting and verdict, but the referee's union
+/// graph is built over the compacted set of endpoints that actually appear
+/// in the messages instead of [0, n) — a Graph's CSR offsets alone cost
+/// 4 bytes/vertex, which at n = 1e8 would dwarf the O(m/k) player slices.
+/// The monotone endpoint relabelling preserves sorted edge order, degrees
+/// and adjacency, so the triangle found (mapped back to original vertex
+/// ids) is the same one the dense referee reports; equality is locked in by
+/// tests/test_sim_protocols.cpp.
+[[nodiscard]] SimResult finalize_simultaneous_compact(Vertex n,
+                                                      std::vector<SimMessage> messages);
+
 /// Truncate msg.edges to `cap` edges if cap != 0, recording truncation.
 void apply_cap(SimMessage& msg, std::size_t cap);
 

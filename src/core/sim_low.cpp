@@ -8,8 +8,8 @@
 
 namespace tft {
 
-SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts) {
-  const std::uint64_t n = player.n();
+SimMessage sim_low_message_edges(std::span<const Edge> edges, std::size_t player_id,
+                                 std::uint64_t n, const SimLowOptions& opts) {
   const SharedRandomness sr(opts.seed);
   const SharedTag s_tag{opts.s_tag, 0, 0};
   const SharedTag r_tag{opts.r_tag, 0, 0};
@@ -22,8 +22,8 @@ SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts)
   const auto in_r = [&](Vertex v) { return sr.bernoulli(r_tag, v, p2); };
 
   SimMessage msg;
-  msg.player_id = player.player_id;
-  for (const Edge& e : player.local.edges()) {
+  msg.player_id = player_id;
+  for (const Edge& e : edges) {
     const bool ru = in_r(e.u);
     const bool rv = in_r(e.v);
     // one endpoint in R, the other in R ∪ S.
@@ -40,6 +40,10 @@ SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts)
   }
   apply_cap(msg, static_cast<std::size_t>(cap));
   return msg;
+}
+
+SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts) {
+  return sim_low_message_edges(player.local.edges(), player.player_id, player.n(), opts);
 }
 
 SimResult sim_low_find_triangle(std::span<const PlayerInput> players, const SimLowOptions& opts) {

@@ -35,6 +35,15 @@ struct SimLowOptions {
 /// Build player j's single message (player-local computation only).
 [[nodiscard]] SimMessage sim_low_message(const PlayerInput& player, const SimLowOptions& opts);
 
+/// CSR-free variant: the message from a raw edge slice (graph/chunked.h
+/// EdgeSlice). The protocol only streams the player's edges and evaluates
+/// shared coins per endpoint, so it never needs local adjacency — which is
+/// what lets a chunked player at n = 1e8 hold O(m/k) bytes instead of the
+/// O(n) CSR offsets a Graph would carry.
+[[nodiscard]] SimMessage sim_low_message_edges(std::span<const Edge> edges,
+                                               std::size_t player_id, std::uint64_t n,
+                                               const SimLowOptions& opts);
+
 /// Full run: all messages + referee decision.
 [[nodiscard]] SimResult sim_low_find_triangle(std::span<const PlayerInput> players,
                                               const SimLowOptions& opts);

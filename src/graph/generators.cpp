@@ -1,51 +1,17 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "graph/pair_sampling.h"
 
 namespace tft::gen {
 
 namespace {
-
-/// Invoke fn(i) for each pair index i in [0, total) kept independently with
-/// probability p, via geometric skip sampling — O(expected kept) time.
-template <typename Fn>
-void skip_sample(std::uint64_t total, double p, Rng& rng, Fn&& fn) {
-  if (p <= 0.0 || total == 0) return;
-  if (p >= 1.0) {
-    for (std::uint64_t i = 0; i < total; ++i) fn(i);
-    return;
-  }
-  const double log1mp = std::log1p(-p);
-  double cursor = -1.0;
-  for (;;) {
-    // Geometric gap: floor(log(U) / log(1-p)).
-    const double u = std::max(rng.uniform(), 1e-300);
-    cursor += 1.0 + std::floor(std::log(u) / log1mp);
-    if (cursor >= static_cast<double>(total)) return;
-    fn(static_cast<std::uint64_t>(cursor));
-  }
-}
-
-/// Map a linear index over the strict upper triangle of an n x n matrix to a
-/// (row, col) pair with row < col.
-std::pair<Vertex, Vertex> unrank_pair(std::uint64_t idx, std::uint64_t n) {
-  // Row r occupies (n-1-r) entries. Solve by walking rows; the expected
-  // number of iterations per call is O(1) amortized when callers iterate
-  // increasing idx, but we keep it simple and robust with a direct formula.
-  // idx = r*n - r*(r+1)/2 + (c - r - 1).
-  const double nd = static_cast<double>(n);
-  double rd = std::floor(nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(idx)));
-  auto r = static_cast<std::uint64_t>(std::max(0.0, rd));
-  // Fix up potential floating-point off-by-one.
-  auto row_start = [&](std::uint64_t rr) { return rr * n - rr * (rr + 1) / 2; };
-  while (r + 1 < n && row_start(r + 1) <= idx) ++r;
-  while (r > 0 && row_start(r) > idx) --r;
-  const std::uint64_t c = r + 1 + (idx - row_start(r));
-  return {static_cast<Vertex>(r), static_cast<Vertex>(c)};
-}
 
 void shuffle_vertices(std::vector<Vertex>& vs, Rng& rng) {
   for (std::size_t i = vs.size(); i > 1; --i) std::swap(vs[i - 1], vs[rng.below(i)]);
@@ -55,7 +21,9 @@ void shuffle_vertices(std::vector<Vertex>& vs, Rng& rng) {
 
 Graph gnp(Vertex n, double p, Rng& rng) {
   std::vector<Edge> edges;
-  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // pair_count keeps the n*(n-1)/2 arithmetic in 64 bits: past n = 2^16 the
+  // pair space no longer fits 32 bits, past n ~ 92682 it exceeds 2^32.
+  const std::uint64_t total = pair_count(n);
   skip_sample(total, p, rng, [&](std::uint64_t idx) {
     const auto [u, v] = unrank_pair(idx, n);
     edges.emplace_back(u, v);
@@ -76,6 +44,7 @@ Graph bipartite_gnp(Vertex n, double p, Rng& rng) {
 }
 
 Graph complete_bipartite(Vertex a, Vertex b) {
+  assert(static_cast<std::uint64_t>(a) + b <= std::numeric_limits<Vertex>::max());
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(a) * b);
   for (Vertex u = 0; u < a; ++u) {
@@ -166,7 +135,7 @@ Graph hub_matching(Vertex n, std::uint32_t hubs, Rng& rng) {
   std::vector<Vertex> rest(n - hubs);
   std::iota(rest.begin(), rest.end(), static_cast<Vertex>(hubs));
   const std::size_t pairs = rest.size() / 2;
-  edges.reserve(hubs * pairs * 3);
+  edges.reserve(static_cast<std::size_t>(hubs) * pairs * 3);
   for (Vertex h = 0; h < hubs; ++h) {
     shuffle_vertices(rest, rng);
     for (std::size_t i = 0; i + 1 < rest.size(); i += 2) {
@@ -252,6 +221,7 @@ Graph chung_lu(Vertex n, double d_target, double beta, Rng& rng) {
 }
 
 Graph tripartite_mu(Vertex side, double gamma, Rng& rng) {
+  assert(static_cast<std::uint64_t>(side) * 3 <= std::numeric_limits<Vertex>::max());
   const double p = gamma / std::sqrt(static_cast<double>(side));
   const Vertex n = 3 * side;
   std::vector<Edge> edges;

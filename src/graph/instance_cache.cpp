@@ -1,5 +1,7 @@
 #include "graph/instance_cache.h"
 
+#include "util/mem.h"
+
 namespace tft {
 
 namespace {
@@ -32,6 +34,9 @@ std::shared_ptr<const void> InstanceCache::insert(const InstanceKey& key,
   lru_.push_front(key);
   entries_.emplace(key, Entry{value, bytes, lru_.begin()});
   bytes_ += bytes;
+  // The arena counter (util/mem.h) tracks resident instance bytes so sweeps
+  // can report an allocator-level high-water next to peak RSS.
+  arena_charge(bytes);
   evict_to_budget_locked();
   return value;
 }
@@ -45,6 +50,7 @@ void InstanceCache::evict_to_budget_locked() {
     lru_.pop_back();
     const auto it = entries_.find(victim);
     bytes_ -= it->second.bytes;
+    arena_release(it->second.bytes);
     entries_.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -70,6 +76,7 @@ void InstanceCache::reset_stats() {
 
 void InstanceCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  arena_release(bytes_);
   entries_.clear();
   lru_.clear();
   bytes_ = 0;

@@ -38,7 +38,11 @@ namespace tft {
 
 /// Cache key: everything an instance builder may draw on. `param_bits`
 /// carries a real-valued generator parameter (gamma, d, ...) via its IEEE
-/// bit pattern so lookups are exact.
+/// bit pattern so lookups are exact. `chunk_id` extends the purity contract
+/// to chunked generation (graph/chunked.h): a per-chunk slice is a pure
+/// function of the key including its chunk, so hit, rebuild-after-eviction,
+/// chunked and monolithic builds all stay indistinguishable. Monolithic
+/// payloads leave it at 0, which hashes and compares exactly as before.
 struct InstanceKey {
   std::uint64_t generator = 0;  ///< caller-chosen tag naming the builder
   std::uint64_t n = 0;
@@ -46,6 +50,7 @@ struct InstanceKey {
   std::uint64_t k = 0;
   std::uint64_t seed = 0;
   std::uint64_t trial_index = 0;
+  std::uint64_t chunk_id = 0;
 
   friend bool operator==(const InstanceKey&, const InstanceKey&) = default;
 
@@ -58,7 +63,7 @@ struct InstanceKeyHash {
   [[nodiscard]] std::size_t operator()(const InstanceKey& key) const noexcept {
     return static_cast<std::size_t>(
         mix_hash(mix_hash(key.generator, key.n, key.param_bits),
-                 mix_hash(key.k, key.seed, key.trial_index)));
+                 mix_hash(key.k, key.seed, key.trial_index), key.chunk_id));
   }
 };
 

@@ -55,6 +55,16 @@ std::vector<PlayerInput> partition_duplicated(const Graph& g, std::size_t k, dou
   return partition_edges(g, k, opts, rng);
 }
 
+std::vector<PlayerInput> players_from_slices(Vertex n, std::vector<std::vector<Edge>> slices) {
+  if (slices.empty()) throw std::invalid_argument("players_from_slices: need >= 1 slice");
+  std::vector<PlayerInput> players;
+  players.reserve(slices.size());
+  for (std::size_t j = 0; j < slices.size(); ++j) {
+    players.push_back(PlayerInput{j, slices.size(), Graph(n, std::move(slices[j]))});
+  }
+  return players;
+}
+
 Graph union_graph(const std::vector<PlayerInput>& players) {
   if (players.empty()) return Graph();
   std::vector<Edge> edges;

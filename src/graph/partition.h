@@ -55,6 +55,13 @@ struct PartitionOptions {
 [[nodiscard]] std::vector<PlayerInput> partition_duplicated(const Graph& g, std::size_t k,
                                                             double dup_factor, Rng& rng);
 
+/// Zero-copy "partition = chunk" fast path for chunked generation
+/// (graph/chunked.h): slice j becomes player j's input verbatim — no
+/// partition pass, no randomness, no monolithic edge list. Each slice's
+/// edge vector is moved straight into that player's Graph.
+[[nodiscard]] std::vector<PlayerInput> players_from_slices(
+    Vertex n, std::vector<std::vector<Edge>> slices);
+
 /// Reassemble the union graph from the players' inputs (ground truth for
 /// verification; protocols never call this).
 [[nodiscard]] Graph union_graph(const std::vector<PlayerInput>& players);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graph/chunked.h"
 #include "graph/generators.h"
 
 namespace tft {
@@ -19,6 +20,24 @@ EmbeddedInstance embed_dense_core(Vertex n, double d_target, double p_core, Rng&
   inst.core_n = core_n;
   inst.core_degree = core.average_degree();
   inst.graph = gen::embed_with_isolated(core, n);
+  return inst;
+}
+
+EmbeddedInstance embed_dense_core_chunked(Vertex n, double d_target, double p_core,
+                                          std::uint64_t seed, std::uint64_t num_chunks) {
+  if (p_core <= 0.0 || p_core > 1.0) {
+    throw std::invalid_argument("embed_dense_core_chunked: bad p_core");
+  }
+  const ChunkedSpec spec = ChunkedSpec::embed_gnp_core(n, d_target, p_core);
+  const ChunkedView view(spec, seed, num_chunks);
+  EmbeddedInstance inst;
+  inst.core_n = static_cast<Vertex>(spec.embed_core_n());
+  // The chunked universe is already [0, n) with the non-core vertices
+  // isolated, so the embedding step is implicit.
+  inst.graph = view.build_union();
+  inst.core_degree = inst.core_n > 0 ? 2.0 * static_cast<double>(inst.graph.num_edges()) /
+                                           static_cast<double>(inst.core_n)
+                                     : 0.0;
   return inst;
 }
 

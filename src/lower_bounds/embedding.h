@@ -29,4 +29,14 @@ struct EmbeddedInstance {
 /// Embed an arbitrary prebuilt core into n total vertices.
 [[nodiscard]] EmbeddedInstance embed_core(const Graph& core, Vertex n);
 
+/// embed_dense_core through the chunked generator (graph/chunked.h,
+/// ChunkedFamily::kEmbedGnpCore): the same core geometry
+/// n' = clamp(sqrt(n d_target / p_core), 3, n), but the core edges are
+/// produced chunk-by-chunk from (spec, seed) with a two-pass exact reserve —
+/// no generator-side scratch list, and the instance is reproducible from the
+/// seed alone (no caller Rng state threading).
+[[nodiscard]] EmbeddedInstance embed_dense_core_chunked(Vertex n, double d_target,
+                                                        double p_core, std::uint64_t seed,
+                                                        std::uint64_t num_chunks = 8);
+
 }  // namespace tft

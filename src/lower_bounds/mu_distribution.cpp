@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/chunked.h"
 #include "graph/generators.h"
 #include "graph/triangles.h"
 #include "util/parallel.h"
@@ -53,6 +54,34 @@ FarnessStats mu_farness_stats(Vertex side, double gamma, std::size_t trials,
         Rng rng = derive_rng(seed, t);
         const auto mu = sample_mu(side, gamma, rng);
         packings[t] = static_cast<double>(distance_lower_bound(mu.graph, rng));
+      },
+      /*grain=*/1);
+  for (const double packing : packings) {
+    stats.mean_packing += packing / static_cast<double>(trials);
+    if (packing >= stats.threshold) ++stats.far_count;
+  }
+  return stats;
+}
+
+FarnessStats mu_farness_stats_chunked(Vertex side, double gamma, std::size_t trials,
+                                      double threshold_coefficient, std::uint64_t seed,
+                                      std::uint64_t num_chunks) {
+  FarnessStats stats;
+  stats.trials = trials;
+  stats.threshold = threshold_coefficient * std::pow(gamma, 3.0) *
+                    std::pow(static_cast<double>(side), 1.5);
+  const ChunkedSpec spec = ChunkedSpec::tripartite_mu(side, gamma);
+  std::vector<double> packings(trials, 0.0);
+  parallel_for(
+      trials,
+      [&](std::size_t t) {
+        // Instance randomness is keyed to (spec, seed, t) inside the chunked
+        // layer; the packing's own coin flips use the derived trial stream,
+        // mirroring the monolithic path.
+        const ChunkedView view(spec, mix_hash(seed, t), num_chunks);
+        const Graph g = view.build_union();
+        Rng rng = derive_rng(seed, t);
+        packings[t] = static_cast<double>(distance_lower_bound(g, rng));
       },
       /*grain=*/1);
   for (const double packing : packings) {

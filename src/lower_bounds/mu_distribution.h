@@ -51,6 +51,19 @@ struct FarnessStats {
 [[nodiscard]] FarnessStats mu_farness_stats(Vertex side, double gamma, std::size_t trials,
                                             double threshold_coefficient, std::uint64_t seed);
 
+/// mu_farness_stats over samples drawn through the chunked generator
+/// (graph/chunked.h, ChunkedFamily::kTripartiteMu): each trial streams its
+/// union graph chunk-by-chunk with a two-pass exact reserve instead of
+/// holding a generator-side scratch edge list. Same mu distribution, a
+/// different (equally valid) sample stream than gen::tripartite_mu, so the
+/// statistics agree in distribution, not per-trial. num_chunks only controls
+/// build granularity — the sampled graphs are chunk-count invariant.
+[[nodiscard]] FarnessStats mu_farness_stats_chunked(Vertex side, double gamma,
+                                                    std::size_t trials,
+                                                    double threshold_coefficient,
+                                                    std::uint64_t seed,
+                                                    std::uint64_t num_chunks = 3);
+
 /// True edge-level check used to verify one-way protocol outputs: is `e` an
 /// edge of g that participates in some triangle? (Definition 3.)
 [[nodiscard]] bool is_triangle_edge(const Graph& g, const Edge& e);

@@ -8,6 +8,7 @@
 
 #include "comm/conformance.h"
 #include "comm/message_passing.h"
+#include "graph/chunked.h"
 #include "net/runtime.h"
 
 /// \file executed.h
@@ -70,6 +71,22 @@ auto run_executed(std::size_t num_players, const NetConfig& cfg, Fn&& body)
   }
   report.runs = capture.runs();
   return {std::move(result), std::move(report)};
+}
+
+/// run_executed over a chunked instance (graph/chunked.h): player j's input
+/// Graph is generated from ONLY its own chunk — partition = chunk, no
+/// monolithic edge list on any endpoint — so executed-mode peak memory per
+/// player is O(m/k) plus the shared vertex universe. `body` receives the
+/// per-player inputs; accounting and conformance checks are those of
+/// run_executed, unchanged.
+template <typename Fn>
+auto run_executed_chunked(const ChunkedSpec& spec, std::uint64_t seed, std::size_t num_players,
+                          const NetConfig& cfg, Fn&& body)
+    -> std::pair<std::invoke_result_t<Fn&, std::span<const PlayerInput>>, ExecutedReport> {
+  const ChunkedView view(spec, seed, num_players);
+  const std::vector<PlayerInput> players = view.build_players();
+  return run_executed(players.size(), cfg,
+                      [&] { return body(std::span<const PlayerInput>(players)); });
 }
 
 /// The Section 2 message-passing -> coordinator overhead, measured on real

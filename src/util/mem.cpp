@@ -1,0 +1,77 @@
+#include "util/mem.h"
+
+#include <atomic>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace tft {
+
+namespace {
+
+std::atomic<std::uint64_t> g_arena_bytes{0};
+std::atomic<std::uint64_t> g_arena_hw{0};
+
+void raise_high_water(std::uint64_t candidate) noexcept {
+  std::uint64_t hw = g_arena_hw.load(std::memory_order_relaxed);
+  while (candidate > hw &&
+         !g_arena_hw.compare_exchange_weak(hw, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kb() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_kb() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size = 0;
+  long long resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const auto page_kb = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE)) / 1024;
+  return static_cast<std::uint64_t>(resident) * page_kb;
+#else
+  return peak_rss_kb();
+#endif
+}
+
+void arena_charge(std::uint64_t bytes) noexcept {
+  const std::uint64_t now =
+      g_arena_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_high_water(now);
+}
+
+void arena_release(std::uint64_t bytes) noexcept {
+  g_arena_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t arena_bytes() noexcept { return g_arena_bytes.load(std::memory_order_relaxed); }
+
+std::uint64_t arena_high_water() noexcept {
+  return g_arena_hw.load(std::memory_order_relaxed);
+}
+
+void arena_reset_high_water() noexcept {
+  g_arena_hw.store(g_arena_bytes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+}  // namespace tft

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file mem.h
+/// Process-memory instrumentation for the sweep layer.
+///
+/// Two complementary measurements back the O(m/k) memory claims of chunked
+/// instance generation (graph/chunked.h):
+///   * peak_rss_kb / current_rss_kb — OS truth: the resident-set high-water
+///     of the whole process (getrusage / /proc/self/statm). Monotone within
+///     a run, comparable across --chunked A/B runs of the same binary.
+///   * the arena counter — allocator-level truth for the instance layer:
+///     instance-cache entries and chunked slice/graph materializations
+///     charge their byte sizes while alive, so `arena_high_water()` reports
+///     the largest number of instance bytes ever simultaneously live,
+///     independent of allocator/OS page accounting. Benches may reset the
+///     high-water between sweep rows to get per-row numbers.
+///
+/// Both are observational only: no measurement feeds back into any protocol
+/// or generator decision, so the determinism contract (bench/runner.h) is
+/// untouched — memory fields are stripped by bench/check_baseline.py like
+/// wall-clock fields.
+
+namespace tft {
+
+/// Lifetime peak resident set size in KiB (ru_maxrss). 0 if unavailable.
+[[nodiscard]] std::uint64_t peak_rss_kb() noexcept;
+
+/// Current resident set size in KiB (/proc/self/statm). 0 if unavailable.
+[[nodiscard]] std::uint64_t current_rss_kb() noexcept;
+
+/// Charge `bytes` to the instance arena (on allocation of a tracked value).
+void arena_charge(std::uint64_t bytes) noexcept;
+/// Release `bytes` from the instance arena (on destruction/eviction).
+void arena_release(std::uint64_t bytes) noexcept;
+
+/// Bytes currently charged to the arena.
+[[nodiscard]] std::uint64_t arena_bytes() noexcept;
+/// Largest value arena_bytes() has reached since the last reset.
+[[nodiscard]] std::uint64_t arena_high_water() noexcept;
+/// Reset the high-water mark to the current charge level.
+void arena_reset_high_water() noexcept;
+
+/// RAII charge for a transient allocation (e.g. a chunk slice being
+/// materialized): charges on construction, releases on destruction.
+class ArenaLease {
+ public:
+  explicit ArenaLease(std::uint64_t bytes) noexcept : bytes_(bytes) { arena_charge(bytes_); }
+  ~ArenaLease() { arena_release(bytes_); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  /// Re-charge to a new size (e.g. once the final slice size is known).
+  void resize(std::uint64_t bytes) noexcept {
+    arena_release(bytes_);
+    bytes_ = bytes;
+    arena_charge(bytes_);
+  }
+
+ private:
+  std::uint64_t bytes_;
+};
+
+}  // namespace tft

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/chunked.h"
 #include "graph/graph.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
@@ -270,6 +271,162 @@ inline CheckResult check(std::uint64_t seed, std::size_t trials, const Property&
 
   result.ok = false;
   result.witness = std::move(failing);
+  return result;
+}
+
+// --- chunked-generation cases ---------------------------------------------
+
+/// A chunked-generation input (graph/chunked.h): spec + seed + chunk count.
+/// The flagship property over these is k-invariance — the union of the k
+/// chunk slices is edge-multiset-identical to the monolithic k = 1 build —
+/// but any predicate over (spec, seed, k) fits.
+struct ChunkedCase {
+  ChunkedSpec spec;
+  std::uint64_t seed = 1;
+  std::uint64_t k = 1;
+};
+
+[[nodiscard]] inline std::string describe(const ChunkedCase& c) {
+  std::ostringstream out;
+  out << "ChunkedCase{family=" << static_cast<int>(c.spec.family) << " n=" << c.spec.n
+      << " param=" << c.spec.param << " aux=" << c.spec.aux << " seed=" << c.seed
+      << " k=" << c.k << "}";
+  return out.str();
+}
+
+/// One seeded random chunked case, rotating through every family with a
+/// size and chunk count drawn wide enough to cross micro-block boundaries.
+[[nodiscard]] inline ChunkedCase gen_chunked_case(Rng& rng) {
+  ChunkedCase c;
+  c.seed = rng();
+  c.k = 1 + rng.below(9);
+  const std::uint64_t size = 3 + rng.below(400);
+  switch (rng.below(6)) {
+    case 0: c.spec = ChunkedSpec::gnp(size, rng.uniform()); break;
+    case 1: c.spec = ChunkedSpec::bipartite_gnp(size, rng.uniform()); break;
+    case 2: c.spec = ChunkedSpec::tripartite_mu(size, rng.uniform() * 1.5); break;
+    case 3:
+      c.spec = ChunkedSpec::hub_matching(
+          size, static_cast<std::uint32_t>(rng.below(std::min<std::uint64_t>(size, 5))));
+      break;
+    case 4: c.spec = ChunkedSpec::bm_reduction(size, rng.below(2) == 0); break;
+    default:
+      c.spec = ChunkedSpec::embed_gnp_core(8 * size, 1.0 + rng.uniform() * 4.0,
+                                           0.2 + rng.uniform() * 0.8);
+      break;
+  }
+  return c;
+}
+
+namespace detail {
+
+/// Family-aware size halving; false once the case is already minimal.
+inline bool halve_chunked_size(ChunkedSpec& spec) {
+  switch (spec.family) {
+    case ChunkedFamily::kGnp:
+      if (spec.n <= 3) return false;
+      spec = ChunkedSpec::gnp(spec.n / 2, spec.param);
+      return true;
+    case ChunkedFamily::kBipartiteGnp:
+      if (spec.n <= 3) return false;
+      spec = ChunkedSpec::bipartite_gnp(spec.n / 2, spec.param);
+      return true;
+    case ChunkedFamily::kTripartiteMu:
+      if (spec.mu_side() <= 1) return false;
+      spec = ChunkedSpec::tripartite_mu(spec.mu_side() / 2, spec.param);
+      return true;
+    case ChunkedFamily::kHubMatching: {
+      if (spec.n <= 3) return false;
+      const std::uint64_t n2 = spec.n / 2;
+      spec = ChunkedSpec::hub_matching(
+          n2, static_cast<std::uint32_t>(std::min<std::uint64_t>(spec.aux, n2 - 1)));
+      return true;
+    }
+    case ChunkedFamily::kBmReduction:
+      if (spec.bm_pairs() <= 1) return false;
+      spec = ChunkedSpec::bm_reduction(spec.bm_pairs() / 2, spec.bm_zero_case());
+      return true;
+    case ChunkedFamily::kEmbedGnpCore:
+      if (spec.n <= 8) return false;
+      return (spec = ChunkedSpec{spec.family, spec.n / 2, spec.param, spec.aux}, true);
+  }
+  return false;
+}
+
+}  // namespace detail
+
+using ChunkedProperty = std::function<PropOutcome(const ChunkedCase&)>;
+
+/// check(...) for chunked cases: same stream-then-greedy-shrink discipline,
+/// with size halving, chunk-count halving and k -> 1 as the shrink moves.
+inline CheckResult check_chunked(std::uint64_t seed, std::size_t trials,
+                                 const ChunkedProperty& prop,
+                                 std::size_t max_shrink_evals = 200) {
+  CheckResult result;
+  const auto eval = [&](const ChunkedCase& c) -> PropOutcome {
+    try {
+      return prop(c);
+    } catch (const std::exception& e) {
+      return {false, std::string("threw: ") + e.what()};
+    }
+  };
+  ChunkedCase failing;
+  bool found = false;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ++result.trials;
+    Rng rng = derive_rng(seed, t);
+    ChunkedCase c = gen_chunked_case(rng);
+    const PropOutcome out = eval(c);
+    if (!out.holds) {
+      failing = c;
+      result.message = out.message;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return result;
+
+  std::size_t evals = 0;
+  const auto still_fails = [&](const ChunkedCase& c) {
+    if (evals >= max_shrink_evals) return false;
+    ++evals;
+    const PropOutcome out = eval(c);
+    if (!out.holds) result.message = out.message;
+    return !out.holds;
+  };
+  bool progressed = true;
+  while (progressed && evals < max_shrink_evals) {
+    progressed = false;
+    ChunkedCase cand = failing;
+    if (detail::halve_chunked_size(cand.spec) && still_fails(cand)) {
+      failing = cand;
+      ++result.shrink_steps;
+      progressed = true;
+      continue;
+    }
+    if (failing.k > 2) {
+      cand = failing;
+      cand.k /= 2;
+      if (still_fails(cand)) {
+        failing = cand;
+        ++result.shrink_steps;
+        progressed = true;
+        continue;
+      }
+    }
+    if (failing.k > 1) {
+      cand = failing;
+      cand.k = 1;
+      if (still_fails(cand)) {
+        failing = cand;
+        ++result.shrink_steps;
+        progressed = true;
+      }
+    }
+  }
+
+  result.ok = false;
+  result.message = (result.message.empty() ? "" : result.message + " at ") + describe(failing);
   return result;
 }
 

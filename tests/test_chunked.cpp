@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/oneway_vee.h"
+#include "core/sim_low.h"
+#include "graph/chunked.h"
+#include "graph/pair_sampling.h"
+#include "graph/partition.h"
+#include "graph/triangles.h"
+#include "lower_bounds/embedding.h"
+#include "lower_bounds/mu_distribution.h"
+#include "util/rng.h"
+
+namespace tft {
+namespace {
+
+std::vector<Edge> sorted_union(const ChunkedSpec& spec, std::uint64_t seed, std::uint64_t k) {
+  std::vector<Edge> all;
+  for (std::uint64_t c = 0; c < k; ++c) {
+    const auto chunk = generate_chunk(spec, seed, c, k);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Edge& a, const Edge& b) { return a.key() < b.key(); });
+  return all;
+}
+
+std::vector<ChunkedSpec> small_specs() {
+  return {
+      ChunkedSpec::gnp(200, 0.05),
+      ChunkedSpec::gnp(50, 1.0),
+      ChunkedSpec::bipartite_gnp(300, 0.1),
+      ChunkedSpec::tripartite_mu(64, 0.9),
+      ChunkedSpec::hub_matching(200, 4),
+      ChunkedSpec::bm_reduction(500, true),
+      ChunkedSpec::bm_reduction(500, false),
+      ChunkedSpec::embed_gnp_core(4000, 4.0, 0.5),
+  };
+}
+
+// The load-bearing contract: the union of chunk slices is edge-multiset
+// identical to the monolithic (k = 1) build for ANY chunk count.
+TEST(Chunked, UnionInvariantUnderChunkCount) {
+  for (const auto& spec : small_specs()) {
+    const auto mono = sorted_union(spec, 42, 1);
+    const std::uint64_t mono_hash = edge_multiset_hash(mono);
+    for (const std::uint64_t k : {2ull, 3ull, 5ull, 8ull, 17ull}) {
+      const auto chunked = sorted_union(spec, 42, k);
+      ASSERT_EQ(chunked.size(), mono.size()) << "family " << static_cast<int>(spec.family)
+                                             << " k=" << k;
+      ASSERT_TRUE(std::equal(chunked.begin(), chunked.end(), mono.begin(),
+                             [](const Edge& a, const Edge& b) { return a.key() == b.key(); }))
+          << "family " << static_cast<int>(spec.family) << " k=" << k;
+      EXPECT_EQ(chunked_union_hash(spec, 42, k), mono_hash);
+    }
+  }
+}
+
+// More chunks than micro-blocks: trailing chunks are empty, union unchanged.
+TEST(Chunked, MoreChunksThanBlocksDegradesGracefully) {
+  const ChunkedSpec spec = ChunkedSpec::gnp(100, 0.1);
+  const std::uint64_t blocks = chunk_block_count(spec);
+  const std::uint64_t k = blocks + 7;
+  EXPECT_EQ(chunked_union_hash(spec, 3, k), chunked_union_hash(spec, 3, 1));
+  std::uint64_t nonempty = 0;
+  for (std::uint64_t c = 0; c < k; ++c) nonempty += count_chunk_edges(spec, 3, c, k) > 0;
+  EXPECT_LE(nonempty, blocks);
+}
+
+TEST(Chunked, PureInAllArguments) {
+  const ChunkedSpec spec = ChunkedSpec::tripartite_mu(32, 0.8);
+  const auto a = generate_chunk(spec, 7, 1, 3);
+  const auto b = generate_chunk(spec, 7, 1, 3);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(),
+                         [](const Edge& x, const Edge& y) { return x.key() == y.key(); }));
+  // Different seeds give different draws (overwhelmingly).
+  EXPECT_NE(chunked_union_hash(spec, 7, 3), chunked_union_hash(spec, 8, 3));
+}
+
+TEST(Chunked, CountMatchesGenerate) {
+  for (const auto& spec : small_specs()) {
+    for (const std::uint64_t k : {1ull, 4ull}) {
+      for (std::uint64_t c = 0; c < k; ++c) {
+        EXPECT_EQ(count_chunk_edges(spec, 11, c, k), generate_chunk(spec, 11, c, k).size());
+      }
+    }
+  }
+}
+
+TEST(Chunked, InvalidSpecsAndArgsThrow) {
+  EXPECT_THROW((void)generate_chunk(ChunkedSpec{ChunkedFamily::kTripartiteMu, 10, 0.5, 0}, 1,
+                                    0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)generate_chunk(ChunkedSpec{ChunkedFamily::kBmReduction, 6, 0.0, 0}, 1, 0,
+                                    1),
+               std::invalid_argument);
+  EXPECT_THROW((void)generate_chunk(ChunkedSpec{ChunkedFamily::kHubMatching, 8, 0.0, 8}, 1, 0,
+                                    1),
+               std::invalid_argument);
+  const ChunkedSpec ok = ChunkedSpec::gnp(10, 0.5);
+  EXPECT_THROW((void)generate_chunk(ok, 1, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)generate_chunk(ok, 1, 3, 3), std::invalid_argument);
+  EXPECT_THROW(ChunkedView(ok, 1, 0), std::invalid_argument);
+  EXPECT_THROW(SharedPermutation(1, 0), std::invalid_argument);
+}
+
+TEST(SharedPermutation, IsABijection) {
+  for (const std::uint64_t domain : {1ull, 2ull, 7ull, 64ull, 1000ull, 65537ull}) {
+    const SharedPermutation perm(0xFEEDu + domain, domain);
+    std::vector<bool> hit(domain, false);
+    for (std::uint64_t x = 0; x < domain; ++x) {
+      const std::uint64_t y = perm(x);
+      ASSERT_LT(y, domain);
+      ASSERT_FALSE(hit[y]) << "collision in domain " << domain << " at " << x;
+      hit[y] = true;
+    }
+  }
+}
+
+TEST(SharedPermutation, KeyedIndependently) {
+  const SharedPermutation p1(1, 4096);
+  const SharedPermutation p2(2, 4096);
+  std::size_t diff = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) diff += p1(x) != p2(x);
+  EXPECT_GT(diff, 3000u);  // distinct keys give essentially unrelated maps
+}
+
+// mu blocks never straddle the three cross spaces, so the k = 3 chunking is
+// exactly the canonical Alice (U x V1) / Bob (U x V2) / Charlie (V1 x V2)
+// partition the lower bounds use.
+TEST(Chunked, MuThreeChunksAreTheCanonicalPartition) {
+  const Vertex side = 64;
+  const ChunkedSpec spec = ChunkedSpec::tripartite_mu(side, 0.9);
+  const ChunkedView view(spec, 5, 3);
+  const TripartiteLayout layout{side};
+  const auto players = view.build_players();
+  ASSERT_EQ(players.size(), 3u);
+  EXPECT_GT(players[0].local.num_edges(), 0u);
+  for (const Edge& e : players[0].local.edges()) {
+    EXPECT_TRUE(layout.in_u(e.u) && layout.in_v1(e.v));
+  }
+  for (const Edge& e : players[1].local.edges()) {
+    EXPECT_TRUE(layout.in_u(e.u) && layout.in_v2(e.v));
+  }
+  for (const Edge& e : players[2].local.edges()) {
+    EXPECT_TRUE(layout.in_v1(e.u) && layout.in_v2(e.v));
+  }
+  // The three players partition the union graph's edges exactly.
+  const Graph g = view.build_union();
+  EXPECT_EQ(players[0].local.num_edges() + players[1].local.num_edges() +
+                players[2].local.num_edges(),
+            g.num_edges());
+  // And the zero-copy slice path carries the same partition.
+  const auto slices = view.build_slices();
+  ASSERT_EQ(slices.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(slices[j].edges.size(), players[j].local.num_edges());
+    EXPECT_EQ(slices[j].n, g.n());
+  }
+}
+
+// The chunked mu sample is a valid mu draw: edge count concentrates around
+// 3 side^2 p and the one-way protocol machinery accepts the players.
+TEST(Chunked, MuSampleLooksLikeMu) {
+  const Vertex side = 256;
+  const double gamma = 0.9;
+  const ChunkedView view(ChunkedSpec::tripartite_mu(side, gamma), 21, 3);
+  const double p = gamma / std::sqrt(static_cast<double>(side));
+  const double expected = 3.0 * side * side * p;
+  EXPECT_NEAR(static_cast<double>(view.count_edges()), expected, 6 * std::sqrt(expected));
+}
+
+// Boolean-Matching promise through the chunked builder: the zero case is
+// far from triangle-free (one triangle per matching pair), the one case is
+// exactly triangle-free.
+TEST(Chunked, BmReductionPromise) {
+  const std::uint64_t pairs = 600;
+  const Graph zero = ChunkedView(ChunkedSpec::bm_reduction(pairs, true), 9, 4).build_union();
+  const Graph one = ChunkedView(ChunkedSpec::bm_reduction(pairs, false), 9, 4).build_union();
+  EXPECT_GE(count_triangles(zero), pairs);  // one triangle per gadget at least
+  EXPECT_TRUE(is_triangle_free(one));
+  EXPECT_EQ(zero.n(), 4 * pairs + 1);
+}
+
+// Same promise holds per chunk count (the w vector depends only on the
+// seed-keyed x and M, not on chunking).
+TEST(Chunked, BmPromiseInvariantUnderChunking) {
+  const ChunkedSpec one_spec = ChunkedSpec::bm_reduction(300, false);
+  for (const std::uint64_t k : {1ull, 2ull, 7ull}) {
+    EXPECT_TRUE(is_triangle_free(ChunkedView(one_spec, 13, k).build_union()));
+  }
+}
+
+TEST(Chunked, EmbedCoreConfinedToCoreVertices) {
+  const ChunkedSpec spec = ChunkedSpec::embed_gnp_core(5000, 4.0, 0.5);
+  const std::uint64_t core_n = spec.embed_core_n();
+  ASSERT_GE(core_n, 3u);
+  ASSERT_LE(core_n, 5000u);
+  const Graph g = ChunkedView(spec, 3, 4).build_union();
+  EXPECT_EQ(g.n(), 5000u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.v, core_n);  // v >= u, so both endpoints inside the core
+  }
+  // Average degree lands near the target.
+  EXPECT_NEAR(g.average_degree(), 4.0, 1.0);
+}
+
+TEST(Chunked, EmbedHelperMatchesSpecGeometry) {
+  const auto inst = embed_dense_core_chunked(5000, 4.0, 0.5, 77, 4);
+  EXPECT_EQ(inst.core_n, ChunkedSpec::embed_gnp_core(5000, 4.0, 0.5).embed_core_n());
+  EXPECT_EQ(inst.graph.n(), 5000u);
+  EXPECT_NEAR(inst.core_degree,
+              0.5 * static_cast<double>(inst.core_n - 1), 0.1 * inst.core_n);
+}
+
+TEST(Chunked, HubMatchingStructure) {
+  const std::uint32_t hubs = 3;
+  const Vertex n = 101;
+  const Graph g = ChunkedView(ChunkedSpec::hub_matching(n, hubs), 4, 5).build_union();
+  // Each hub contributes (n - hubs)/2 triangles, edge-disjoint by
+  // construction within a hub.
+  EXPECT_GE(count_triangles(g), static_cast<std::size_t>(hubs) * ((n - hubs) / 2));
+  for (Vertex h = 0; h < hubs; ++h) EXPECT_GE(g.degree(h), (n - hubs) / 2 * 2);
+}
+
+TEST(Chunked, SplitRangeCoversExactly) {
+  for (const std::uint64_t total : {0ull, 1ull, 7ull, 100ull, 101ull}) {
+    for (const std::uint64_t parts : {1ull, 2ull, 7ull, 13ull}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_hi = 0;
+      for (std::uint64_t i = 0; i < parts; ++i) {
+        const IndexRange r = split_range(total, parts, i);
+        EXPECT_EQ(r.lo, prev_hi);
+        prev_hi = r.hi;
+        covered += r.size();
+        EXPECT_LE(r.size(), total / parts + 1);
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_hi, total);
+    }
+  }
+}
+
+TEST(Chunked, ViewCountMatchesStreamedUnion) {
+  for (const auto& spec : small_specs()) {
+    const ChunkedView view(spec, 2, 6);
+    std::uint64_t streamed = 0;
+    view.for_each_edge([&](const Edge&) { ++streamed; });
+    EXPECT_EQ(view.count_edges(), streamed);
+    // Graph construction dedupes; chunked emission never produces more.
+    EXPECT_LE(view.build_union().num_edges(), streamed);
+  }
+}
+
+// The compact referee (sim_common.h) is decision- and accounting-identical
+// to the dense one on the same messages.
+TEST(Chunked, CompactFinalizeMatchesDense) {
+  for (const bool zero_case : {true, false}) {
+    const ChunkedSpec spec = ChunkedSpec::bm_reduction(400, zero_case);
+    const ChunkedView view(spec, 6, 4);
+    const auto slices = view.build_slices();
+    SimLowOptions o;
+    o.average_degree = 2.0;
+    o.c = 4.0;
+    o.seed = 0xBEE;
+    std::vector<SimMessage> a, b;
+    for (const auto& s : slices) {
+      a.push_back(sim_low_message_edges(s.edges, s.player_id, spec.n, o));
+      b.push_back(sim_low_message_edges(s.edges, s.player_id, spec.n, o));
+    }
+    const auto dense = finalize_simultaneous(static_cast<Vertex>(spec.n), std::move(a));
+    const auto compact =
+        finalize_simultaneous_compact(static_cast<Vertex>(spec.n), std::move(b));
+    EXPECT_EQ(dense.triangle.has_value(), compact.triangle.has_value());
+    if (dense.triangle && compact.triangle) {
+      EXPECT_EQ(dense.triangle->a, compact.triangle->a);
+      EXPECT_EQ(dense.triangle->b, compact.triangle->b);
+      EXPECT_EQ(dense.triangle->c, compact.triangle->c);
+    }
+    EXPECT_EQ(dense.total_bits, compact.total_bits);
+    EXPECT_EQ(dense.per_player_bits, compact.per_player_bits);
+    EXPECT_EQ(dense.edges_received, compact.edges_received);
+  }
+}
+
+// sim_low_message over a PlayerInput and over the equivalent raw slice are
+// bit-identical (the CSR-free path is a pure refactor).
+TEST(Chunked, SliceMessageMatchesPlayerMessage) {
+  const ChunkedView view(ChunkedSpec::tripartite_mu(64, 0.9), 8, 3);
+  const auto players = view.build_players();
+  const auto slices = view.build_slices();
+  SimLowOptions o;
+  o.average_degree = 8.0;
+  o.seed = 0x51;
+  for (std::size_t j = 0; j < players.size(); ++j) {
+    const auto mp = sim_low_message(players[j], o);
+    const auto ms = sim_low_message_edges(slices[j].edges, j, view.spec().n, o);
+    ASSERT_EQ(mp.edges.size(), ms.edges.size());
+    EXPECT_TRUE(std::equal(mp.edges.begin(), mp.edges.end(), ms.edges.begin(),
+                           [](const Edge& x, const Edge& y) { return x.key() == y.key(); }));
+    EXPECT_EQ(mp.truncated, ms.truncated);
+  }
+}
+
+// players_from_slices (graph/partition.h): the zero-copy fast path yields
+// the same per-player graphs as build_players.
+TEST(Chunked, PlayersFromSlicesMatchesBuildPlayers) {
+  const ChunkedView view(ChunkedSpec::gnp(120, 0.2), 19, 4);
+  const auto direct = view.build_players();
+  std::vector<std::vector<Edge>> raw;
+  for (auto& s : view.build_slices()) raw.push_back(std::move(s.edges));
+  const auto fast = players_from_slices(view.n(), std::move(raw));
+  ASSERT_EQ(fast.size(), direct.size());
+  for (std::size_t j = 0; j < fast.size(); ++j) {
+    EXPECT_EQ(fast[j].player_id, direct[j].player_id);
+    EXPECT_EQ(fast[j].k, direct[j].k);
+    EXPECT_EQ(fast[j].local.num_edges(), direct[j].local.num_edges());
+    EXPECT_EQ(edge_multiset_hash(fast[j].local.edges()),
+              edge_multiset_hash(direct[j].local.edges()));
+  }
+  EXPECT_THROW((void)players_from_slices(10, {}), std::invalid_argument);
+}
+
+TEST(Chunked, MuFarnessChunkedAgreesWithLemma) {
+  const auto s = mu_farness_stats_chunked(128, 0.9, 6, 1.0 / 48.0, 123, 3);
+  EXPECT_EQ(s.trials, 6u);
+  EXPECT_GE(s.far_fraction(), 0.5);  // Lemma 4.5 w.p. >= 1/2; empirically ~1
+  EXPECT_GT(s.mean_packing, s.threshold);
+}
+
+TEST(Chunked, MultisetHashIsOrderInvariant) {
+  std::vector<Edge> edges{{1, 2}, {3, 4}, {0, 9}, {2, 5}};
+  std::vector<Edge> shuffled{{2, 5}, {0, 9}, {1, 2}, {3, 4}};
+  EXPECT_EQ(edge_multiset_hash(edges), edge_multiset_hash(shuffled));
+  // Multiset, not set: duplicates count.
+  std::vector<Edge> dup{{1, 2}, {1, 2}};
+  std::vector<Edge> single{{1, 2}};
+  EXPECT_NE(edge_multiset_hash(dup), edge_multiset_hash(single));
+}
+
+}  // namespace
+}  // namespace tft

@@ -116,6 +116,43 @@ TEST(PropTest, ShrinkRespectsEvaluationBudget) {
   EXPECT_LE(evals, 1u + 25u + 4u);  // initial trial + budget + slack for loop exits
 }
 
+// --- chunked cases ---------------------------------------------------------
+
+// The tentpole property: for ANY generated (spec, seed, k), the union of the
+// k chunk slices is edge-multiset-identical to the monolithic k = 1 build.
+TEST(PropTest, ChunkedUnionIdentityHoldsForAllCases) {
+  const CheckResult r = proptest::check_chunked(
+      2026, 80, [](const proptest::ChunkedCase& c) -> PropOutcome {
+        const std::uint64_t hk = chunked_union_hash(c.spec, c.seed, c.k);
+        const std::uint64_t h1 = chunked_union_hash(c.spec, c.seed, 1);
+        if (hk != h1) return {false, "chunk union differs from monolithic build"};
+        std::uint64_t total = 0;
+        for (std::uint64_t chunk = 0; chunk < c.k; ++chunk) {
+          total += count_chunk_edges(c.spec, c.seed, chunk, c.k);
+        }
+        if (total != count_chunk_edges(c.spec, c.seed, 0, 1)) {
+          return {false, "chunk edge counts do not sum to the monolithic count"};
+        }
+        return {};
+      });
+  EXPECT_TRUE(r.ok) << r.to_string() << " " << r.message;
+}
+
+TEST(PropTest, ChunkedCheckShrinksAndReportsWitness) {
+  // A deliberately false property (fails whenever any edges exist at k > 1):
+  // the shrinker must drive size and chunk count down and name the witness.
+  const CheckResult r = proptest::check_chunked(
+      5, 40, [](const proptest::ChunkedCase& c) -> PropOutcome {
+        if (c.k > 1 && count_chunk_edges(c.spec, c.seed, 0, 1) > 0) {
+          return {false, "planted failure"};
+        }
+        return {};
+      });
+  ASSERT_FALSE(r.ok);
+  EXPECT_GT(r.shrink_steps, 0u);
+  EXPECT_NE(r.message.find("ChunkedCase{"), std::string::npos);
+}
+
 TEST(PropTest, CompactUniverseRelabelsOrderPreserving) {
   GraphCase c;
   c.n = 1000;

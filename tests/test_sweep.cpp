@@ -412,5 +412,58 @@ TEST(SweepSearch, ThreadCountDoesNotChangeResults) {
   EXPECT_EQ(serial.trials_skipped, parallel.trials_skipped);
 }
 
+// ---------- per-chunk cache keys ----------
+
+/// Tiny cacheable payload for key-identity checks.
+struct ChunkTag {
+  std::uint64_t tag = 0;
+};
+[[nodiscard]] std::size_t approx_bytes(const ChunkTag& t) noexcept { return sizeof(t); }
+
+// The purity contract extended to chunks: keys that agree on every field but
+// chunk_id name different cached payloads, and the legacy 6-field aggregate
+// init (chunk_id defaulted to 0) stays interchangeable with an explicit 0.
+TEST(SweepCache, ChunkIdIsPartOfTheKey) {
+  SweepSwitchGuard guard;
+  set_instance_caching(true);
+  InstanceCache cache(64u << 20);
+
+  constexpr std::uint64_t kGen = 0xC4A9;
+  const auto build_tagged = [&](std::uint64_t chunk_id) {
+    InstanceKey key{kGen, 100, InstanceKey::pack_param(0.5), 8, 7, 0};
+    key.chunk_id = chunk_id;
+    return cache.get_or_build<ChunkTag>(key, [&] { return ChunkTag{chunk_id}; });
+  };
+  for (std::uint64_t chunk = 0; chunk < 8; ++chunk) {
+    EXPECT_EQ(build_tagged(chunk)->tag, chunk);
+  }
+  // Re-fetch: every chunk's entry is still live and distinct — nothing
+  // collided onto one slot.
+  std::size_t builder_calls = 0;
+  for (std::uint64_t chunk = 0; chunk < 8; ++chunk) {
+    InstanceKey key{kGen, 100, InstanceKey::pack_param(0.5), 8, 7, 0};
+    key.chunk_id = chunk;
+    const auto hit = cache.get_or_build<ChunkTag>(key, [&] {
+      ++builder_calls;
+      return ChunkTag{~0ull};
+    });
+    EXPECT_EQ(hit->tag, chunk);
+  }
+  EXPECT_EQ(builder_calls, 0u);
+
+  // Aggregate init with six fields means chunk 0: same entry, same hash.
+  const InstanceKey six{kGen, 100, InstanceKey::pack_param(0.5), 8, 7, 0};
+  InstanceKey seven = six;
+  seven.chunk_id = 0;
+  EXPECT_EQ(six, seven);
+  EXPECT_EQ(InstanceKeyHash{}(six), InstanceKeyHash{}(seven));
+  const auto again = cache.get_or_build<ChunkTag>(six, [&] {
+    ++builder_calls;
+    return ChunkTag{~0ull};
+  });
+  EXPECT_EQ(again->tag, 0u);
+  EXPECT_EQ(builder_calls, 0u);
+}
+
 }  // namespace
 }  // namespace tft
