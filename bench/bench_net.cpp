@@ -224,6 +224,68 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Crash-recovery overhead: one deterministic charge stream, run clean and
+  // with a single surgical mid-phase crash (barrier checkpoint + charge-log
+  // replay). Under the virtual clock every field is a pure function of the
+  // schedule, so both rows live in the committed baseline; the wire-byte
+  // delta IS the cost of dying once — control frames plus the replayed
+  // span the receiver dedups.
+  std::printf("\n-- crash-recovery overhead (k=4, 4 phases x %zu charges, vclock) --\n",
+              count);
+  {
+    const std::size_t k = 4;
+    const std::size_t phases = 4;
+    const auto session_stats = [&](const NetConfig& cfg) {
+      NetSession session(k, cfg);
+      Transcript t(k, 4096);
+      {
+        const ChannelSinkScope scope(&session);
+        Channel ch(t);
+        for (std::size_t ph = 0; ph < phases; ++ph) {
+          for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t player = i % k;
+            const Direction dir = (i / k) % 2 == 0 ? Direction::kPlayerToCoordinator
+                                                   : Direction::kCoordinatorToPlayer;
+            ch.charge(player, dir, 64, ph);
+          }
+        }
+      }
+      const WireStats wire = session.finish();
+      verify_accounting(t, wire);
+      return wire;
+    };
+    NetConfig clean;
+    clean.transport = TransportKind::kInProc;
+    clean.virtual_clock = true;
+    clean.arq = grid_arq;
+    NetConfig crashed = clean;
+    // Kill player 0 mid-phase 2, half its share of the phase already in the
+    // pipeline (count/k charges per player per phase by construction).
+    crashed.faults.crash_schedule = {CrashEvent{0, 2, count / k / 2}};
+    const WireStats w0 = session_stats(clean);
+    const WireStats w1 = session_stats(crashed);
+    if (w1.crashes != 1 || w0.payload_bits() != w1.payload_bits()) {
+      std::fprintf(stderr, "BUG: crash never fired or recovery lost charged bits\n");
+      return 1;
+    }
+    const double ratio =
+        w0.wire_bytes > 0 ? static_cast<double>(w1.wire_bytes) /
+                                static_cast<double>(w0.wire_bytes)
+                          : 0.0;
+    bench::row({{"wire_bytes_clean", static_cast<double>(w0.wire_bytes)},
+                {"wire_bytes_crashed", static_cast<double>(w1.wire_bytes)},
+                {"replayed", static_cast<double>(w1.replayed_charges)},
+                {"overhead_ratio", ratio}});
+    json.row("recovery-overhead",
+             {{"charges", static_cast<std::uint64_t>(phases * count)},
+              {"wire_bytes_clean", w0.wire_bytes},
+              {"wire_bytes_crashed", w1.wire_bytes},
+              {"crashes", w1.crashes},
+              {"replayed", w1.replayed_charges},
+              {"extra_wire_bytes", w1.wire_bytes - w0.wire_bytes},
+              {"overhead_ratio", ratio}});
+  }
+
   std::printf(
       "\nReading: measured_overhead climbs toward the bound as b shrinks —\n"
       "at b=1 every payload bit pays the full ceil(log k) recipient header\n"

@@ -19,15 +19,23 @@
 //                                             and cross-check wire vs charged
 //   --fault-drop, --fault-dup, --fault-flip   per-attempt fault probabilities
 //   --fault-delay-us, --fault-seed            (executed transports only)
+//   --crash-player/--crash-phase/--crash-offset
+//                                             one surgical crash point
+//   --crash-rate, --crash-max-offset          seeded crash coin per (player,
+//                                             phase); replays from fault-seed
+//   --crash-resurrect=0                       dead players stay dead (the run
+//                                             must fail with a typed error)
 
 #include <cstdio>
 #include <string>
+#include <tuple>
 
 #include "core/tester.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/partition.h"
 #include "graph/triangles.h"
+#include "net/error.h"
 #include "net/executed.h"
 #include "net/runtime.h"
 #include "util/flags.h"
@@ -88,6 +96,19 @@ tft::net::NetConfig parse_net_config(const tft::Flags& flags) {
   const auto delay_us = static_cast<std::uint32_t>(flags.get_int("fault-delay-us", 0));
   cfg.faults.delay_us = delay_us;
   cfg.faults.delay = delay_us > 0 ? flags.get_double("fault-delay", 0.5) : 0.0;
+  // Crash schedule: a surgical point (all three flags), a seeded coin, or
+  // both (surgical entries win — net/fault.h grammar).
+  if (flags.has("crash-player")) {
+    tft::net::CrashEvent e;
+    e.player = static_cast<std::uint32_t>(flags.get_int("crash-player", 0));
+    e.phase = static_cast<std::uint64_t>(flags.get_int("crash-phase", 0));
+    e.offset = static_cast<std::uint64_t>(flags.get_int("crash-offset", 0));
+    cfg.faults.crash_schedule.push_back(e);
+  }
+  cfg.faults.crash = flags.get_double("crash-rate", 0.0);
+  cfg.faults.crash_max_offset =
+      static_cast<std::uint64_t>(flags.get_int("crash-max-offset", 8));
+  cfg.faults.crash_resurrect = flags.get_bool("crash-resurrect", true);
   const std::string arq = flags.get_string("arq", "windowed");
   if (arq == "windowed") {
     cfg.arq = tft::net::ArqPolicy::windowed(
@@ -136,8 +157,17 @@ int main(int argc, char** argv) {
   opts.known_average_degree = std::max(1.0, graph.average_degree());
 
   const tft::net::NetConfig net_cfg = parse_net_config(flags);
-  const auto [report, executed] = tft::net::run_executed(
-      k, net_cfg, [&] { return tft::test_triangle_freeness(players, opts); });
+  tft::TestReport report;
+  tft::net::ExecutedReport executed;
+  try {
+    std::tie(report, executed) = tft::net::run_executed(
+        k, net_cfg, [&] { return tft::test_triangle_freeness(players, opts); });
+  } catch (const tft::net::NetError& e) {
+    // A typed transport failure (e.g. a player down with --crash-resurrect=0)
+    // is an expected outcome for fault-injection runs, not a crash.
+    std::fprintf(stderr, "net error: %s\n", e.what());
+    return 3;
+  }
   std::printf("protocol=%s k=%zu dup=%.1f bits=%llu transport=%s\n",
               tft::to_string(report.protocol), k, dup,
               static_cast<unsigned long long>(report.bits),

@@ -156,16 +156,22 @@ ArqSenderWindow::Entry& ArqSenderWindow::admit(Frame f) {
 std::size_t ArqSenderWindow::on_ack(const AckInfo& info) {
   if (entries_.empty()) return 0;
   // Cumulative advance: everything through info.cumulative is delivered.
-  // seq_dist(base, cumulative+1) in [1, size] is news; anything else is a
-  // stale ack from before the window moved — ignored.
+  // seq_dist(base, cumulative+1) in [1, M/2) is news; the stale band (a
+  // cumulative from before the window moved) wraps to >= M/2 and is
+  // ignored. The news band deliberately extends PAST the admitted entries:
+  // after a crash replay the receiver is ahead of the rewound sender — its
+  // cumulative covers frames the window has not even re-admitted yet — so
+  // the advance is clamped to what the window holds instead of being
+  // mistaken for staleness (which would wedge the replay into kTimeout).
   const std::uint32_t adv = seq_dist(base_, (info.cumulative + 1) % modulus_, modulus_);
   std::size_t retired = 0;
-  if (adv >= 1 && adv <= entries_.size()) {
-    for (std::uint32_t i = 0; i < adv; ++i) {
+  if (adv >= 1 && adv < modulus_ / 2) {
+    const std::size_t take = std::min<std::size_t>(adv, entries_.size());
+    for (std::size_t i = 0; i < take; ++i) {
       entries_.pop_front();
       ++retired;
     }
-    base_ = (base_ + adv) % modulus_;
+    base_ = (base_ + static_cast<std::uint32_t>(take)) % modulus_;
   }
   for (const std::uint32_t s : info.sacks) {
     const std::uint32_t d = seq_dist(base_, s, modulus_);

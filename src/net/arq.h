@@ -146,6 +146,16 @@ class ArqSenderWindow {
 
   [[nodiscard]] std::uint32_t base() const noexcept { return base_; }
 
+  /// Crash recovery (net/recovery.h): forget every in-flight entry and
+  /// rebase the window at `base` — the checkpointed next_seq. The servicer
+  /// replays the charge log afterwards, regenerating the same frames with
+  /// the same sequence numbers, so the rewound window is indistinguishable
+  /// from one that never advanced past the barrier.
+  void reset(std::uint32_t base) noexcept {
+    entries_.clear();
+    base_ = base;
+  }
+
  private:
   std::uint32_t window_;
   std::uint32_t modulus_;
@@ -178,6 +188,15 @@ class ArqReceiverWindow {
   [[nodiscard]] AckInfo ack() const;
 
   [[nodiscard]] std::uint32_t next_expected() const noexcept { return next_expected_; }
+
+  /// Crash recovery: drop buffered/undelivered frames and rewind to the
+  /// checkpointed next_expected. Everything the rewound sender replays from
+  /// that point is classified in order again, exactly as on first delivery.
+  void reset(std::uint32_t next_expected) noexcept {
+    buffered_.clear();
+    deliverable_.clear();
+    next_expected_ = next_expected;
+  }
 
  private:
   std::uint32_t window_;

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file checkpoint.h
+/// Lightweight player checkpoints for crash-fault tolerance.
+///
+/// A player's entire protocol-visible transport state in the paper's models
+/// is tiny — which phase it is in, how far its ARQ lanes have advanced, and
+/// the per-phase bit/message tallies the accounting contract audits. So a
+/// checkpoint is tens of bytes (FTPregel-style *lightweight* checkpointing:
+/// persist compact state, regenerate everything bulky deterministically).
+///
+/// Barrier rule: a checkpoint is taken at every phase barrier — the
+/// SharedServicer flush that drains every queue, window and out-buffer end
+/// to end. At that instant no frame is in flight anywhere, so the snapshot
+/// below fully determines the link-pair state, and recovery is the replay
+/// of the charge log accumulated since (net/recovery.h): the frame stream
+/// is a pure function of the charge stream, so the replayed bytes are
+/// bit-identical to what the dead incarnation sent.
+///
+/// The encoding is canonical (gamma-coded counters, fixed-width seed, zero
+/// pad bits, no trailing slack), so `encode(decode(bytes)) == bytes` holds
+/// for every valid byte string — the serialization property test's claim.
+
+namespace tft::net {
+
+/// One directed lane's barrier snapshot: both halves of the link, because
+/// recovery needs the pair — the respawned player restores its own half and
+/// the surviving coordinator rewinds its matching lane to the same barrier.
+struct LinkCheckpoint {
+  std::uint32_t next_seq = 0;       ///< sender: next unassigned sequence number
+  std::uint32_t next_expected = 0;  ///< receiver: next in-order sequence number
+  std::uint64_t frames = 0;         ///< receiver tallies at the barrier…
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bits = 0;
+  std::vector<std::uint64_t> phase_bits;  ///< …the accounting contract's columns
+
+  [[nodiscard]] bool operator==(const LinkCheckpoint&) const = default;
+};
+
+/// The compact serializable whole-player state written at every barrier:
+/// identity, seed, phase, and the two lanes (up = player -> coordinator,
+/// down = coordinator -> player).
+struct PlayerCheckpoint {
+  std::uint32_t player = 0;
+  std::uint64_t seed = 0;   ///< session seed (NetConfig::session_seed), carried
+                            ///< so a respawned process can rebuild its inputs
+  std::uint64_t phase = 0;  ///< the phase this checkpoint resumes into
+  LinkCheckpoint up;
+  LinkCheckpoint down;
+
+  [[nodiscard]] bool operator==(const PlayerCheckpoint&) const = default;
+};
+
+/// Canonical byte encoding (version tag, gamma counters, 64-bit seed,
+/// zero-padded to a byte boundary).
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(const PlayerCheckpoint& ck);
+
+/// Inverse of encode_checkpoint. Throws NetError(kCorrupt) on a truncated,
+/// non-canonical or trailing-garbage input — a checkpoint that does not
+/// round-trip must never silently seed a recovery.
+[[nodiscard]] PlayerCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// The per-session checkpoint store: the latest encoded checkpoint of every
+/// player, refreshed at each phase barrier. This is the artifact a real
+/// deployment would persist; recovery decodes these bytes (not live memory),
+/// so the serialized form is load-bearing on every recovered run.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::size_t num_players) : blobs_(num_players) {}
+
+  void put(std::uint32_t player, std::vector<std::uint8_t> bytes) {
+    blobs_.at(player) = std::move(bytes);
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes(std::uint32_t player) const {
+    return blobs_.at(player);
+  }
+  [[nodiscard]] std::size_t num_players() const noexcept { return blobs_.size(); }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> blobs_;
+};
+
+}  // namespace tft::net

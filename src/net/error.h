@@ -20,6 +20,10 @@ enum class NetErrorKind {
   kCorrupt,  ///< a frame failed structural validation beyond recovery
   kSetup,    ///< the transport could not be brought up (e.g. no loopback)
   kProtocol, ///< the peer violated the link protocol (e.g. future sequence)
+  /// A peer was declared down (crash schedule) and never resumed within
+  /// RetryPolicy::down_timeout. Distinct from kTimeout: a declared death
+  /// fails fast instead of burning the exponential-backoff budget.
+  kPlayerDown,
 };
 
 [[nodiscard]] constexpr const char* to_string(NetErrorKind k) noexcept {
@@ -29,6 +33,7 @@ enum class NetErrorKind {
     case NetErrorKind::kCorrupt: return "corrupt";
     case NetErrorKind::kSetup: return "setup";
     case NetErrorKind::kProtocol: return "protocol";
+    case NetErrorKind::kPlayerDown: return "player-down";
   }
   return "?";
 }

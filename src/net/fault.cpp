@@ -11,6 +11,22 @@ double unit(std::uint64_t h) noexcept { return static_cast<double>(h >> 11) * 0x
 
 }  // namespace
 
+std::optional<std::uint64_t> crash_offset(const FaultPlan& plan, std::uint32_t player,
+                                          std::uint64_t phase) noexcept {
+  for (const CrashEvent& e : plan.crash_schedule) {
+    if (e.player == player && e.phase == phase) return e.offset;
+  }
+  if (plan.crash > 0.0) {
+    // Own hash domain (tag 0xC) so the crash coin is independent of the
+    // per-attempt fault draws that share plan.seed.
+    const std::uint64_t key = mix_hash(plan.seed, (std::uint64_t{player} << 1) | 1, phase);
+    if (unit(mix_hash(key, 0xC1)) < plan.crash) {
+      return mix_hash(key, 0xC2) % (plan.crash_max_offset + 1);
+    }
+  }
+  return std::nullopt;
+}
+
 FaultDecision FaultInjector::decide(std::uint32_t seq, std::uint32_t attempt) const noexcept {
   FaultDecision d;
   if (!plan_.any()) return d;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 /// \file fault.h
 /// Deterministic seeded fault injection at the channel layer.
@@ -13,8 +15,46 @@
 /// count (retransmission *counts* may additionally grow under scheduler
 /// pressure; delivered frames never change, because the receiver
 /// deduplicates by sequence number).
+///
+/// ## Crash schedule grammar
+///
+/// Crashes are a third fault class next to the per-attempt coin flips and
+/// the surgical drop mask, keyed on (player, phase, offset):
+///
+///   crash point := (player, phase, offset)
+///   offset      := how many of that player's charges in that phase have
+///                  been enqueued when the player dies. offset 0 kills the
+///                  player AT the phase barrier (checkpoint fresh, replay
+///                  empty); offset o > 0 kills it mid-window, after o
+///                  charges of the phase are already in the pipeline.
+///
+/// Two schedule sources compose (surgical entries win):
+///
+///   * `crash_schedule` — an explicit list of crash points, the chaos
+///     harness's scalpel: place exactly one death at an exact point.
+///   * `crash` / `crash_max_offset` — the seeded coin: player p dies in
+///     phase f with probability `crash`, at offset
+///     mix_hash(seed, player, phase) % (crash_max_offset + 1). Like
+///     drop/dup/flip, the whole schedule is a pure function of `seed` —
+///     a chaos run is replayable from one integer.
+///
+/// `crash_resurrect` selects between the recovery path (the dead player
+/// respawns from its checkpoint and the charge log is replayed — the
+/// default) and a permanent death (the session must surface a typed
+/// NetError — kPlayerDown under RetryPolicy::fail_fast_on_down, kTimeout
+/// under the legacy backoff discipline). The decision function is
+/// `crash_offset` below; the session runtime (net/runtime.h) evaluates it
+/// between charges, so a crash never tears a frame in half — exactly the
+/// failure model of a process killed between syscalls.
 
 namespace tft::net {
+
+/// One surgical crash point (see the schedule grammar above).
+struct CrashEvent {
+  std::uint32_t player = 0;
+  std::uint64_t phase = 0;
+  std::uint64_t offset = 0;
+};
 
 struct FaultPlan {
   std::uint64_t seed = 0;
@@ -28,11 +68,30 @@ struct FaultPlan {
   /// loss at an exact window position rather than a seeded coin flip.
   std::uint64_t drop_first_attempt_mask = 0;
 
+  // -- crash schedule (grammar documented above) ----------------------------
+  double crash = 0.0;                    ///< P[player p dies in phase f], per (seed,p,f)
+  std::uint64_t crash_max_offset = 8;    ///< seeded deaths land at hash % (this+1)
+  bool crash_resurrect = true;           ///< false: the dead stay dead (fail-fast tests)
+  std::vector<CrashEvent> crash_schedule;  ///< surgical crash points (win over the coin)
+
   [[nodiscard]] bool any() const noexcept {
     return drop > 0.0 || duplicate > 0.0 || bit_flip > 0.0 || delay > 0.0 ||
            drop_first_attempt_mask != 0;
   }
+
+  [[nodiscard]] bool has_crashes() const noexcept {
+    return crash > 0.0 || !crash_schedule.empty();
+  }
 };
+
+/// The (pure) crash fate of (player, phase) under `plan`: the scheduled
+/// offset if the player dies in that phase, nullopt otherwise. Surgical
+/// `crash_schedule` entries take precedence; the seeded draw keys on
+/// mix_hash(seed, player, phase) exactly like the per-attempt fault
+/// classes, so chaos runs replay from the seed alone.
+[[nodiscard]] std::optional<std::uint64_t> crash_offset(const FaultPlan& plan,
+                                                        std::uint32_t player,
+                                                        std::uint64_t phase) noexcept;
 
 struct FaultDecision {
   bool drop = false;

@@ -15,7 +15,7 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0xF7A7;  // "tft transport"
 constexpr std::uint32_t kMagicBits = 16;
-constexpr std::uint32_t kTypeBits = 2;
+constexpr std::uint32_t kTypeBits = 3;
 
 /// Slice-by-8 CRC tables: table[0] is the classic byte-at-a-time table,
 /// table[k][i] advances a byte through k+1 zero bytes, so eight input bytes
@@ -77,7 +77,7 @@ bool decode_body(std::span<const std::uint8_t> body, Frame& out) {
     BitReader r(body, body.size() * std::uint64_t{8});
     if (r.get_bits(kMagicBits) != kMagic) return false;
     const std::uint64_t type = r.get_bits(kTypeBits);
-    if (type > static_cast<std::uint64_t>(FrameType::kBatch)) return false;
+    if (type > static_cast<std::uint64_t>(FrameType::kResume)) return false;
     out.header.type = static_cast<FrameType>(type);
     const std::uint64_t src = r.get_gamma();
     const std::uint64_t dst = r.get_gamma();

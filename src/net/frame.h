@@ -13,7 +13,7 @@
 ///   wire frame := [u32 LE body_len] [body] [u32 LE crc32(body)]
 ///   body       := header bits (BitWriter), padded to a byte boundary,
 ///                 then ceil(payload_bits / 8) payload bytes
-///   header     := magic(16) type(2) src(γ) dst(γ) seq(γ) phase(γ)
+///   header     := magic(16) type(3) src(γ) dst(γ) seq(γ) phase(γ)
 ///                 payload_bits(γ)
 ///
 /// `payload_bits` — not the padded byte count — is what the runtime tallies
@@ -30,6 +30,12 @@ enum class FrameType : std::uint8_t {
   kRelay = 1,  ///< message-passing payload: recipient id + payload filler
   kAck = 2,    ///< cumulative ack of `seq`; payload (optional) = selective acks
   kBatch = 3,  ///< several coalesced charged messages (see net/arq.h codec)
+  /// Crash-recovery control plane (net/recovery.h). Both travel out of band:
+  /// they consume no ARQ sequence number, are never acknowledged, and are
+  /// excluded from the charged-bit accounting — `seq` is a per-link control
+  /// ordinal, not a window position.
+  kPlayerDown = 4,  ///< coordinator -> player: you were declared dead
+  kResume = 5,      ///< player -> coordinator: respawned; payload = checkpoint
 };
 
 struct FrameHeader {

@@ -39,6 +39,15 @@ struct RetryPolicy {
   std::uint32_t max_retries = 8;  ///< total attempts = max_retries + 1
   std::chrono::microseconds max_timeout{1'000'000};
 
+  /// Crash-fault handling (net/recovery.h): a peer *declared* down is not a
+  /// lossy link, so when true the sender stops retransmitting to it
+  /// immediately — no exponential-backoff budget is burned — and if the peer
+  /// has not resumed within `down_timeout` the session fails with a typed
+  /// NetError(kPlayerDown) after ONE bounded wait. When false, a dead peer
+  /// degrades to the legacy behavior: retries escalate until kTimeout.
+  bool fail_fast_on_down = true;
+  std::chrono::microseconds down_timeout{200'000};
+
   [[nodiscard]] std::chrono::microseconds timeout_for(std::uint32_t attempt) const noexcept;
 };
 
@@ -57,6 +66,8 @@ struct ReceiverStats {
   std::uint64_t duplicates = 0;    ///< retransmits discarded by seq dedup
   std::uint64_t corrupt = 0;       ///< CRC/codec/filler failures discarded
   std::uint64_t bytes_read = 0;
+  std::uint64_t player_down_frames = 0;  ///< out-of-band kPlayerDown notices seen
+  std::uint64_t resume_frames = 0;       ///< out-of-band kResume notices seen
   std::vector<std::uint64_t> phase_bits;  ///< per-phase accepted bits
 };
 

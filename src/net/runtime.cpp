@@ -37,7 +37,8 @@ std::string WireStats::summary() const {
   std::ostringstream os;
   os << messages() << " messages / " << frames_delivered << " frames / " << payload_bits()
      << " payload bits / " << wire_bytes << " wire bytes (retransmits " << retransmissions
-     << ", dups " << duplicates << ", corrupt " << corrupt_frames << ")";
+     << ", dups " << duplicates << ", corrupt " << corrupt_frames << ", crashes " << crashes
+     << ", replayed " << replayed_charges << ")";
   return os.str();
 }
 
@@ -102,7 +103,13 @@ void verify_accounting(const Transcript& t, const WireStats& w) {
   verify_accounting(c, w);
 }
 
-NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_players) {
+NetSession::NetSession(std::size_t num_players, const NetConfig& cfg)
+    : k_(num_players),
+      faults_(cfg.faults),
+      session_seed_(cfg.session_seed),
+      crash_tolerance_(cfg.crash_tolerance),
+      ckpts_(num_players),
+      charge_counts_(num_players) {
   if (cfg.transport == TransportKind::kSim) {
     throw NetError(NetErrorKind::kSetup, "NetSession requires an executed transport");
   }
@@ -122,6 +129,7 @@ NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_p
   opts.faults = cfg.faults;
   opts.virtual_clock = cfg.virtual_clock;
   opts.timed_recheck = cfg.transport == TransportKind::kSocket;
+  opts.crash_tolerance = cfg.crash_tolerance;
   servicer_ = std::make_unique<SharedServicer>(opts);
 
   // Links must not reallocate once registered: the servicer keeps raw
@@ -145,6 +153,40 @@ NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_p
                         /*dst=*/pj, /*coalesce=*/true);
   }
   servicer_->start();
+  // The start-of-run checkpoint: all-zero barriers, phase 0.
+  if (crash_tolerance_) refresh_checkpoints();
+}
+
+void NetSession::refresh_checkpoints() {
+  for (std::size_t j = 0; j < k_; ++j) {
+    PlayerCheckpoint ck;
+    ck.player = static_cast<std::uint32_t>(j);
+    ck.seed = session_seed_;
+    ck.phase = last_phase_;
+    ck.up = servicer_->barrier_checkpoint(j);
+    ck.down = servicer_->barrier_checkpoint(k_ + j);
+    ckpts_.put(static_cast<std::uint32_t>(j), encode_checkpoint(ck));
+  }
+}
+
+void NetSession::maybe_crash(std::size_t player, std::uint64_t phase) {
+  auto& counts = charge_counts_[player];
+  if (counts.size() <= phase) counts.resize(static_cast<std::size_t>(phase) + 1, 0);
+  const std::uint64_t count = counts[static_cast<std::size_t>(phase)]++;
+  const std::optional<std::uint64_t> off =
+      crash_offset(faults_, static_cast<std::uint32_t>(player), phase);
+  if (!off || *off != count) return;
+  // The process dies between two charges — never mid-frame. The servicer
+  // fences the corpse's lanes and announces the death...
+  servicer_->crash_player(player, k_ + player, static_cast<std::uint32_t>(player), phase);
+  ++crashes_;
+  if (faults_.crash_resurrect) {
+    // ...and the respawn recovers from the *stored bytes* of the last
+    // barrier checkpoint — the serialized form is load-bearing, exactly as
+    // it would be for a real process reading its checkpoint off disk.
+    const std::vector<std::uint8_t>& bytes = ckpts_.bytes(static_cast<std::uint32_t>(player));
+    servicer_->recover_player(player, k_ + player, decode_checkpoint(bytes), bytes);
+  }
 }
 
 NetSession::~NetSession() {
@@ -169,7 +211,9 @@ void NetSession::on_charge(std::size_t player, Direction dir, std::uint64_t bits
   if (phase != last_phase_) {
     servicer_->flush();
     last_phase_ = phase;
+    if (crash_tolerance_) refresh_checkpoints();
   }
+  if (crash_tolerance_ && faults_.has_crashes()) maybe_crash(player, phase);
   const bool upstream = dir == Direction::kPlayerToCoordinator;
   const std::size_t index = upstream ? player : k_ + player;
   servicer_->enqueue_charge(index, phase, bits);
@@ -178,6 +222,7 @@ void NetSession::on_charge(std::size_t player, Direction dir, std::uint64_t bits
 void NetSession::on_flush() {
   if (finished_) return;
   servicer_->flush();
+  if (crash_tolerance_) refresh_checkpoints();
 }
 
 WireStats NetSession::finish() {
@@ -205,12 +250,16 @@ WireStats NetSession::finish() {
     w.duplicates += r.duplicates + s.duplicates_sent;
     w.corrupt_frames += r.corrupt;
     w.acks += s.acks_received;
+    w.player_down_frames += r.player_down_frames;
+    w.resume_frames += r.resume_frames;
   };
   for (std::size_t j = 0; j < k_; ++j) {
     fold(j, w.up_bits[j], w.up_msgs[j]);
     fold(k_ + j, w.down_bits[j], w.down_msgs[j]);
   }
   w.virtual_time_us = servicer_->virtual_time_us();
+  w.crashes = crashes_;
+  w.replayed_charges = servicer_->replayed_charges();
   result_ = std::move(w);
   // Stats are folded before rethrow so a failed run still reports what
   // crossed the wire (matching the legacy engine's behavior).

@@ -12,6 +12,7 @@
 #include "comm/channel.h"
 #include "comm/transcript.h"
 #include "net/arq.h"
+#include "net/checkpoint.h"
 #include "net/reliable.h"
 #include "net/servicer.h"
 #include "net/transport.h"
@@ -61,6 +62,14 @@ struct NetConfig {
   /// retransmission counts become exactly reproducible under a fixed fault
   /// seed. Throws NetError(kSetup) when combined with kSocket.
   bool virtual_clock = false;
+  /// Carried inside every PlayerCheckpoint so a respawned process could
+  /// rebuild its inputs; otherwise inert.
+  std::uint64_t session_seed = 0;
+  /// Barrier checkpoints + the crash controller (net/recovery.h). On by
+  /// default: a crash-free plan costs one charge-log append per charge and
+  /// a per-player checkpoint refresh per phase. Crashes themselves come
+  /// from faults.crash_schedule / faults.crash.
+  bool crash_tolerance = true;
 };
 
 [[nodiscard]] std::unique_ptr<Transport> make_transport(const NetConfig& cfg);
@@ -81,6 +90,10 @@ struct WireStats {
   std::uint64_t acks = 0;
   std::uint64_t frames_delivered = 0;  ///< unique wire frames accepted (<= messages when coalescing)
   std::uint64_t virtual_time_us = 0;   ///< final logical clock (virtual-clock mode only)
+  std::uint64_t crashes = 0;            ///< players killed by the crash schedule
+  std::uint64_t player_down_frames = 0; ///< out-of-band kPlayerDown notices delivered
+  std::uint64_t resume_frames = 0;      ///< out-of-band kResume notices delivered
+  std::uint64_t replayed_charges = 0;   ///< charges re-sealed by recovery replay
 
   /// Note: messages() counts *charged* messages delivered, so it equals the
   /// Transcript's message count even when several charges share one frame.
@@ -140,7 +153,20 @@ class NetSession final : public ChannelSink {
 
   [[nodiscard]] std::size_t num_players() const noexcept { return k_; }
 
+  /// The player's latest barrier checkpoint, as stored: the exact bytes a
+  /// recovery would decode. Refreshed at every phase barrier.
+  [[nodiscard]] const std::vector<std::uint8_t>& checkpoint_bytes(std::size_t player) const {
+    return ckpts_.bytes(static_cast<std::uint32_t>(player));
+  }
+  /// Decoded convenience view of checkpoint_bytes.
+  [[nodiscard]] PlayerCheckpoint checkpoint(std::size_t player) const {
+    return decode_checkpoint(ckpts_.bytes(static_cast<std::uint32_t>(player)));
+  }
+
  private:
+  void refresh_checkpoints();
+  void maybe_crash(std::size_t player, std::uint64_t phase);
+
   std::size_t k_;
   std::unique_ptr<Transport> transport_;
   std::vector<Link> links_;  ///< 2k: up links [0,k), down links [k,2k)
@@ -148,6 +174,16 @@ class NetSession final : public ChannelSink {
   std::uint64_t last_phase_ = 0;
   bool finished_ = false;
   WireStats result_;
+
+  // Crash controller state (NetConfig::crash_tolerance).
+  FaultPlan faults_;
+  std::uint64_t session_seed_ = 0;
+  bool crash_tolerance_ = false;
+  std::uint64_t crashes_ = 0;
+  CheckpointStore ckpts_;
+  /// Per (player, phase) enqueued-charge counts — the crash grammar's
+  /// offset coordinate (net/fault.h).
+  std::vector<std::vector<std::uint64_t>> charge_counts_;
 };
 
 }  // namespace tft::net

@@ -71,6 +71,18 @@ struct SharedServicer::LinkState {
   std::vector<ChargeRec> batch_scratch;
   LinkStats folded;  ///< snapshot taken at finish()
 
+  // Crash tolerance (Options::crash_tolerance). `barrier` + `charge_log`
+  // are the recovery pair: the lane state at the last flush and the charges
+  // sealed since — replaying the log from the barrier regenerates the frame
+  // stream bit for bit.
+  LinkCheckpoint barrier;
+  std::vector<ChargeRec> charge_log;
+  bool src_down = false;   ///< this link's sender died (a dead player's up link)
+  bool dst_down = false;   ///< this link's receiver died (a dead player's down link)
+  std::uint64_t down_deadline_us = 0;  ///< resume-or-fail deadline while down
+  std::uint32_t ctrl_seq = 0;          ///< out-of-band control frame ordinal
+  std::uint64_t epoch = 0;  ///< ack fence: bumped each time the receiver dies
+
   [[nodiscard]] bool drained() const noexcept {
     return open_batch.empty() && queue.empty() && window.empty();
   }
@@ -183,12 +195,7 @@ void SharedServicer::seal_open_batch(LinkState& link) {
   link.open_batch_bits = 0;
 }
 
-void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
-                                    std::uint64_t bits) {
-  std::unique_lock lock(mu_);
-  throw_if_error_locked();
-  LinkState& link = *links_[link_index];
-  const std::size_t sealed_before = link.queue.size();
+void SharedServicer::seal_charge(LinkState& link, std::uint64_t phase, std::uint64_t bits) {
   if (link.coalesce) {
     const bool fits = link.open_batch.empty() ||
                       (link.open_batch.size() < opts_.arq.max_batch_msgs &&
@@ -204,6 +211,20 @@ void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
   } else {
     seal_data_frame(link, phase, bits);
   }
+}
+
+void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
+                                    std::uint64_t bits) {
+  std::unique_lock lock(mu_);
+  throw_if_error_locked();
+  LinkState& link = *links_[link_index];
+  const std::size_t sealed_before = link.queue.size();
+  // The log, not the live queue, is recovery's source of truth: replaying
+  // it through seal_charge reproduces the coalescing decisions and hence
+  // the exact frame stream (which is a pure per-link function of the
+  // per-link charge sequence).
+  if (opts_.crash_tolerance) link.charge_log.push_back({phase, bits});
+  seal_charge(link, phase, bits);
   // Wake the servicer only when a frame was actually sealed: a charge that
   // merely grew the open batch gives it nothing to do, and the enqueue path
   // is the windowed pipeline's hot loop.
@@ -268,6 +289,122 @@ void SharedServicer::flush() {
   }
   --driving_waiting_;
   throw_if_error_locked();
+  if (opts_.crash_tolerance) {
+    // The checkpoint instant: every queue, window and out-buffer is drained
+    // end to end, so each link's state is fully captured by this snapshot,
+    // and the charge logs restart empty.
+    for (auto& lp : links_) {
+      LinkState& link = *lp;
+      link.barrier.next_seq = link.next_seq;
+      link.barrier.next_expected = link.rcv.next_expected();
+      link.barrier.frames = link.rstats.frames;
+      link.barrier.messages = link.rstats.messages;
+      link.barrier.payload_bits = link.rstats.payload_bits;
+      link.barrier.phase_bits = link.rstats.phase_bits;
+      link.charge_log.clear();
+    }
+  }
+}
+
+LinkCheckpoint SharedServicer::barrier_checkpoint(std::size_t link_index) const {
+  const std::lock_guard lock(mu_);
+  return links_[link_index]->barrier;
+}
+
+std::uint64_t SharedServicer::replayed_charges() const {
+  const std::lock_guard lock(mu_);
+  return replayed_charges_;
+}
+
+void SharedServicer::append_control_frame(LinkState& link, const Frame& f) {
+  serialize_frame_into(f, link.wire_scratch);
+  link.out_data.insert(link.out_data.end(), link.wire_scratch.begin(), link.wire_scratch.end());
+  link.sstats.wire_bytes += link.wire_scratch.size();
+}
+
+void SharedServicer::crash_player(std::size_t up_index, std::size_t down_index,
+                                  std::uint32_t player, std::uint64_t phase) {
+  const std::lock_guard lock(mu_);
+  if (!opts_.crash_tolerance) {
+    throw NetError(NetErrorKind::kSetup, "crash_player without Options::crash_tolerance");
+  }
+  LinkState& up = *links_[up_index];
+  LinkState& down = *links_[down_index];
+  up.src_down = true;    // the corpse sends nothing new and reads no acks
+  down.dst_down = true;  // ...and consumes nothing from its data pipe
+  const std::uint64_t deadline =
+      now_us() + static_cast<std::uint64_t>(opts_.retry.down_timeout.count());
+  up.down_deadline_us = deadline;
+  down.down_deadline_us = deadline;
+  // Fence: acks the dead incarnation already emitted carry the old epoch;
+  // the down-link sender drops them, because they acknowledge deliveries the
+  // rewound receiver will no longer remember. The up link stays unfenced —
+  // the coordinator's receiver is never rolled back, so its acks stay
+  // truthful and correctly retire replayed entries.
+  ++down.epoch;
+  append_control_frame(
+      down, make_player_down_frame(down.src, down.dst, down.ctrl_seq++, player, phase));
+  work_cv_.notify_one();
+}
+
+void SharedServicer::restore_sender(LinkState& link, const LinkCheckpoint& ck) {
+  // Replay aliasing guard: if the run sealed so many frames since the
+  // barrier that replayed sequence numbers would fall into the receiver's
+  // old-duplicate band, the rewound stream is ambiguous — refuse rather
+  // than silently mis-deliver. (2^15 - window frames per link per phase
+  // under the default modulus; a phase that big should raise max_batch
+  // caps, not the modulus.)
+  const std::uint32_t mod = opts_.arq.seq_modulus;
+  const std::uint32_t since = seq_dist(ck.next_seq, link.next_seq, mod);
+  if (since >= mod / 2 - opts_.arq.window) {
+    throw NetError(NetErrorKind::kProtocol,
+                   "too many frames since the last checkpoint to replay unambiguously");
+  }
+  link.open_batch.clear();
+  link.open_batch_bits = 0;
+  link.queue.clear();
+  link.window.reset(ck.next_seq);
+  link.next_seq = ck.next_seq;
+  // out_data survives deliberately: whole frames the dead incarnation
+  // already handed to the transport ("bytes in the NIC") still arrive, and
+  // the receiver's window deduplicates them against the replay.
+}
+
+void SharedServicer::restore_receiver(LinkState& link, const LinkCheckpoint& ck) {
+  link.rcv.reset(ck.next_expected);
+  // Roll the accounting tallies back to the barrier; the replay re-delivers
+  // (and re-tallies) everything since. Wire-level counters (bytes_read,
+  // duplicates, corrupt) stay monotonic — they describe the physical
+  // channel, not the recovered state.
+  link.rstats.frames = ck.frames;
+  link.rstats.messages = ck.messages;
+  link.rstats.payload_bits = ck.payload_bits;
+  link.rstats.phase_bits = ck.phase_bits;
+}
+
+void SharedServicer::recover_player(std::size_t up_index, std::size_t down_index,
+                                    const PlayerCheckpoint& ck,
+                                    std::span<const std::uint8_t> checkpoint_bytes) {
+  const std::lock_guard lock(mu_);
+  throw_if_error_locked();
+  LinkState& up = *links_[up_index];
+  LinkState& down = *links_[down_index];
+  restore_sender(up, ck.up);      // the player's outbound lane rewinds...
+  restore_sender(down, ck.down);  // ...and the coordinator rewinds its lane to match
+  restore_receiver(down, ck.down);
+  up.src_down = false;
+  down.dst_down = false;
+  up.down_deadline_us = 0;
+  down.down_deadline_us = 0;
+  append_control_frame(up, make_resume_frame(up.src, up.dst, up.ctrl_seq++, checkpoint_bytes));
+  // Deterministic replay: re-seal the logged charges through the same
+  // coalescing path that sealed them the first time. The logs are NOT
+  // re-appended (seal_charge never touches them) and NOT cleared — a second
+  // death in the same phase replays the same, still-growing log.
+  replayed_charges_ += up.charge_log.size() + down.charge_log.size();
+  for (const ChargeRec& rec : up.charge_log) seal_charge(up, rec.phase, rec.bits);
+  for (const ChargeRec& rec : down.charge_log) seal_charge(down, rec.phase, rec.bits);
+  work_cv_.notify_one();
 }
 
 void SharedServicer::finish() noexcept {
@@ -351,8 +488,28 @@ void SharedServicer::accept_frame(LinkState& link, const Frame& f) {
   if (link.deliver) link.deliver(f);
 }
 
+void SharedServicer::handle_control_frame(LinkState& link, const Frame& f) {
+  // Out of band: no sequence number, no ack, no accounting — just validate
+  // and tally, so chaos tests can assert the control plane actually spoke.
+  try {
+    if (f.header.type == FrameType::kPlayerDown) {
+      (void)decode_player_down(f);
+      ++link.rstats.player_down_frames;
+    } else {
+      (void)decode_resume(f);
+      ++link.rstats.resume_frames;
+    }
+  } catch (const NetError&) {
+    ++link.rstats.corrupt;
+  }
+}
+
 void SharedServicer::handle_data_frame(LinkState& link, Frame f) {
   if (f.header.type == FrameType::kAck) return;  // not this pipe's traffic
+  if (f.header.type == FrameType::kPlayerDown || f.header.type == FrameType::kResume) {
+    handle_control_frame(link, f);
+    return;
+  }
   if (f.header.src != link.src || f.header.dst != link.dst) {
     ++link.rstats.corrupt;  // CRC-valid but misaddressed: broken peer
     return;
@@ -383,10 +540,19 @@ void SharedServicer::handle_data_frame(LinkState& link, Frame f) {
   // One ack per intact arrival — duplicates included, so a lost ack can
   // never wedge the sender, and the ack count stays a pure function of
   // the fault plan (the virtual-clock determinism contract).
-  const Frame ack =
-      make_ack_frame(link.dst, link.src, link.rcv.ack(), opts_.arq.seq_modulus);
+  Frame ack = make_ack_frame(link.dst, link.src, link.rcv.ack(), opts_.arq.seq_modulus);
+  // Epoch stamp in the otherwise-unused phase field: 0 on every clean run
+  // (byte-identical to the legacy ack), the incarnation fence after a crash.
+  ack.header.phase = link.epoch;
   serialize_frame_into(ack, link.wire_scratch);
   link.out_ack.insert(link.out_ack.end(), link.wire_scratch.begin(), link.wire_scratch.end());
+}
+
+bool SharedServicer::suppressed_sender(const LinkState& link) const noexcept {
+  // A dead sender emits nothing. A sender whose *peer* is declared dead
+  // stops only under fail-fast; the legacy discipline keeps retransmitting
+  // into the void until the backoff budget burns out as kTimeout.
+  return link.src_down || (link.dst_down && opts_.retry.fail_fast_on_down);
 }
 
 bool SharedServicer::sweep(std::uint64_t now) {
@@ -394,7 +560,7 @@ bool SharedServicer::sweep(std::uint64_t now) {
   for (auto& lp : links_) {
     LinkState& link = *lp;
     // Admit sealed frames into the window and transmit them.
-    while (!link.queue.empty() && link.window.has_space()) {
+    while (!suppressed_sender(link) && !link.queue.empty() && link.window.has_space()) {
       ArqSenderWindow::Entry& e = link.window.admit(std::move(link.queue.front()));
       link.queue.pop_front();
       transmit(link, e, now);
@@ -416,34 +582,42 @@ bool SharedServicer::sweep(std::uint64_t now) {
       compact(link.out_ack, link.out_ack_pos);
     }
     // Drain arrivals: data frames into the receiver, acks into the window.
-    for (;;) {
-      const int n = link.link->data->read_some(read_buf_, Clock::now());
-      if (n <= 0) break;
-      link.rstats.bytes_read += static_cast<std::uint64_t>(n);
-      link.data_parser.feed(
-          std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
-      progress = true;
-    }
+    // A dead receiver (dst_down) reads nothing — the bytes wait in the pipe
+    // and in the parser buffer until the player resumes; a dead sender
+    // (src_down) likewise processes no acks.
     Frame f;
-    while (link.data_parser.next(f)) {
-      handle_data_frame(link, std::move(f));
-      progress = true;
+    if (!link.dst_down) {
+      for (;;) {
+        const int n = link.link->data->read_some(read_buf_, Clock::now());
+        if (n <= 0) break;
+        link.rstats.bytes_read += static_cast<std::uint64_t>(n);
+        link.data_parser.feed(
+            std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+        progress = true;
+      }
+      while (link.data_parser.next(f)) {
+        handle_data_frame(link, std::move(f));
+        progress = true;
+      }
     }
-    for (;;) {
-      const int n = link.link->ack->read_some(read_buf_, Clock::now());
-      if (n <= 0) break;
-      link.ack_parser.feed(
-          std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
-      progress = true;
-    }
-    while (link.ack_parser.next(f)) {
-      progress = true;
-      if (f.header.type != FrameType::kAck) continue;
-      ++link.sstats.acks_received;
-      const std::size_t retired =
-          link.window.on_ack(decode_ack_frame(f, opts_.arq.seq_modulus));
-      link.sstats.frames_sent += retired;
-      if (retired > 0) space_cv_.notify_all();
+    if (!link.src_down) {
+      for (;;) {
+        const int n = link.link->ack->read_some(read_buf_, Clock::now());
+        if (n <= 0) break;
+        link.ack_parser.feed(
+            std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+        progress = true;
+      }
+      while (link.ack_parser.next(f)) {
+        progress = true;
+        if (f.header.type != FrameType::kAck) continue;
+        if (f.header.phase != link.epoch) continue;  // a dead incarnation's stale ack
+        ++link.sstats.acks_received;
+        const std::size_t retired =
+            link.window.on_ack(decode_ack_frame(f, opts_.arq.seq_modulus));
+        link.sstats.frames_sent += retired;
+        if (retired > 0) space_cv_.notify_all();
+      }
     }
   }
   if (progress) space_cv_.notify_all();
@@ -454,6 +628,7 @@ bool SharedServicer::retransmit_due(std::uint64_t now) {
   bool any = false;
   for (auto& lp : links_) {
     LinkState& link = *lp;
+    if (suppressed_sender(link)) continue;
     link.window.due(now, due_scratch_);
     for (ArqSenderWindow::Entry* e : due_scratch_) {
       if (e->attempts > opts_.retry.max_retries) {
@@ -468,22 +643,47 @@ bool SharedServicer::retransmit_due(std::uint64_t now) {
   return any;
 }
 
+void SharedServicer::check_down(std::uint64_t now) {
+  // The fail-fast discipline only: a declared death that nobody resumed
+  // within down_timeout is a typed session failure. Under the legacy
+  // discipline the deadline is ignored and the dead link degrades to
+  // kTimeout through the ordinary backoff budget.
+  if (!opts_.retry.fail_fast_on_down) return;
+  for (const auto& link : links_) {
+    if (link->down_deadline_us != 0 && now >= link->down_deadline_us) {
+      throw NetError(NetErrorKind::kPlayerDown,
+                     "player on link " + std::to_string(link->link_id) +
+                         " declared down and did not resume within down_timeout");
+    }
+  }
+}
+
 bool SharedServicer::advance_virtual_clock() {
   // Quiescence: every readable byte has been consumed, so ack knowledge is
   // complete and any still-unacked entry truly needs another attempt. Jump
-  // logical time to the earliest deadline and fire.
+  // logical time to the earliest *actionable* deadline and fire: suppressed
+  // windows never act (jumping to them would spin), and down deadlines only
+  // qualify when check_down will actually throw at them.
   std::uint64_t earliest = 0;
   bool found = false;
+  const auto consider = [&](std::uint64_t d) {
+    if (!found || d < earliest) earliest = d;
+    found = true;
+  };
   for (const auto& link : links_) {
-    std::uint64_t d = 0;
-    if (link->window.next_deadline(d)) {
-      if (!found || d < earliest) earliest = d;
-      found = true;
+    if (!suppressed_sender(*link)) {
+      std::uint64_t d = 0;
+      if (link->window.next_deadline(d)) consider(d);
+    }
+    if (opts_.retry.fail_fast_on_down && link->down_deadline_us != 0) {
+      consider(link->down_deadline_us);
     }
   }
   if (!found) return false;
   vnow_us_ = std::max(vnow_us_, earliest);
-  return retransmit_due(vnow_us_);
+  retransmit_due(vnow_us_);
+  check_down(vnow_us_);  // throws if the jump landed on a down deadline
+  return true;           // a jump always acted: a retransmit fired or check_down threw
 }
 
 void SharedServicer::run() noexcept {
@@ -492,7 +692,10 @@ void SharedServicer::run() noexcept {
     for (;;) {
       const std::uint64_t now = now_us();
       bool progress = sweep(now);
-      if (!opts_.virtual_clock) progress |= retransmit_due(now);
+      if (!opts_.virtual_clock) {
+        progress |= retransmit_due(now);
+        check_down(now);
+      }
       if (progress) continue;
       if (stop_ && all_drained()) break;
       if (error_kind_) break;
@@ -507,7 +710,12 @@ void SharedServicer::run() noexcept {
         std::uint64_t d = 0;
         for (const auto& link : links_) {
           std::uint64_t ld = 0;
-          if (link->window.next_deadline(ld)) d = (d == 0 || ld < d) ? ld : d;
+          if (!suppressed_sender(*link) && link->window.next_deadline(ld)) {
+            d = (d == 0 || ld < d) ? ld : d;
+          }
+          if (opts_.retry.fail_fast_on_down && link->down_deadline_us != 0) {
+            d = (d == 0 || link->down_deadline_us < d) ? link->down_deadline_us : d;
+          }
         }
         if (d != 0) wake = std::min(wake, epoch_ + std::chrono::microseconds(d));
         if (opts_.timed_recheck && anything_unacked()) {

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "net/arq.h"
+#include "net/checkpoint.h"
 #include "net/error.h"
 #include "net/fault.h"
+#include "net/recovery.h"
 #include "net/reliable.h"
 #include "net/transport.h"
 
@@ -59,6 +61,10 @@ class SharedServicer {
     /// Kernel-buffered transport: the servicer cannot assume "nothing
     /// readable unless I wrote it", so quiescent waits recheck on a timer.
     bool timed_recheck = false;
+    /// Crash-fault tolerance (net/recovery.h): log charges since the last
+    /// flush barrier, snapshot per-link barrier state at every flush, and
+    /// accept crash_player / recover_player calls. Off for relay lanes.
+    bool crash_tolerance = false;
   };
 
   explicit SharedServicer(const Options& opts);
@@ -89,8 +95,40 @@ class SharedServicer {
                      std::uint64_t message_bits);
 
   /// Phase barrier: seal every open batch, then block until every queue,
-  /// window and out-buffer is drained (acknowledged end to end).
+  /// window and out-buffer is drained (acknowledged end to end). Under
+  /// crash_tolerance the barrier additionally snapshots every link's
+  /// LinkCheckpoint and clears the charge logs — the checkpoint instant.
   void flush();
+
+  // ---- crash controller (driving thread, crash_tolerance only) ------------
+
+  /// Kill `player` between two charges: its up link (`up_index`) stops
+  /// sending, its down link (`down_index`) stops receiving, the down link's
+  /// ack epoch is fenced so the dead incarnation's stale acks cannot retire
+  /// rewound window entries, and a kPlayerDown control frame is emitted on
+  /// the down link. If no recover_player follows, the session fails with
+  /// NetError(kPlayerDown) after RetryPolicy::down_timeout (fail-fast) or
+  /// NetError(kTimeout) once the backoff budget burns out (legacy).
+  void crash_player(std::size_t up_index, std::size_t down_index, std::uint32_t player,
+                    std::uint64_t phase);
+
+  /// Resurrect a crashed player from its barrier checkpoint: both lane
+  /// halves rewind to the checkpointed state, a kResume control frame
+  /// carrying `checkpoint_bytes` travels the up link, and the charge logs
+  /// accumulated since the barrier are replayed — regenerating the dead
+  /// incarnation's outbound frame stream bit for bit (receivers deduplicate
+  /// whatever was already delivered). Throws NetError(kProtocol) if more
+  /// frames were sealed since the barrier than the sequence circle can
+  /// replay unambiguously.
+  void recover_player(std::size_t up_index, std::size_t down_index, const PlayerCheckpoint& ck,
+                      std::span<const std::uint8_t> checkpoint_bytes);
+
+  /// The link's state at the last flush barrier (all zeros before the
+  /// first barrier — the start-of-run checkpoint).
+  [[nodiscard]] LinkCheckpoint barrier_checkpoint(std::size_t link_index) const;
+
+  /// Total charges re-sealed by recover_player calls so far.
+  [[nodiscard]] std::uint64_t replayed_charges() const;
 
   /// Drain, stop and join; never throws (failures stay in error() and are
   /// rethrown by rethrow_error()). Idempotent. Stats are valid after this.
@@ -125,10 +163,17 @@ class SharedServicer {
   void transmit(LinkState& link, ArqSenderWindow::Entry& entry, std::uint64_t now_us);
   bool retransmit_due(std::uint64_t now_us);
   bool advance_virtual_clock();
+  void check_down(std::uint64_t now_us);
   void handle_data_frame(LinkState& link, Frame f);
+  void handle_control_frame(LinkState& link, const Frame& f);
   void accept_frame(LinkState& link, const Frame& f);
   void seal_open_batch(LinkState& link);
   void seal_data_frame(LinkState& link, std::uint64_t phase, std::uint64_t bits);
+  void seal_charge(LinkState& link, std::uint64_t phase, std::uint64_t bits);
+  void append_control_frame(LinkState& link, const Frame& f);
+  void restore_sender(LinkState& link, const LinkCheckpoint& ck);
+  void restore_receiver(LinkState& link, const LinkCheckpoint& ck);
+  [[nodiscard]] bool suppressed_sender(const LinkState& link) const noexcept;
   [[nodiscard]] bool all_drained() const noexcept;
   [[nodiscard]] bool anything_unacked() const noexcept;
   void record_error(NetErrorKind kind, std::string what) noexcept;
@@ -147,6 +192,7 @@ class SharedServicer {
   int driving_waiting_ = 0;  ///< driving threads blocked => quiescence may advance vclock
   std::optional<NetErrorKind> error_kind_;
   std::string error_what_;
+  std::uint64_t replayed_charges_ = 0;
   std::uint64_t vnow_us_ = 0;
   Clock::time_point epoch_;
   std::vector<std::uint8_t> read_buf_;

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chaos.h"
+#include "net/fault.h"
+#include "net/runtime.h"
+#include "util/rng.h"
+
+/// \file test_net_chaos.cpp
+/// The phase-exhaustive chaos suite (ISSUE 7 headline): kill any player at
+/// any (phase, offset) crash point and demand the recovered run is
+/// indistinguishable from the clean one. Crash points are enumerated from
+/// the clean run's actual per-(player, phase) charge counts — a scheduled
+/// crash beyond a cell's count never fires, so sweeping declared grammar
+/// bounds instead of observed counts would silently test nothing.
+///
+/// On divergence the harness shrinks to a minimal (model, arq, player,
+/// phase, offset) witness (chaos.h), so a red run names one concrete
+/// reproducer instead of a wall of failures.
+
+namespace tft::net {
+namespace {
+
+using chaos::Baseline;
+using chaos::Scenario;
+
+TEST(NetChaos, OffsetEnumerationCoversBoundaryMidAndLast) {
+  EXPECT_TRUE(chaos::interesting_offsets(0).empty());
+  EXPECT_EQ(chaos::interesting_offsets(1), (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(chaos::interesting_offsets(2), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(chaos::interesting_offsets(9), (std::vector<std::uint64_t>{0, 4, 8}));
+}
+
+/// The exhaustive core: every player, every phase it charges in, crash at
+/// the phase boundary / mid-window / last charge. One model keeps the
+/// cross product tractable; the coordinator model has the richest phase
+/// structure (both directions, many rounds).
+TEST(NetChaos, ExhaustiveCoordinatorSweep) {
+  Scenario s;
+  s.k = 3;
+  s.model = CommModel::kCoordinator;
+  const Baseline clean = chaos::clean_run(s);
+  std::uint64_t cells = 0;
+  for (const auto& per : clean.counts) {
+    for (const std::uint64_t c : per) cells += c > 0;
+  }
+  ASSERT_GE(cells, 3u) << "instance too small to exercise the sweep";
+  const auto witness = chaos::sweep(s, clean);
+  EXPECT_FALSE(witness.has_value()) << "minimal witness: " << witness->what;
+}
+
+/// Every communication model recovers, under both ARQ disciplines, from a
+/// crash at the first, middle and last charged phase of a fixed player.
+TEST(NetChaos, AllFourModelsBothArqPolicies) {
+  const CommModel models[] = {CommModel::kSimultaneous, CommModel::kCoordinator,
+                              CommModel::kBlackboard, CommModel::kOneWay};
+  const ArqPolicy policies[] = {ArqPolicy::windowed(), ArqPolicy::stop_and_wait()};
+  for (const CommModel model : models) {
+    for (const ArqPolicy& arq : policies) {
+      Scenario s;
+      s.model = model;
+      s.arq = arq;
+      SCOPED_TRACE(std::string(to_string(model)) + "/" + chaos::arq_name(arq));
+      const Baseline clean = chaos::clean_run(s);
+
+      // The charged phases of player 1, first/middle/last, mid-cell offset.
+      const auto& per = clean.counts.at(1);
+      std::vector<std::uint64_t> charged;
+      for (std::uint64_t ph = 0; ph < per.size(); ++ph) {
+        if (per[ph] > 0) charged.push_back(ph);
+      }
+      ASSERT_FALSE(charged.empty());
+      std::vector<std::uint64_t> picks = {charged.front(), charged[charged.size() / 2],
+                                          charged.back()};
+      for (const std::uint64_t ph : picks) {
+        const CrashEvent e{1, ph, per[ph] / 2};
+        const auto d = chaos::run_with_crash(s, e, clean);
+        EXPECT_FALSE(d.has_value()) << *d;
+      }
+    }
+  }
+}
+
+/// Seeded property sweep: random scenario, random legal crash point drawn
+/// from the clean run's counts. Failures shrink to a minimal witness.
+TEST(NetChaos, SeededRandomCrashPoints) {
+  const CommModel models[] = {CommModel::kSimultaneous, CommModel::kCoordinator,
+                              CommModel::kBlackboard, CommModel::kOneWay};
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario s;
+    s.k = 3 + rng.below(3);
+    s.instance_seed = 100 + rng.below(1000);
+    s.model = models[rng.below(4)];
+    s.arq = rng.below(2) ? ArqPolicy::stop_and_wait() : ArqPolicy::windowed();
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": model " + to_string(s.model) + " arq " +
+                 chaos::arq_name(s.arq) + " k " + std::to_string(s.k) + " seed " +
+                 std::to_string(s.instance_seed));
+    const Baseline clean = chaos::clean_run(s);
+
+    // A uniformly random charged (player, phase) cell, then a random offset.
+    std::vector<CrashEvent> cells;
+    for (std::uint32_t pl = 0; pl < clean.counts.size(); ++pl) {
+      const auto& per = clean.counts[pl];
+      for (std::uint64_t ph = 0; ph < per.size(); ++ph) {
+        if (per[ph] > 0) cells.push_back({pl, ph, per[ph]});
+      }
+    }
+    ASSERT_FALSE(cells.empty());
+    CrashEvent e = cells[rng.below(cells.size())];
+    e.offset = rng.below(e.offset);  // offset field held the cell's count
+    if (auto d = chaos::run_with_crash(s, e, clean)) {
+      const chaos::Witness w = chaos::shrink(s, e, std::move(*d), clean);
+      ADD_FAILURE() << "minimal witness: " << w.what;
+    }
+  }
+}
+
+/// The seeded crash coin (crash / crash_max_offset) composes with recovery:
+/// a plan with a high crash rate still completes with the clean verdict and
+/// totals, and the whole schedule replays from the one seed.
+TEST(NetChaos, SeededCrashCoinRecoversAndReplays) {
+  Scenario s;
+  const auto players = chaos::instance(s);
+  const Baseline clean = chaos::clean_run(s);
+
+  NetConfig cfg = chaos::make_config(s);
+  cfg.faults.seed = 424242;
+  cfg.faults.crash = 0.35;
+  cfg.faults.crash_max_offset = 4;
+
+  const auto once = [&] {
+    return run_executed(s.k, cfg, [&] { return chaos::run_body(s, players); });
+  };
+  const auto [verdict, report] = once();
+  EXPECT_EQ(verdict, clean.verdict);
+  EXPECT_EQ(report.wire.up_bits, clean.wire.up_bits);
+  EXPECT_EQ(report.wire.down_bits, clean.wire.down_bits);
+  EXPECT_EQ(report.wire.phase_bits, clean.wire.phase_bits);
+  EXPECT_GE(report.wire.crashes, 1u)
+      << "a 35% per-(player,phase) coin should kill someone in this run";
+
+  const auto [verdict2, report2] = once();
+  EXPECT_EQ(verdict2, verdict);
+  EXPECT_EQ(report2.wire.crashes, report.wire.crashes);
+  EXPECT_EQ(report2.wire.replayed_charges, report.wire.replayed_charges);
+  EXPECT_EQ(report2.wire.summary(), report.wire.summary());
+}
+
+}  // namespace
+}  // namespace tft::net

@@ -5,6 +5,7 @@
 
 #include "net/error.h"
 #include "net/frame.h"
+#include "net/recovery.h"
 #include "util/bits.h"
 
 namespace tft::net {
@@ -181,6 +182,86 @@ TEST(NetFrame, Crc32MatchesKnownVector) {
   // IEEE CRC-32 of "123456789" is 0xCBF43926.
   const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
   EXPECT_EQ(crc32(digits), 0xCBF43926u);
+}
+
+// ---- crash-recovery control frames (net/recovery.h) -------------------------
+
+std::vector<Frame> control_frames() {
+  PlayerCheckpoint ck;
+  ck.player = 1;
+  ck.seed = 77;
+  ck.phase = 2;
+  ck.up.next_seq = 5;
+  ck.up.next_expected = 5;
+  ck.up.phase_bits = {64, 128};
+  return {make_player_down_frame(/*src=*/4, /*dst=*/1, /*ctrl_seq=*/3, /*player=*/1,
+                                 /*phase=*/2),
+          make_resume_frame(/*src=*/1, /*dst=*/4, /*ctrl_seq=*/0, encode_checkpoint(ck))};
+}
+
+TEST(NetFrame, ControlFrameTypesRoundTripThroughTheParser) {
+  for (const Frame& f : control_frames()) {
+    SCOPED_TRACE(static_cast<int>(f.header.type));
+    const auto wire = serialize_frame(f);
+    EXPECT_EQ(wire.size(), frame_wire_bytes(f));
+    FrameParser parser;
+    parser.feed(wire);
+    Frame out;
+    ASSERT_TRUE(parser.next(out));
+    EXPECT_EQ(out.header.type, f.header.type);
+    EXPECT_EQ(out.header.src, f.header.src);
+    EXPECT_EQ(out.header.dst, f.header.dst);
+    EXPECT_EQ(out.header.seq, f.header.seq);
+    EXPECT_EQ(out.header.payload_bits, f.header.payload_bits);
+    EXPECT_EQ(out.payload, f.payload);
+    EXPECT_EQ(parser.corrupt_frames(), 0u);
+  }
+}
+
+TEST(NetFrame, ControlFrameTruncationYieldsNothing) {
+  for (const Frame& f : control_frames()) {
+    const auto wire = serialize_frame(f);
+    for (std::size_t cut = 0; cut + 1 < wire.size(); ++cut) {
+      FrameParser parser;
+      parser.feed(std::span<const std::uint8_t>(wire.data(), cut));
+      Frame out;
+      EXPECT_FALSE(parser.next(out)) << "type " << static_cast<int>(f.header.type)
+                                     << " parsed from a " << cut << "-byte prefix";
+    }
+  }
+}
+
+TEST(NetFrame, ControlFrameCrcFlipIsRejectedAndResynchronizes) {
+  const auto good = serialize_frame(sample_frame(9));
+  for (const Frame& f : control_frames()) {
+    const auto wire = serialize_frame(f);
+    for (std::size_t bit = 32; bit < wire.size() * 8; bit += 5) {
+      auto corrupted = wire;
+      corrupted[bit / 8] ^= static_cast<std::uint8_t>(1U << (7 - bit % 8));
+      FrameParser parser;
+      parser.feed(corrupted);
+      parser.feed(good);
+      Frame out;
+      ASSERT_TRUE(parser.next(out)) << "resync failed after flipping bit " << bit;
+      EXPECT_EQ(out.header.payload_bits, 9u);
+      EXPECT_EQ(parser.corrupt_frames(), 1u);
+      EXPECT_FALSE(parser.next(out));
+    }
+  }
+}
+
+TEST(NetFrame, TypeValuesPastResumeAreRejected) {
+  // The widened 3-bit type field leaves 6 and 7 unassigned; a frame
+  // claiming one must be dropped as corrupt, not aliased onto a real type.
+  for (const std::uint8_t bogus : {6, 7}) {
+    Frame f = sample_frame(8);
+    f.header.type = static_cast<FrameType>(bogus);
+    FrameParser parser;
+    parser.feed(serialize_frame(f));
+    Frame out;
+    EXPECT_FALSE(parser.next(out));
+    EXPECT_EQ(parser.corrupt_frames(), 1u);
+  }
 }
 
 }  // namespace
