@@ -49,6 +49,12 @@ run information --side=8 --samples=2000
 run ablations --trials=2
 run net --messages=200 --transports=inproc
 
+# Service runtime (PR 8): S concurrent sessions multiplexed over one shared
+# servicer under the virtual clock. The charged/payload/wire sums are
+# order-fixed over deterministic per-slot specs, so the rows are bit-exact;
+# throughput/latency/ratio fields are TIME_KEY-stripped.
+run service --n=400 --iters=2
+
 # Chunked generation (PR 6): same benches drawing instances through the
 # chunked generator. The draws are a different (equally valid) sample stream,
 # so they get their own bench names (oneway_lb_chunked, ...) and their own

@@ -1,0 +1,191 @@
+// Experiment E-SERVICE: multi-session service throughput. A
+// ServiceCoordinator multiplexes S concurrent testing sessions over ONE
+// shared transport and ONE servicer thread; the closed-loop load generator
+// keeps exactly S sessions in flight and reports sessions/sec plus p50/p99
+// session latency as S sweeps toward saturation. The S=1 row also runs the
+// same workload on a bare NetSession (no coordinator, no scheduler, no
+// session table) and reports the service/bare wall-clock ratio — the
+// acceptance bound is 1.15x.
+//
+// Determinism: each session's spec is a pure function of its (worker, iter)
+// slot, every session runs fault-free under the virtual clock, and the
+// summed charged/payload/wire totals are order-fixed sums over independent
+// sessions — so the structured rows are byte-stable in BENCH_baseline.json
+// (wall-clock fields are TIME_KEY-stripped by check_baseline.py as usual).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/channel.h"
+#include "comm/conformance.h"
+#include "net/executed.h"
+#include "net/runtime.h"
+#include "runner.h"
+#include "service/coordinator.h"
+#include "util/flags.h"
+
+using namespace tft;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+service::SessionSpec slot_spec(std::uint32_t n, std::uint32_t k, std::uint64_t slot) {
+  service::SessionSpec spec;
+  spec.family = service::InstanceFamily::kPlanted;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = 1000 + slot;
+  return spec;
+}
+
+struct LoadResult {
+  std::uint64_t sessions = 0;
+  std::uint64_t charged_bits = 0;
+  std::uint64_t payload_bits = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t frames = 0;
+  bool all_exact = true;
+  double seconds = 0.0;
+  std::vector<double> latencies;
+};
+
+/// Saturating load: a bounded submission ring of depth S+1 against a pool
+/// of S workers, so S sessions always execute while the one extra admitted
+/// spec hides the submit/collect thread hops. Latency is submit-to-reply at
+/// that saturation depth.
+LoadResult drive_service(service::ServiceCoordinator& coordinator, std::size_t inflight,
+                         std::size_t total_sessions, std::uint32_t n, std::uint32_t k) {
+  LoadResult total;
+  const std::size_t depth = inflight + 1;
+  std::vector<std::future<service::SessionOutcome>> futures(total_sessions);
+  std::vector<Clock::time_point> submitted(total_sessions);
+  std::vector<service::SessionOutcome> outcomes(total_sessions);
+  const auto t0 = Clock::now();
+  for (std::size_t step = 0; step < total_sessions + depth; ++step) {
+    if (step >= depth) {
+      const std::size_t i = step - depth;
+      outcomes[i] = futures[i].get();
+      total.latencies.push_back(
+          std::chrono::duration<double>(Clock::now() - submitted[i]).count());
+    }
+    if (step < total_sessions) {
+      submitted[step] = Clock::now();
+      futures[step] = coordinator.submit(slot_spec(n, k, step));
+    }
+  }
+  total.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // Aggregate in submission order: the sums are order-fixed regardless of
+  // how the scheduler interleaved the sessions.
+  for (const auto& out : outcomes) {
+    ++total.sessions;
+    total.charged_bits += out.charged_bits;
+    total.payload_bits += out.wire.payload_bits();
+    total.wire_bytes += out.wire.wire_bytes;
+    total.frames += out.wire.frames_delivered;
+    total.all_exact = total.all_exact && out.accounting_exact && out.conformance_ok &&
+                      out.status != service::ReplyStatus::kError;
+  }
+  std::sort(total.latencies.begin(), total.latencies.end());
+  return total;
+}
+
+/// The same workload with no service in the way: one bare NetSession per
+/// spec, sequential (a bare session IS the S=1 configuration). Runs the
+/// identical per-session contract — instance build, executed run, exact
+/// accounting, conformance referee — so the ratio isolates pure service
+/// overhead (scheduler, worker hop, session table).
+double drive_bare(std::size_t iters, std::uint32_t n, std::uint32_t k, const net::NetConfig& cfg) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const service::SessionSpec spec = slot_spec(n, k, i);
+    const auto players = service::build_players(spec);
+    TranscriptCapture capture;
+    net::NetSession session(k, cfg);
+    {
+      const ChannelSinkScope scope(&session);
+      (void)test_triangle_freeness(players, service::tester_options(spec));
+    }
+    const net::WireStats wire = session.finish();
+    net::ChargedTotals charged(k);
+    for (const auto& run : capture.runs()) charged.add(run.transcript);
+    net::verify_accounting(charged, wire);
+    for (const auto& run : capture.runs()) {
+      if (auto r = check_conformance(run.model, run.transcript); !r.ok()) {
+        throw ConformanceError(std::move(r));
+      }
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::configure_threads(flags);
+  const auto n = static_cast<std::uint32_t>(flags.get_int("n", 600));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 4));
+  const auto iters = static_cast<std::size_t>(flags.get_int("iters", 4));
+  const bool vclock = flags.get_bool("vclock", true);
+  bench::JsonRows json(flags, "bench_service");
+
+  bench::header("E-SERVICE bench_service",
+                "S concurrent sessions over one shared servicer: per-session "
+                "accounting stays exact at every S, and S=1 service throughput "
+                "is within 1.15x of a bare NetSession");
+
+  net::NetConfig net_cfg;
+  net_cfg.transport = net::TransportKind::kInProc;
+  net_cfg.virtual_clock = vclock;
+
+  const double bare_secs = drive_bare(iters, n, k, net_cfg);
+  const double bare_rate = static_cast<double>(iters) / bare_secs;
+  std::printf("\nbare NetSession reference: %zu sessions, %.3f/s\n", iters, bare_rate);
+
+  std::printf("\n-- service sweep (k=%u, n=%u, %zu sessions per worker) --\n", k, n, iters);
+  for (const std::size_t inflight : {1u, 2u, 4u, 8u, 16u}) {
+    service::ServiceConfig cfg;
+    cfg.net = net_cfg;
+    cfg.max_live_sessions = inflight;
+    cfg.max_pending = inflight + 1;  // the ring's depth: S running + 1 queued
+    service::ServiceCoordinator coordinator(cfg);
+    const LoadResult r = drive_service(coordinator, inflight, inflight * iters, n, k);
+    const double rate = static_cast<double>(r.sessions) / r.seconds;
+    const double p50 = quantile(r.latencies, 0.50);
+    const double p99 = quantile(r.latencies, 0.99);
+    const double over_bare = bare_rate / rate;  // S=1: the 1.15x acceptance ratio
+    bench::row({{"inflight", static_cast<double>(inflight)},
+                {"sessions", static_cast<double>(r.sessions)},
+                {"sessions_per_s", rate},
+                {"p50_latency_s", p50},
+                {"p99_latency_s", p99},
+                {"all_exact", r.all_exact ? 1.0 : 0.0}});
+    if (inflight == 1) {
+      std::printf("     S=1 service/bare time ratio: %.3fx (bound 1.15x)\n", over_bare);
+    }
+    json.row("sweep", {{"k", static_cast<std::uint64_t>(k)},
+                       {"n", static_cast<std::uint64_t>(n)},
+                       {"inflight", static_cast<std::uint64_t>(inflight)},
+                       {"sessions", r.sessions},
+                       {"charged_bits", r.charged_bits},
+                       {"payload_bits", r.payload_bits},
+                       {"wire_bytes", r.wire_bytes},
+                       {"frames", r.frames},
+                       {"all_exact", static_cast<std::uint64_t>(r.all_exact ? 1 : 0)},
+                       {"sessions_per_s", rate},
+                       {"p50_latency_s", p50},
+                       {"p99_latency_s", p99},
+                       {"service_over_bare_time", over_bare}});
+  }
+  return 0;
+}

@@ -123,10 +123,71 @@ tft::net::NetConfig parse_net_config(const tft::Flags& flags) {
   return cfg;
 }
 
+void print_help() {
+  std::printf(
+      "tft_cli: run any of the library's triangle-freeness protocols.\n"
+      "\n"
+      "  --generate=planted|hub|gnp|mu|bipartite   instance family\n"
+      "      (with --n, --d, --triangles, --hubs, --gamma)\n"
+      "  --out=PATH               write the generated graph and exit\n"
+      "  --in=PATH                read a graph file instead of generating\n"
+      "  --protocol=unrestricted|sim-low|sim-high|sim-oblivious|exact\n"
+      "  --k, --dup, --eps, --seed                 model parameters\n"
+      "  --transport=sim|inproc|socket             sim charges a Transcript\n"
+      "      only; inproc/socket execute the run over real frames and\n"
+      "      cross-check wire vs charged bits\n"
+      "  --arq=windowed|stopwait --window=W        ARQ policy\n"
+      "  --vclock=1               virtual clock (inproc only)\n"
+      "  --fault-drop, --fault-dup, --fault-flip, --fault-delay-us,\n"
+      "  --fault-seed             per-attempt fault probabilities\n"
+      "  --crash-player/--crash-phase/--crash-offset, --crash-rate,\n"
+      "  --crash-max-offset, --crash-resurrect=0   crash schedule\n"
+      "  --list-transports        print the transport registry and exit\n"
+      "  --help                   this text\n"
+      "\n"
+      "exit codes:\n"
+      "  0  verdict: consistent with triangle-free\n"
+      "  1  verdict: NOT triangle-free (a certified triangle was printed)\n"
+      "  2  usage error (unknown flag value, unknown family/protocol)\n"
+      "  3  typed net error (transport failure, exhausted retries, a player\n"
+      "     crashed with --crash-resurrect=0, ...)\n");
+}
+
+void list_transports() {
+  constexpr tft::net::TransportKind kinds[] = {
+      tft::net::TransportKind::kSim,
+      tft::net::TransportKind::kInProc,
+      tft::net::TransportKind::kSocket,
+  };
+  for (const auto kind : kinds) {
+    const char* what = "";
+    switch (kind) {
+      case tft::net::TransportKind::kSim:
+        what = "Transcript charges only; no frames, no servicer";
+        break;
+      case tft::net::TransportKind::kInProc:
+        what = "lock-free byte rings in one process; supports --vclock";
+        break;
+      case tft::net::TransportKind::kSocket:
+        what = "real TCP connections over 127.0.0.1";
+        break;
+    }
+    std::printf("%-8s %s\n", tft::net::to_string(kind), what);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const tft::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_help();
+    return 0;
+  }
+  if (flags.has("list-transports")) {
+    list_transports();
+    return 0;
+  }
   tft::Rng rng(flags.get_int("seed", 1));
 
   tft::Graph graph;

@@ -1,0 +1,92 @@
+// tft_client: submit one testing session to a running tft_serviced and
+// print the verdict plus the accounting summary. The process exit code IS
+// the ReplyStatus (service/spec.h):
+//   0  consistent with triangle-free
+//   1  triangle found (certified)
+//   2  service busy (retryable; bad flags also exit 2)
+//   3  session failed or the request itself failed (see the printed error)
+//
+//   build/examples/example_tft_client --port=7777 --family=planted --n=2000
+//
+// Flags:
+//   --port=P                     tft_serviced's port (required)
+//   --protocol=unrestricted|sim-low|sim-high|sim-oblivious|exact
+//   --family=planted|hub|gnp|mu|bipartite
+//   --n, --k, --seed, --eps     instance + model shape
+//   --param=V                    family knob (triangles / hubs / 100*degree /
+//                                100*gamma); 0 = family default
+//   --tenant=NAME                fair-share scheduling key
+
+#include <cstdio>
+#include <string>
+
+#include "net/error.h"
+#include "service/daemon.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  const tft::Flags flags(argc, argv);
+  if (!flags.has("port")) {
+    std::fprintf(stderr, "usage: tft_client --port=P [--family=.. --n=.. --k=.. --seed=..]\n");
+    return 2;
+  }
+
+  tft::service::SessionSpec spec;
+  const std::string proto = flags.get_string("protocol", "sim-oblivious");
+  if (proto == "unrestricted") spec.protocol = tft::ProtocolKind::kUnrestricted;
+  else if (proto == "sim-low") spec.protocol = tft::ProtocolKind::kSimLow;
+  else if (proto == "sim-high") spec.protocol = tft::ProtocolKind::kSimHigh;
+  else if (proto == "sim-oblivious") spec.protocol = tft::ProtocolKind::kSimOblivious;
+  else if (proto == "exact") spec.protocol = tft::ProtocolKind::kExact;
+  else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", proto.c_str());
+    return 2;
+  }
+  const auto family = tft::service::parse_family(flags.get_string("family", "planted"));
+  if (!family) {
+    std::fprintf(stderr, "unknown family '%s' (planted|hub|gnp|mu|bipartite)\n",
+                 flags.get_string("family", "planted").c_str());
+    return 2;
+  }
+  spec.family = *family;
+  spec.n = static_cast<std::uint32_t>(flags.get_int("n", 1024));
+  spec.k = static_cast<std::uint32_t>(flags.get_int("k", 4));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.eps_micro = static_cast<std::uint32_t>(flags.get_double("eps", 0.1) * 1e6);
+  spec.param = static_cast<std::uint64_t>(flags.get_int("param", 0));
+  spec.tenant = flags.get_string("tenant", "");
+
+  tft::service::ServiceReply reply;
+  try {
+    reply = tft::service::request(static_cast<std::uint16_t>(flags.get_int("port", 0)), spec);
+  } catch (const tft::net::NetError& e) {
+    std::fprintf(stderr, "request failed: %s\n", e.what());
+    return 3;
+  }
+
+  std::printf("session=%u bits=%llu payload-bits=%llu messages=%llu frames=%llu "
+              "wire-bytes=%llu accounting=%s conformance=%s\n",
+              reply.session_id, static_cast<unsigned long long>(reply.charged_bits),
+              static_cast<unsigned long long>(reply.payload_bits),
+              static_cast<unsigned long long>(reply.messages),
+              static_cast<unsigned long long>(reply.frames),
+              static_cast<unsigned long long>(reply.wire_bytes),
+              reply.accounting_exact ? "exact" : "VIOLATED",
+              reply.conformance_ok ? "ok" : "VIOLATED");
+  switch (reply.status) {
+    case tft::service::ReplyStatus::kTriangleFree:
+      std::printf("verdict: consistent with triangle-free\n");
+      return 0;
+    case tft::service::ReplyStatus::kTriangle:
+      std::printf("verdict: NOT triangle-free, witness (%u,%u,%u)\n", reply.triangle->a,
+                  reply.triangle->b, reply.triangle->c);
+      return 1;
+    case tft::service::ReplyStatus::kBusy:
+      std::printf("service busy: %s\n", reply.error.c_str());
+      return 2;
+    case tft::service::ReplyStatus::kError:
+      std::printf("session failed: %s\n", reply.error.c_str());
+      return 3;
+  }
+  return 2;  // unreachable: decode_reply bounds the status tag
+}

@@ -1,0 +1,143 @@
+// tft_serviced: the multi-session service daemon. One process hosts a
+// ServiceCoordinator — one shared transport, one servicer thread — and
+// serves concurrent testing sessions submitted over loopback TCP by
+// tft_client, or generated in-process with --selftest.
+//
+//   # serve 6 sessions on an OS-assigned port, then exit
+//   build/examples/example_tft_serviced --transport=socket --sessions=6
+//
+//   # in-process soak: 8 sessions through a 2-worker pool, no TCP
+//   build/examples/example_tft_serviced --selftest=8 --max-live=2
+//
+// Flags:
+//   --transport=inproc|socket    wire under the shared servicer (default inproc)
+//   --port=P                     TCP port (default 0 = kernel-assigned; the
+//                                chosen port is printed on the first line)
+//   --sessions=N                 exit after N completed sessions (default:
+//                                serve until stdin reaches EOF)
+//   --selftest=N                 no TCP: submit N sessions in-process and
+//                                print one accounting line per session
+//   --max-live=W --max-pending=Q admission control (defaults 4 / 16)
+//   --scheduler=fifo|fair-share  queue discipline (default fifo)
+//   --vclock=1                   virtual clock (inproc only)
+//   --n, --k, --seed             selftest session shape (seed is the base;
+//                                session i uses seed+i)
+//
+// Every completed session prints
+//   session=<id> status=<...> bits=<...> accounting=exact conformance=ok
+// (the CI soak greps these lines for per-session accounting closure).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/error.h"
+#include "service/daemon.h"
+#include "util/flags.h"
+
+namespace {
+
+void print_outcome(const tft::service::SessionOutcome& out) {
+  const char* status = "error";
+  switch (out.status) {
+    case tft::service::ReplyStatus::kTriangleFree: status = "triangle-free"; break;
+    case tft::service::ReplyStatus::kTriangle: status = "triangle"; break;
+    case tft::service::ReplyStatus::kBusy: status = "busy"; break;
+    case tft::service::ReplyStatus::kError: status = "error"; break;
+  }
+  std::printf("session=%u status=%s bits=%llu accounting=%s conformance=%s\n", out.session_id,
+              status, static_cast<unsigned long long>(out.charged_bits),
+              out.accounting_exact ? "exact" : "VIOLATED",
+              out.conformance_ok ? "ok" : "VIOLATED");
+  if (!out.error.empty()) std::printf("session=%u error: %s\n", out.session_id, out.error.c_str());
+  std::fflush(stdout);
+}
+
+tft::service::ServiceConfig parse_config(const tft::Flags& flags) {
+  tft::service::ServiceConfig cfg;
+  const std::string name = flags.get_string("transport", "inproc");
+  const auto kind = tft::net::parse_transport(name);
+  if (!kind || *kind == tft::net::TransportKind::kSim) {
+    std::fprintf(stderr, "serviced transport must be inproc or socket, not '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  cfg.net.transport = *kind;
+  cfg.net.virtual_clock = flags.get_bool("vclock", false);
+  cfg.max_live_sessions = static_cast<std::size_t>(flags.get_int("max-live", 4));
+  cfg.max_pending = static_cast<std::size_t>(flags.get_int("max-pending", 16));
+  const std::string sched = flags.get_string("scheduler", "fifo");
+  if (sched == "fifo") {
+    cfg.scheduler = tft::service::SchedulerKind::kFifo;
+  } else if (sched == "fair-share") {
+    cfg.scheduler = tft::service::SchedulerKind::kFairShare;
+  } else {
+    std::fprintf(stderr, "unknown scheduler '%s' (fifo|fair-share)\n", sched.c_str());
+    std::exit(2);
+  }
+  return cfg;
+}
+
+int selftest(const tft::service::ServiceConfig& cfg, const tft::Flags& flags, std::size_t count) {
+  tft::service::ServiceCoordinator coordinator(cfg);
+  std::vector<std::future<tft::service::SessionOutcome>> futures;
+  for (std::size_t i = 0; i < count; ++i) {
+    tft::service::SessionSpec spec;
+    spec.family = i % 2 == 0 ? tft::service::InstanceFamily::kPlanted
+                             : tft::service::InstanceFamily::kHub;
+    spec.n = static_cast<std::uint32_t>(flags.get_int("n", 600));
+    spec.k = static_cast<std::uint32_t>(flags.get_int("k", 4));
+    spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1)) + i;
+    futures.push_back(coordinator.submit(spec));
+  }
+  bool all_ok = true;
+  for (auto& f : futures) {
+    const tft::service::SessionOutcome out = f.get();
+    print_outcome(out);
+    all_ok = all_ok && out.accounting_exact && out.conformance_ok &&
+             out.status != tft::service::ReplyStatus::kError;
+  }
+  std::printf("selftest: %zu sessions, %s\n", count, all_ok ? "all closed exact" : "FAILURES");
+  return all_ok ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tft::Flags flags(argc, argv);
+  const tft::service::ServiceConfig cfg = parse_config(flags);
+
+  try {
+    if (flags.has("selftest")) {
+      return selftest(cfg, flags, static_cast<std::size_t>(flags.get_int("selftest", 4)));
+    }
+
+    tft::service::ServiceDaemon daemon(cfg,
+                                       static_cast<std::uint16_t>(flags.get_int("port", 0)));
+    std::printf("listening on 127.0.0.1:%u max-live=%zu max-pending=%zu scheduler=%s\n",
+                daemon.port(), cfg.max_live_sessions, cfg.max_pending,
+                to_string(cfg.scheduler));
+    std::fflush(stdout);
+
+    if (flags.has("sessions")) {
+      const auto target = static_cast<std::uint64_t>(flags.get_int("sessions", 1));
+      while (daemon.coordinator().sessions_completed() < target) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    } else {
+      // Serve until our caller closes stdin — the clean way to park a
+      // daemon under a script without signal games.
+      for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+      }
+    }
+    daemon.shutdown();
+    std::printf("served %llu sessions, rejected %llu\n",
+                static_cast<unsigned long long>(daemon.coordinator().sessions_completed()),
+                static_cast<unsigned long long>(daemon.coordinator().sessions_rejected()));
+    return 0;
+  } catch (const tft::net::NetError& e) {
+    std::fprintf(stderr, "net error: %s\n", e.what());
+    return 3;
+  }
+}

@@ -12,11 +12,13 @@ namespace {
 
 /// Per-message filler inside a batch: same construction as the kData
 /// filler, with the message index folded into the seed so two same-sized
-/// charges in one frame carry different bits.
+/// charges in one frame carry different bits, and the session id folded in
+/// (identity for session 0) so concurrent sessions never share a stream.
 std::uint64_t batch_filler_seed(const FrameHeader& h, std::uint64_t index,
                                 std::uint64_t bits) noexcept {
-  return mix_hash((std::uint64_t{h.src} << 32) | h.dst, (std::uint64_t{h.seq} << 32) | index,
-                  bits);
+  return fold_session(mix_hash((std::uint64_t{h.src} << 32) | h.dst,
+                               (std::uint64_t{h.seq} << 32) | index, bits),
+                      h.session);
 }
 
 void append_filler(BitWriter& w, std::uint64_t seed, std::uint64_t bits) {
@@ -103,12 +105,13 @@ AckInfo decode_ack_frame(const Frame& f, std::uint32_t seq_modulus) {
 }
 
 Frame make_batch_frame(std::uint32_t src, std::uint32_t dst, std::uint32_t seq,
-                       const std::vector<ChargeRec>& charges) {
+                       const std::vector<ChargeRec>& charges, std::uint32_t session) {
   Frame f;
   f.header.type = FrameType::kBatch;
   f.header.src = src;
   f.header.dst = dst;
   f.header.seq = seq;
+  f.header.session = session;
   f.header.phase = charges.empty() ? 0 : charges.front().phase;
   BitWriter w;
   w.put_gamma(charges.size());

@@ -98,11 +98,13 @@ struct ChargeRec {
 
 /// Batch frame codec. Payload: gamma(count), then per charge gamma(phase)
 /// gamma(bits) followed by `bits` of deterministic filler keyed by
-/// ((src<<32)|dst, (seq<<32)|index, bits) — the per-message analogue of the
-/// kData filler, so receivers still verify every charged bit behind the
-/// CRC. `payload_bits` is the exact encoded bit length.
+/// ((src<<32)|dst, (seq<<32)|index, bits) — session-folded when the frame
+/// belongs to a multiplexed session — the per-message analogue of the kData
+/// filler, so receivers still verify every charged bit behind the CRC.
+/// `payload_bits` is the exact encoded bit length.
 [[nodiscard]] Frame make_batch_frame(std::uint32_t src, std::uint32_t dst, std::uint32_t seq,
-                                     const std::vector<ChargeRec>& charges);
+                                     const std::vector<ChargeRec>& charges,
+                                     std::uint32_t session = 0);
 /// Decode + verify the filler inline. Returns false (corrupt) on any
 /// malformed count/record/filler mismatch; never throws.
 [[nodiscard]] bool decode_batch_frame(const Frame& f, std::vector<ChargeRec>& out);

@@ -24,6 +24,10 @@ enum class NetErrorKind {
   /// RetryPolicy::down_timeout. Distinct from kTimeout: a declared death
   /// fails fast instead of burning the exponential-backoff budget.
   kPlayerDown,
+  /// The service coordinator refused admission: pending-session queue full
+  /// (ServiceConfig::max_pending). A typed, retryable rejection — clients
+  /// back off and resubmit; nothing about the session ever started.
+  kServiceBusy,
 };
 
 [[nodiscard]] constexpr const char* to_string(NetErrorKind k) noexcept {
@@ -34,6 +38,7 @@ enum class NetErrorKind {
     case NetErrorKind::kSetup: return "setup";
     case NetErrorKind::kProtocol: return "protocol";
     case NetErrorKind::kPlayerDown: return "player-down";
+    case NetErrorKind::kServiceBusy: return "service-busy";
   }
   return "?";
 }

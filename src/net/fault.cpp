@@ -1,5 +1,6 @@
 #include "net/fault.h"
 
+#include "net/frame.h"
 #include "util/rng.h"
 
 namespace tft::net {
@@ -12,14 +13,16 @@ double unit(std::uint64_t h) noexcept { return static_cast<double>(h >> 11) * 0x
 }  // namespace
 
 std::optional<std::uint64_t> crash_offset(const FaultPlan& plan, std::uint32_t player,
-                                          std::uint64_t phase) noexcept {
+                                          std::uint64_t phase, std::uint32_t session) noexcept {
   for (const CrashEvent& e : plan.crash_schedule) {
     if (e.player == player && e.phase == phase) return e.offset;
   }
   if (plan.crash > 0.0) {
     // Own hash domain (tag 0xC) so the crash coin is independent of the
-    // per-attempt fault draws that share plan.seed.
-    const std::uint64_t key = mix_hash(plan.seed, (std::uint64_t{player} << 1) | 1, phase);
+    // per-attempt fault draws that share plan.seed. The session fold keeps
+    // concurrent sessions' crash schedules independent (identity for 0).
+    const std::uint64_t seed = fold_session(plan.seed, session);
+    const std::uint64_t key = mix_hash(seed, (std::uint64_t{player} << 1) | 1, phase);
     if (unit(mix_hash(key, 0xC1)) < plan.crash) {
       return mix_hash(key, 0xC2) % (plan.crash_max_offset + 1);
     }
@@ -30,8 +33,8 @@ std::optional<std::uint64_t> crash_offset(const FaultPlan& plan, std::uint32_t p
 FaultDecision FaultInjector::decide(std::uint32_t seq, std::uint32_t attempt) const noexcept {
   FaultDecision d;
   if (!plan_.any()) return d;
-  const std::uint64_t key =
-      mix_hash(plan_.seed, (std::uint64_t{link_id_} << 32) | seq, attempt);
+  const std::uint64_t key = mix_hash(fold_session(plan_.seed, session_),
+                                     (std::uint64_t{link_id_} << 32) | seq, attempt);
   // Independent sub-draws per fault class, each its own hash domain.
   d.drop = unit(mix_hash(key, 1)) < plan_.drop;
   if (attempt == 0 && seq < 64 && ((plan_.drop_first_attempt_mask >> seq) & 1) != 0) {

@@ -7,9 +7,13 @@
 /// \file fault.h
 /// Deterministic seeded fault injection at the channel layer.
 ///
-/// Every decision is a pure function of (plan.seed, link_id, seq, attempt):
-/// the same plan corrupts the same attempts of the same frames no matter
-/// how threads are scheduled or which transport carries the bytes. That is
+/// Every decision is a pure function of (plan.seed, session, link_id, seq,
+/// attempt): the same plan corrupts the same attempts of the same frames no
+/// matter how threads are scheduled or which transport carries the bytes —
+/// and, in the multiplexed service runtime, no matter which other sessions
+/// share the transport (the session id folds into the seed, identity for
+/// session 0, so single-session decisions are bit-identical to pre-session
+/// builds). That is
 /// the determinism contract the fault tests assert — delivered bit totals
 /// and protocol verdicts are reproducible under a fixed seed at any thread
 /// count (retransmission *counts* may additionally grow under scheduler
@@ -91,7 +95,8 @@ struct FaultPlan {
 /// classes, so chaos runs replay from the seed alone.
 [[nodiscard]] std::optional<std::uint64_t> crash_offset(const FaultPlan& plan,
                                                         std::uint32_t player,
-                                                        std::uint64_t phase) noexcept;
+                                                        std::uint64_t phase,
+                                                        std::uint32_t session = 0) noexcept;
 
 struct FaultDecision {
   bool drop = false;
@@ -105,17 +110,21 @@ struct FaultDecision {
 
 class FaultInjector {
  public:
-  FaultInjector(const FaultPlan& plan, std::uint32_t link_id) noexcept
-      : plan_(plan), link_id_(link_id) {}
+  FaultInjector(const FaultPlan& plan, std::uint32_t link_id,
+                std::uint32_t session = 0) noexcept
+      : plan_(plan), link_id_(link_id), session_(session) {}
 
-  /// The (pure, deterministic) fate of one send attempt.
+  /// The (pure, deterministic) fate of one send attempt, keyed on
+  /// (session, link, seq, attempt).
   [[nodiscard]] FaultDecision decide(std::uint32_t seq, std::uint32_t attempt) const noexcept;
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint32_t session() const noexcept { return session_; }
 
  private:
   FaultPlan plan_;
   std::uint32_t link_id_;
+  std::uint32_t session_ = 0;
 };
 
 }  // namespace tft::net

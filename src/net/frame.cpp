@@ -13,7 +13,8 @@ namespace tft::net {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0xF7A7;  // "tft transport"
+constexpr std::uint64_t kMagic = 0xF7A7;   // "tft transport" (v1: session 0)
+constexpr std::uint64_t kMagic2 = 0xF7B5;  // v2: session id follows the magic
 constexpr std::uint32_t kMagicBits = 16;
 constexpr std::uint32_t kTypeBits = 3;
 
@@ -59,7 +60,14 @@ std::size_t payload_bytes(std::uint64_t payload_bits) {
 /// Header bits as the serialized body carries them.
 BitWriter write_header(const FrameHeader& h) {
   BitWriter w;
-  w.put_bits(kMagic, kMagicBits);
+  if (h.session == 0) {
+    // Reserved id 0: the v1 layout, bit for bit — golden frames and every
+    // single-session byte stream are unchanged by the session extension.
+    w.put_bits(kMagic, kMagicBits);
+  } else {
+    w.put_bits(kMagic2, kMagicBits);
+    w.put_gamma(h.session);
+  }
   w.put_bits(static_cast<std::uint64_t>(h.type), kTypeBits);
   w.put_gamma(h.src);
   w.put_gamma(h.dst);
@@ -75,7 +83,18 @@ BitWriter write_header(const FrameHeader& h) {
 bool decode_body(std::span<const std::uint8_t> body, Frame& out) {
   try {
     BitReader r(body, body.size() * std::uint64_t{8});
-    if (r.get_bits(kMagicBits) != kMagic) return false;
+    const std::uint64_t magic = r.get_bits(kMagicBits);
+    if (magic == kMagic) {
+      out.header.session = 0;
+    } else if (magic == kMagic2) {
+      const std::uint64_t session = r.get_gamma();
+      // A v2 header claiming session 0 is corrupt: id 0 must use the v1
+      // magic (canonical encoding — one byte string per frame).
+      if (session == 0 || session > UINT32_MAX) return false;
+      out.header.session = static_cast<std::uint32_t>(session);
+    } else {
+      return false;
+    }
     const std::uint64_t type = r.get_bits(kTypeBits);
     if (type > static_cast<std::uint64_t>(FrameType::kResume)) return false;
     out.header.type = static_cast<FrameType>(type);
@@ -105,9 +124,11 @@ bool decode_body(std::span<const std::uint8_t> body, Frame& out) {
   }
 }
 
-/// Filler stream state for a header (pure function of the addressing).
+/// Filler stream state for a header (pure function of the addressing,
+/// session-folded so concurrent sessions never share a stream).
 std::uint64_t filler_seed(const FrameHeader& h) {
-  return mix_hash((std::uint64_t{h.src} << 32) | h.dst, h.seq, h.payload_bits);
+  return fold_session(mix_hash((std::uint64_t{h.src} << 32) | h.dst, h.seq, h.payload_bits),
+                      h.session);
 }
 
 void append_filler_bits(BitWriter& w, std::uint64_t seed, std::uint64_t bits) {
@@ -120,6 +141,12 @@ void append_filler_bits(BitWriter& w, std::uint64_t seed, std::uint64_t bits) {
 }
 
 }  // namespace
+
+std::uint64_t fold_session(std::uint64_t seed, std::uint32_t session) noexcept {
+  // Identity for session 0 — the pre-session keying, bit for bit. The tag
+  // keeps the fold out of the hash domains the fault classes already use.
+  return session == 0 ? seed : mix_hash(seed, 0x5E55, session);
+}
 
 std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t crc) noexcept {
   crc = ~crc;

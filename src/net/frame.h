@@ -14,7 +14,17 @@
 ///   body       := header bits (BitWriter), padded to a byte boundary,
 ///                 then ceil(payload_bits / 8) payload bytes
 ///   header     := magic(16) type(3) src(γ) dst(γ) seq(γ) phase(γ)
-///                 payload_bits(γ)
+///                 payload_bits(γ)                          (session id 0)
+///   header v2  := magic2(16) session(γ, >= 1) type(3) src(γ) dst(γ)
+///                 seq(γ) phase(γ) payload_bits(γ)          (session id > 0)
+///
+/// Session id 0 is *reserved* for the single-session runtime: a frame whose
+/// session is 0 is encoded with the original magic and the original field
+/// layout, so every pre-session golden frame, transcript and baseline byte
+/// stream stays valid unchanged. Frames belonging to a multiplexed service
+/// session (id >= 1) announce themselves with a distinct magic and carry the
+/// gamma-coded id immediately after it; a v2 frame claiming session 0 is
+/// corrupt (it must have used the v1 encoding).
 ///
 /// `payload_bits` — not the padded byte count — is what the runtime tallies
 /// against the Transcript, so the executed cost equals the charged cost
@@ -45,6 +55,11 @@ struct FrameHeader {
   std::uint32_t seq = 0;  ///< per-link sequence number (stop-and-wait ARQ)
   std::uint64_t phase = 0;
   std::uint64_t payload_bits = 0;
+  /// Multiplexed session the frame belongs to. 0 (the single-session
+  /// runtime) selects the original v1 encoding; ids >= 1 select the v2
+  /// header and key the filler stream, so concurrent sessions sharing a
+  /// transport stay individually deterministic.
+  std::uint32_t session = 0;
 };
 
 struct Frame {
@@ -72,11 +87,19 @@ void serialize_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::size_t frame_wire_bytes(const Frame& f);
 
 /// Deterministic payload for a charge-driven data frame: a splitmix64
-/// stream keyed by (src, dst, seq, payload_bits), truncated to payload_bits
-/// with zero pad bits. Receivers regenerate and compare — corruption that
-/// slipped past the CRC (or a codec bug) is caught here.
+/// stream keyed by (src, dst, seq, payload_bits) — with the session id
+/// folded in when nonzero, so two sessions never share a filler stream —
+/// truncated to payload_bits with zero pad bits. Receivers regenerate and
+/// compare — corruption that slipped past the CRC (or a codec bug) is
+/// caught here.
 [[nodiscard]] std::vector<std::uint8_t> make_filler_payload(const FrameHeader& h);
 [[nodiscard]] bool verify_filler_payload(const Frame& f);
+
+/// Fold a nonzero session id into a keying seed; the identity for session 0,
+/// so every single-session stream (filler, faults) is bit-identical to the
+/// pre-session encoding. Shared by the filler generators and the fault
+/// injector — the "(session, link, seq)" keying contract.
+[[nodiscard]] std::uint64_t fold_session(std::uint64_t seed, std::uint32_t session) noexcept;
 
 /// Build / decode a message-passing relay frame: the payload is the
 /// recipient id in exactly vertex_bits(k) fixed-width bits — the header

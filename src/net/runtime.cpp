@@ -1,6 +1,5 @@
 #include "net/runtime.h"
 
-#include <numeric>
 #include <sstream>
 
 #include "net/error.h"
@@ -21,25 +20,6 @@ std::unique_ptr<Transport> make_transport(const NetConfig& cfg) {
     case TransportKind::kSim: break;
   }
   throw NetError(NetErrorKind::kSetup, "simulated mode has no transport to build");
-}
-
-std::uint64_t WireStats::payload_bits() const noexcept {
-  return std::accumulate(up_bits.begin(), up_bits.end(), std::uint64_t{0}) +
-         std::accumulate(down_bits.begin(), down_bits.end(), std::uint64_t{0});
-}
-
-std::uint64_t WireStats::messages() const noexcept {
-  return std::accumulate(up_msgs.begin(), up_msgs.end(), std::uint64_t{0}) +
-         std::accumulate(down_msgs.begin(), down_msgs.end(), std::uint64_t{0});
-}
-
-std::string WireStats::summary() const {
-  std::ostringstream os;
-  os << messages() << " messages / " << frames_delivered << " frames / " << payload_bits()
-     << " payload bits / " << wire_bytes << " wire bytes (retransmits " << retransmissions
-     << ", dups " << duplicates << ", corrupt " << corrupt_frames << ", crashes " << crashes
-     << ", replayed " << replayed_charges << ")";
-  return os.str();
 }
 
 namespace {
@@ -103,13 +83,7 @@ void verify_accounting(const Transcript& t, const WireStats& w) {
   verify_accounting(c, w);
 }
 
-NetSession::NetSession(std::size_t num_players, const NetConfig& cfg)
-    : k_(num_players),
-      faults_(cfg.faults),
-      session_seed_(cfg.session_seed),
-      crash_tolerance_(cfg.crash_tolerance),
-      ckpts_(num_players),
-      charge_counts_(num_players) {
+NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_players) {
   if (cfg.transport == TransportKind::kSim) {
     throw NetError(NetErrorKind::kSetup, "NetSession requires an executed transport");
   }
@@ -132,61 +106,13 @@ NetSession::NetSession(std::size_t num_players, const NetConfig& cfg)
   opts.crash_tolerance = cfg.crash_tolerance;
   servicer_ = std::make_unique<SharedServicer>(opts);
 
-  // Links must not reallocate once registered: the servicer keeps raw
-  // pointers into this vector.
-  links_.reserve(2 * k_);
-  const std::uint32_t coord = static_cast<std::uint32_t>(k_);
-  for (std::size_t j = 0; j < k_; ++j) {
-    links_.push_back(transport_->make_link());
-  }
-  for (std::size_t j = 0; j < k_; ++j) {
-    links_.push_back(transport_->make_link());
-  }
-  for (std::size_t j = 0; j < k_; ++j) {
-    const std::uint32_t pj = static_cast<std::uint32_t>(j);
-    servicer_->add_link(&links_[j], /*link_id=*/pj, /*src=*/pj, /*dst=*/coord,
-                        /*coalesce=*/true);
-  }
-  for (std::size_t j = 0; j < k_; ++j) {
-    const std::uint32_t pj = static_cast<std::uint32_t>(j);
-    servicer_->add_link(&links_[k_ + j], /*link_id=*/coord + 1 + pj, /*src=*/coord,
-                        /*dst=*/pj, /*coalesce=*/true);
-  }
+  SharedServicer::SessionOptions so;
+  so.num_players = k_;
+  so.session_id = 0;  // the reserved id: v1 frame headers, pre-session bytes
+  so.seed = cfg.session_seed;
+  so.crash_tolerance = cfg.crash_tolerance;
+  sid_ = servicer_->open_session(*transport_, so);
   servicer_->start();
-  // The start-of-run checkpoint: all-zero barriers, phase 0.
-  if (crash_tolerance_) refresh_checkpoints();
-}
-
-void NetSession::refresh_checkpoints() {
-  for (std::size_t j = 0; j < k_; ++j) {
-    PlayerCheckpoint ck;
-    ck.player = static_cast<std::uint32_t>(j);
-    ck.seed = session_seed_;
-    ck.phase = last_phase_;
-    ck.up = servicer_->barrier_checkpoint(j);
-    ck.down = servicer_->barrier_checkpoint(k_ + j);
-    ckpts_.put(static_cast<std::uint32_t>(j), encode_checkpoint(ck));
-  }
-}
-
-void NetSession::maybe_crash(std::size_t player, std::uint64_t phase) {
-  auto& counts = charge_counts_[player];
-  if (counts.size() <= phase) counts.resize(static_cast<std::size_t>(phase) + 1, 0);
-  const std::uint64_t count = counts[static_cast<std::size_t>(phase)]++;
-  const std::optional<std::uint64_t> off =
-      crash_offset(faults_, static_cast<std::uint32_t>(player), phase);
-  if (!off || *off != count) return;
-  // The process dies between two charges — never mid-frame. The servicer
-  // fences the corpse's lanes and announces the death...
-  servicer_->crash_player(player, k_ + player, static_cast<std::uint32_t>(player), phase);
-  ++crashes_;
-  if (faults_.crash_resurrect) {
-    // ...and the respawn recovers from the *stored bytes* of the last
-    // barrier checkpoint — the serialized form is load-bearing, exactly as
-    // it would be for a real process reading its checkpoint off disk.
-    const std::vector<std::uint8_t>& bytes = ckpts_.bytes(static_cast<std::uint32_t>(player));
-    servicer_->recover_player(player, k_ + player, decode_checkpoint(bytes), bytes);
-  }
 }
 
 NetSession::~NetSession() {
@@ -202,68 +128,25 @@ void NetSession::on_charge(std::size_t player, Direction dir, std::uint64_t bits
   if (finished_) {
     throw NetError(NetErrorKind::kClosed, "charge after the session finished");
   }
-  if (player >= k_) {
-    throw NetError(NetErrorKind::kProtocol, "charge names a player outside [0, k)");
-  }
-  // Phase barrier: the pipeline drains completely before the first charge
-  // of a new phase, so frames never mix phases and the executed run keeps
-  // the round structure the Transcript records.
-  if (phase != last_phase_) {
-    servicer_->flush();
-    last_phase_ = phase;
-    if (crash_tolerance_) refresh_checkpoints();
-  }
-  if (crash_tolerance_ && faults_.has_crashes()) maybe_crash(player, phase);
-  const bool upstream = dir == Direction::kPlayerToCoordinator;
-  const std::size_t index = upstream ? player : k_ + player;
-  servicer_->enqueue_charge(index, phase, bits);
+  servicer_->session_charge(sid_, player, dir == Direction::kPlayerToCoordinator, bits, phase);
 }
 
 void NetSession::on_flush() {
   if (finished_) return;
-  servicer_->flush();
-  if (crash_tolerance_) refresh_checkpoints();
+  servicer_->session_flush(sid_);
 }
 
 WireStats NetSession::finish() {
   if (finished_) return result_;
   finished_ = true;
 
+  // Stop the servicer before folding so every counter is final, then fold
+  // before rethrow so a failed run still reports what crossed the wire
+  // (matching the legacy engine's behavior).
   servicer_->finish();
-
-  WireStats w;
-  w.up_bits.resize(k_);
-  w.down_bits.resize(k_);
-  w.up_msgs.resize(k_);
-  w.down_msgs.resize(k_);
-  const auto fold = [&](std::size_t index, std::uint64_t& bits_slot, std::uint64_t& msgs_slot) {
-    const SharedServicer::LinkStats& st = servicer_->stats(index);
-    const ReceiverStats& r = st.receiver;
-    const SenderStats& s = st.sender;
-    bits_slot += r.payload_bits;
-    msgs_slot += r.messages;
-    if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
-    for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
-    w.frames_delivered += r.frames;
-    w.wire_bytes += s.wire_bytes;
-    w.retransmissions += s.retransmissions;
-    w.duplicates += r.duplicates + s.duplicates_sent;
-    w.corrupt_frames += r.corrupt;
-    w.acks += s.acks_received;
-    w.player_down_frames += r.player_down_frames;
-    w.resume_frames += r.resume_frames;
-  };
-  for (std::size_t j = 0; j < k_; ++j) {
-    fold(j, w.up_bits[j], w.up_msgs[j]);
-    fold(k_ + j, w.down_bits[j], w.down_msgs[j]);
-  }
-  w.virtual_time_us = servicer_->virtual_time_us();
-  w.crashes = crashes_;
-  w.replayed_charges = servicer_->replayed_charges();
-  result_ = std::move(w);
-  // Stats are folded before rethrow so a failed run still reports what
-  // crossed the wire (matching the legacy engine's behavior).
+  result_ = servicer_->close_session(sid_);
   servicer_->rethrow_error();
+  servicer_->rethrow_session_error(sid_);
   return result_;
 }
 

@@ -1,12 +1,12 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "comm/channel.h"
@@ -15,6 +15,7 @@
 #include "net/checkpoint.h"
 #include "net/reliable.h"
 #include "net/servicer.h"
+#include "net/session.h"
 #include "net/transport.h"
 
 /// \file runtime.h
@@ -32,6 +33,15 @@
 /// single-threaded on the driving thread, exactly as in simulated mode, so
 /// transcripts and verdicts are bit-identical across transports, ArqPolicy
 /// choices and thread counts.
+///
+/// NetSession is the *single-session* view of the multiplexed runtime: it
+/// owns a private transport + servicer and opens exactly one session with
+/// the reserved wire id 0, so its frames carry the v1 header and every
+/// pre-session byte stream is reproduced exactly. The per-session state
+/// itself (phase cursor, crash controller, error containment, folded
+/// stats) lives in the servicer's SessionState table (net/session.h); the
+/// service layer (src/service/) opens many such sessions, ids >= 1, over
+/// one shared servicer.
 
 namespace tft::net {
 
@@ -47,6 +57,9 @@ enum class TransportKind {
     case TransportKind::kInProc: return "inproc";
     case TransportKind::kSocket: return "socket";
   }
+  // Out-of-range values can only come from casts; make them loud in debug
+  // builds instead of silently labelling runs "?".
+  assert(!"to_string(TransportKind): value outside the enum");
   return "?";
 }
 
@@ -74,33 +87,8 @@ struct NetConfig {
 
 [[nodiscard]] std::unique_ptr<Transport> make_transport(const NetConfig& cfg);
 
-/// What actually crossed the wire, per player and direction — the executed
-/// counterpart of the Transcript's tallies, plus transport-level truth
-/// (header/ack/retransmit bytes) the idealized accounting abstracts away.
-struct WireStats {
-  std::vector<std::uint64_t> up_bits;    ///< delivered charged bits, player j -> C
-  std::vector<std::uint64_t> down_bits;  ///< delivered charged bits, C -> player j
-  std::vector<std::uint64_t> up_msgs;
-  std::vector<std::uint64_t> down_msgs;
-  std::vector<std::uint64_t> phase_bits;
-  std::uint64_t wire_bytes = 0;  ///< framed bytes written incl. retransmits
-  std::uint64_t retransmissions = 0;
-  std::uint64_t duplicates = 0;      ///< frames discarded by seq dedup
-  std::uint64_t corrupt_frames = 0;  ///< frames discarded by CRC/codec checks
-  std::uint64_t acks = 0;
-  std::uint64_t frames_delivered = 0;  ///< unique wire frames accepted (<= messages when coalescing)
-  std::uint64_t virtual_time_us = 0;   ///< final logical clock (virtual-clock mode only)
-  std::uint64_t crashes = 0;            ///< players killed by the crash schedule
-  std::uint64_t player_down_frames = 0; ///< out-of-band kPlayerDown notices delivered
-  std::uint64_t resume_frames = 0;      ///< out-of-band kResume notices delivered
-  std::uint64_t replayed_charges = 0;   ///< charges re-sealed by recovery replay
-
-  /// Note: messages() counts *charged* messages delivered, so it equals the
-  /// Transcript's message count even when several charges share one frame.
-  [[nodiscard]] std::uint64_t payload_bits() const noexcept;
-  [[nodiscard]] std::uint64_t messages() const noexcept;
-  [[nodiscard]] std::string summary() const;
-};
+// WireStats lives in net/session.h (included above): it is the per-session
+// result type of the multiplexed runtime, folded by close_session.
 
 /// The charged side of the cross-check, summable over several transcripts
 /// (an executed body may run more than one checked protocol).
@@ -131,6 +119,10 @@ void verify_accounting(const Transcript& t, const WireStats& w);
 /// The ChannelSink of executed mode. Single driving thread; on_charge
 /// enqueues onto the shared servicer and blocks only at phase barriers,
 /// queue backpressure, or (under ArqPolicy::block_per_frame) per frame.
+///
+/// Thin wrapper since the multi-session refactor: it owns a private
+/// transport + servicer and forwards everything to session 0, whose v1
+/// frame encoding keeps classic runs byte-identical to pre-session builds.
 class NetSession final : public ChannelSink {
  public:
   NetSession(std::size_t num_players, const NetConfig& cfg);
@@ -156,34 +148,20 @@ class NetSession final : public ChannelSink {
   /// The player's latest barrier checkpoint, as stored: the exact bytes a
   /// recovery would decode. Refreshed at every phase barrier.
   [[nodiscard]] const std::vector<std::uint8_t>& checkpoint_bytes(std::size_t player) const {
-    return ckpts_.bytes(static_cast<std::uint32_t>(player));
+    return servicer_->session_checkpoint_bytes(sid_, player);
   }
   /// Decoded convenience view of checkpoint_bytes.
   [[nodiscard]] PlayerCheckpoint checkpoint(std::size_t player) const {
-    return decode_checkpoint(ckpts_.bytes(static_cast<std::uint32_t>(player)));
+    return decode_checkpoint(checkpoint_bytes(player));
   }
 
  private:
-  void refresh_checkpoints();
-  void maybe_crash(std::size_t player, std::uint64_t phase);
-
   std::size_t k_;
   std::unique_ptr<Transport> transport_;
-  std::vector<Link> links_;  ///< 2k: up links [0,k), down links [k,2k)
   std::unique_ptr<SharedServicer> servicer_;
-  std::uint64_t last_phase_ = 0;
+  std::size_t sid_ = 0;  ///< servicer table index of our session (wire id 0)
   bool finished_ = false;
   WireStats result_;
-
-  // Crash controller state (NetConfig::crash_tolerance).
-  FaultPlan faults_;
-  std::uint64_t session_seed_ = 0;
-  bool crash_tolerance_ = false;
-  std::uint64_t crashes_ = 0;
-  CheckpointStore ckpts_;
-  /// Per (player, phase) enqueued-charge counts — the crash grammar's
-  /// offset coordinate (net/fault.h).
-  std::vector<std::vector<std::uint64_t>> charge_counts_;
 };
 
 }  // namespace tft::net

@@ -28,15 +28,22 @@ void compact(std::vector<std::uint8_t>& buf, std::size_t& pos) {
 /// the receiving state machine with its ack out-bytes. All of it guarded
 /// by the servicer's one mutex.
 struct SharedServicer::LinkState {
+  static constexpr std::size_t kNoSession = static_cast<std::size_t>(-1);
+
   LinkState(Link* l, std::uint32_t id, std::uint32_t s, std::uint32_t d, bool co,
-            std::function<void(const Frame&)> hook, const Options& opts)
+            std::function<void(const Frame&)> hook, const Options& opts,
+            const FaultPlan& faults, std::uint32_t sess_id, std::size_t sess_index,
+            bool log)
       : link(l),
         link_id(id),
         src(s),
         dst(d),
         coalesce(co),
         deliver(std::move(hook)),
-        injector(opts.faults, id),
+        injector(faults, id, sess_id),
+        session_id(sess_id),
+        session(sess_index),
+        log_charges(log),
         window(opts.arq),
         rcv(opts.arq) {}
 
@@ -47,6 +54,13 @@ struct SharedServicer::LinkState {
   bool coalesce;
   std::function<void(const Frame&)> deliver;
   FaultInjector injector;
+  Link owned;  ///< session links: the servicer owns the transport link
+  std::uint32_t session_id;  ///< wire session id stamped on every frame
+  std::size_t session;       ///< sessions_ index, or kNoSession (legacy links)
+  bool log_charges;          ///< append to charge_log (crash tolerance)
+  /// Cleared when the owning session closes or fails: an inactive link
+  /// counts as drained, is skipped by the sweep, and holds no deadlines.
+  bool active = true;
 
   // Driving side (sealed under mu_ by the enqueue calls).
   std::vector<ChargeRec> open_batch;
@@ -84,7 +98,7 @@ struct SharedServicer::LinkState {
   std::uint64_t epoch = 0;  ///< ack fence: bumped each time the receiver dies
 
   [[nodiscard]] bool drained() const noexcept {
-    return open_batch.empty() && queue.empty() && window.empty();
+    return !active || (open_batch.empty() && queue.empty() && window.empty());
   }
 };
 
@@ -112,10 +126,87 @@ std::size_t SharedServicer::add_link(Link* link, std::uint32_t link_id, std::uin
   if (started_) {
     throw NetError(NetErrorKind::kSetup, "add_link after start");
   }
-  links_.push_back(std::make_unique<LinkState>(link, link_id, src, dst,
-                                               coalesce && opts_.arq.coalesce,
-                                               std::move(deliver), opts_));
+  links_.push_back(std::make_unique<LinkState>(
+      link, link_id, src, dst, coalesce && opts_.arq.coalesce, std::move(deliver), opts_,
+      opts_.faults, /*sess_id=*/0, LinkState::kNoSession,
+      /*log=*/opts_.crash_tolerance));
   return links_.size() - 1;
+}
+
+std::size_t SharedServicer::open_session(Transport& transport, const SessionOptions& so) {
+  if (so.num_players == 0) {
+    throw NetError(NetErrorKind::kSetup, "open_session requires at least one player");
+  }
+  // Mint links outside the lock: socket transports block in connect/accept,
+  // and the servicer thread must keep draining other sessions meanwhile.
+  std::vector<Link> minted;
+  minted.reserve(2 * so.num_players);
+  for (std::size_t j = 0; j < 2 * so.num_players; ++j) {
+    minted.push_back(transport.make_link());
+  }
+
+  const std::lock_guard lock(mu_);
+  for (const SessionState& other : sessions_) {
+    if (!other.closed && other.id == so.session_id) {
+      throw NetError(NetErrorKind::kSetup,
+                     "session id " + std::to_string(so.session_id) + " already open");
+    }
+  }
+  SessionState ss;
+  ss.id = so.session_id;
+  ss.k = so.num_players;
+  // Prefer a reclaimed slot run of the same width over growing the table:
+  // a service that opens and closes sessions forever stays at its peak
+  // footprint, and the reused slots' pages are already hot.
+  ss.link_base = links_.size();
+  bool grow = true;
+  for (std::size_t b = 0; b < free_link_blocks_.size(); ++b) {
+    if (free_link_blocks_[b].second == 2 * so.num_players) {
+      ss.link_base = free_link_blocks_[b].first;
+      free_link_blocks_[b] = free_link_blocks_.back();
+      free_link_blocks_.pop_back();
+      grow = false;
+      break;
+    }
+  }
+  ss.seed = so.seed;
+  ss.crash_tolerance = so.crash_tolerance;
+  ss.faults = so.faults ? *so.faults : opts_.faults;
+  ss.ckpts = CheckpointStore(so.num_players);
+  ss.charge_counts.resize(so.num_players);
+
+  const std::size_t sidx = sessions_.size();
+  const std::uint32_t coord = static_cast<std::uint32_t>(so.num_players);
+  // The solo-session numbering, per session: up link j has id j, down link
+  // j has id k+1+j. Fault and filler keying add the session id on top, so
+  // a multiplexed session's byte stream equals the same session run alone.
+  for (std::size_t j = 0; j < 2 * so.num_players; ++j) {
+    const bool up = j < so.num_players;
+    const std::uint32_t pj = static_cast<std::uint32_t>(up ? j : j - so.num_players);
+    auto ls = std::make_unique<LinkState>(
+        nullptr, /*link_id=*/up ? pj : coord + 1 + pj, /*src=*/up ? pj : coord,
+        /*dst=*/up ? coord : pj, /*coalesce=*/opts_.arq.coalesce, nullptr, opts_, ss.faults,
+        ss.id, sidx,
+        /*log=*/ss.crash_tolerance);
+    ls->owned = std::move(minted[j]);
+    ls->link = &ls->owned;
+    if (grow) {
+      links_.push_back(std::move(ls));
+    } else {
+      links_[ss.link_base + j] = std::move(ls);
+    }
+  }
+  ++live_drivers_;
+  sessions_.push_back(std::move(ss));
+  // The start-of-run checkpoint: all-zero barriers, phase 0.
+  if (sessions_.back().crash_tolerance) refresh_session_checkpoints_locked(sessions_.back());
+  work_cv_.notify_one();
+  return sidx;
+}
+
+std::size_t SharedServicer::num_sessions() const {
+  const std::lock_guard lock(mu_);
+  return sessions_.size();
 }
 
 void SharedServicer::start() {
@@ -149,13 +240,14 @@ void SharedServicer::rethrow_error() const {
 
 bool SharedServicer::all_drained() const noexcept {
   for (const auto& link : links_) {
-    if (!link->drained()) return false;
+    if (link && !link->drained()) return false;
   }
   return true;
 }
 
 bool SharedServicer::anything_unacked() const noexcept {
   for (const auto& link : links_) {
+    if (!link || !link->active) continue;
     if (!link->queue.empty() || !link->window.empty() ||
         link->out_data_pos < link->out_data.size() || link->out_ack_pos < link->out_ack.size()) {
       return true;
@@ -174,6 +266,7 @@ void SharedServicer::seal_data_frame(LinkState& link, std::uint64_t phase, std::
   f.header.seq = link.next_seq;
   f.header.phase = phase;
   f.header.payload_bits = bits;
+  f.header.session = link.session_id;
   f.payload = make_filler_payload(f.header);
   link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
   link.queue.push_back(std::move(f));
@@ -187,7 +280,8 @@ void SharedServicer::seal_open_batch(LinkState& link) {
     // full kMaxPayloadBits headroom.
     seal_data_frame(link, link.open_batch.front().phase, link.open_batch.front().bits);
   } else {
-    Frame f = make_batch_frame(link.src, link.dst, link.next_seq, link.open_batch);
+    Frame f = make_batch_frame(link.src, link.dst, link.next_seq, link.open_batch,
+                               link.session_id);
     link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
     link.queue.push_back(std::move(f));
   }
@@ -213,6 +307,32 @@ void SharedServicer::seal_charge(LinkState& link, std::uint64_t phase, std::uint
   }
 }
 
+void SharedServicer::wait_for_space(std::unique_lock<std::mutex>& lock, LinkState& link) {
+  // Backpressure: cap the sealed-but-unadmitted queue. A session-owned
+  // link's waits additionally break on *its own* session failing — another
+  // session's trouble never wakes (or wedges) this driver.
+  const auto dead = [&] {
+    return error_kind_.has_value() ||
+           (link.session != LinkState::kNoSession && sessions_[link.session].failed());
+  };
+  ++driving_waiting_;
+  while (!dead() && link.queue.size() > opts_.arq.pending_cap) {
+    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  }
+  if (opts_.arq.block_per_frame) {
+    // Stop-and-wait discipline: this charge's frame must be acknowledged
+    // before the protocol continues.
+    while (!dead() && !link.drained()) {
+      space_cv_.wait_for(lock, std::chrono::seconds(1));
+    }
+  }
+  --driving_waiting_;
+  throw_if_error_locked();
+  if (link.session != LinkState::kNoSession) {
+    throw_if_session_failed_locked(sessions_[link.session]);
+  }
+}
+
 void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
                                     std::uint64_t bits) {
   std::unique_lock lock(mu_);
@@ -223,27 +343,13 @@ void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
   // it through seal_charge reproduces the coalescing decisions and hence
   // the exact frame stream (which is a pure per-link function of the
   // per-link charge sequence).
-  if (opts_.crash_tolerance) link.charge_log.push_back({phase, bits});
+  if (link.log_charges) link.charge_log.push_back({phase, bits});
   seal_charge(link, phase, bits);
   // Wake the servicer only when a frame was actually sealed: a charge that
   // merely grew the open batch gives it nothing to do, and the enqueue path
   // is the windowed pipeline's hot loop.
   if (link.queue.size() != sealed_before) work_cv_.notify_one();
-
-  // Backpressure: cap the sealed-but-unadmitted queue.
-  ++driving_waiting_;
-  while (!error_kind_ && link.queue.size() > opts_.arq.pending_cap) {
-    space_cv_.wait_for(lock, std::chrono::seconds(1));
-  }
-  if (opts_.arq.block_per_frame) {
-    // Stop-and-wait discipline: this charge's frame must be acknowledged
-    // before the protocol continues.
-    while (!error_kind_ && !link.drained()) {
-      space_cv_.wait_for(lock, std::chrono::seconds(1));
-    }
-  }
-  --driving_waiting_;
-  throw_if_error_locked();
+  wait_for_space(lock, link);
 }
 
 void SharedServicer::enqueue_relay(std::size_t link_index, std::size_t k, std::size_t recipient,
@@ -255,18 +361,7 @@ void SharedServicer::enqueue_relay(std::size_t link_index, std::size_t k, std::s
       make_relay_frame(link.src, link.next_seq, k, recipient, message_bits));
   link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
   work_cv_.notify_one();
-
-  ++driving_waiting_;
-  while (!error_kind_ && link.queue.size() > opts_.arq.pending_cap) {
-    space_cv_.wait_for(lock, std::chrono::seconds(1));
-  }
-  if (opts_.arq.block_per_frame) {
-    while (!error_kind_ && !link.drained()) {
-      space_cv_.wait_for(lock, std::chrono::seconds(1));
-    }
-  }
-  --driving_waiting_;
-  throw_if_error_locked();
+  wait_for_space(lock, link);
 }
 
 void SharedServicer::enqueue_from_hook(std::size_t link_index, std::uint64_t phase,
@@ -280,7 +375,9 @@ void SharedServicer::enqueue_from_hook(std::size_t link_index, std::uint64_t pha
 void SharedServicer::flush() {
   std::unique_lock lock(mu_);
   throw_if_error_locked();
-  for (auto& link : links_) seal_open_batch(*link);
+  for (auto& link : links_) {
+    if (link) seal_open_batch(*link);
+  }
   work_cv_.notify_one();
   ++driving_waiting_;
   while (!error_kind_ && !all_drained()) {
@@ -294,6 +391,7 @@ void SharedServicer::flush() {
     // end to end, so each link's state is fully captured by this snapshot,
     // and the charge logs restart empty.
     for (auto& lp : links_) {
+      if (!lp) continue;
       LinkState& link = *lp;
       link.barrier.next_seq = link.next_seq;
       link.barrier.next_expected = link.rcv.next_expected();
@@ -304,6 +402,232 @@ void SharedServicer::flush() {
       link.charge_log.clear();
     }
   }
+}
+
+// ---- sessions (driving threads, one per session) ----------------------------
+
+void SharedServicer::throw_if_session_failed_locked(const SessionState& ss) const {
+  if (ss.error_kind) throw NetError(*ss.error_kind, ss.error_what);
+}
+
+bool SharedServicer::session_drained_locked(const SessionState& ss) const noexcept {
+  for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+    if (links_[i] && !links_[i]->drained()) return false;
+  }
+  return true;
+}
+
+void SharedServicer::fail_session_locked(SessionState& ss, NetErrorKind kind,
+                                         std::string what) noexcept {
+  if (ss.failed()) return;
+  ss.error_kind = kind;
+  ss.error_what = std::move(what);
+  // Retire the session's links so the sweep skips them, their deadlines
+  // stop driving the clock, and drained() holds — other sessions and the
+  // global finish() never wait on a corpse.
+  for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+    if (links_[i]) links_[i]->active = false;
+  }
+  if (!ss.driver_released) {
+    ss.driver_released = true;
+    --live_drivers_;
+  }
+  space_cv_.notify_all();
+}
+
+void SharedServicer::link_failure(LinkState& link, NetErrorKind kind,
+                                  std::string what) noexcept {
+  if (link.session != LinkState::kNoSession) {
+    fail_session_locked(sessions_[link.session], kind, std::move(what));
+  } else {
+    record_error(kind, std::move(what));
+  }
+}
+
+void SharedServicer::session_barrier_locked(std::unique_lock<std::mutex>& lock,
+                                            SessionState& ss) {
+  for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+    seal_open_batch(*links_[i]);
+  }
+  work_cv_.notify_one();
+  ++driving_waiting_;
+  while (!error_kind_ && !ss.failed() && !session_drained_locked(ss)) {
+    work_cv_.notify_one();
+    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  }
+  --driving_waiting_;
+  throw_if_error_locked();
+  throw_if_session_failed_locked(ss);
+  if (ss.crash_tolerance) {
+    // The checkpoint instant, scoped to this session: its queues, windows
+    // and out-buffers are drained end to end, so each of its links' state
+    // is fully captured by this snapshot, and its charge logs restart
+    // empty. Other sessions' pipelines are none of our business.
+    for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+      LinkState& link = *links_[i];
+      link.barrier.next_seq = link.next_seq;
+      link.barrier.next_expected = link.rcv.next_expected();
+      link.barrier.frames = link.rstats.frames;
+      link.barrier.messages = link.rstats.messages;
+      link.barrier.payload_bits = link.rstats.payload_bits;
+      link.barrier.phase_bits = link.rstats.phase_bits;
+      link.charge_log.clear();
+    }
+  }
+}
+
+void SharedServicer::refresh_session_checkpoints_locked(SessionState& ss) {
+  for (std::size_t j = 0; j < ss.k; ++j) {
+    PlayerCheckpoint ck;
+    ck.player = static_cast<std::uint32_t>(j);
+    ck.seed = ss.seed;
+    ck.phase = ss.last_phase;
+    ck.up = links_[ss.link_base + j]->barrier;
+    ck.down = links_[ss.link_base + ss.k + j]->barrier;
+    ss.ckpts.put(static_cast<std::uint32_t>(j), encode_checkpoint(ck));
+  }
+}
+
+void SharedServicer::maybe_crash_locked(SessionState& ss, std::size_t player,
+                                        std::uint64_t phase) {
+  auto& counts = ss.charge_counts[player];
+  if (counts.size() <= phase) counts.resize(static_cast<std::size_t>(phase) + 1, 0);
+  const std::uint64_t count = counts[static_cast<std::size_t>(phase)]++;
+  const std::optional<std::uint64_t> off =
+      crash_offset(ss.faults, static_cast<std::uint32_t>(player), phase, ss.id);
+  if (!off || *off != count) return;
+  // The process dies between two charges — never mid-frame. The servicer
+  // fences the corpse's lanes and announces the death...
+  const std::size_t up = ss.link_base + player;
+  const std::size_t down = ss.link_base + ss.k + player;
+  crash_player_locked(up, down, static_cast<std::uint32_t>(player), phase);
+  ++ss.crashes;
+  if (ss.faults.crash_resurrect) {
+    // ...and the respawn recovers from the *stored bytes* of the last
+    // barrier checkpoint — the serialized form is load-bearing, exactly as
+    // it would be for a real process reading its checkpoint off disk.
+    const std::vector<std::uint8_t>& bytes = ss.ckpts.bytes(static_cast<std::uint32_t>(player));
+    recover_player_locked(up, down, decode_checkpoint(bytes), bytes, &ss);
+  }
+}
+
+void SharedServicer::session_charge(std::size_t session, std::size_t player, bool upstream,
+                                    std::uint64_t bits, std::uint64_t phase) {
+  std::unique_lock lock(mu_);
+  SessionState& ss = sessions_[session];
+  throw_if_error_locked();
+  throw_if_session_failed_locked(ss);
+  if (ss.closed) {
+    throw NetError(NetErrorKind::kClosed, "charge after the session closed");
+  }
+  if (player >= ss.k) {
+    throw NetError(NetErrorKind::kProtocol, "charge names a player outside [0, k)");
+  }
+  // Phase barrier: the session's pipeline drains completely before the
+  // first charge of a new phase, so frames never mix phases and the
+  // executed run keeps the round structure the Transcript records.
+  if (phase != ss.last_phase) {
+    session_barrier_locked(lock, ss);
+    ss.last_phase = phase;
+    if (ss.crash_tolerance) refresh_session_checkpoints_locked(ss);
+  }
+  if (ss.crash_tolerance && ss.faults.has_crashes()) maybe_crash_locked(ss, player, phase);
+  LinkState& link = *links_[ss.link_base + (upstream ? player : ss.k + player)];
+  const std::size_t sealed_before = link.queue.size();
+  if (link.log_charges) link.charge_log.push_back({phase, bits});
+  seal_charge(link, phase, bits);
+  if (link.queue.size() != sealed_before) work_cv_.notify_one();
+  wait_for_space(lock, link);
+}
+
+void SharedServicer::session_flush(std::size_t session) {
+  std::unique_lock lock(mu_);
+  SessionState& ss = sessions_[session];
+  throw_if_error_locked();
+  throw_if_session_failed_locked(ss);
+  if (ss.closed) return;
+  session_barrier_locked(lock, ss);
+  if (ss.crash_tolerance) refresh_session_checkpoints_locked(ss);
+}
+
+WireStats SharedServicer::close_session(std::size_t session) {
+  std::unique_lock lock(mu_);
+  SessionState& ss = sessions_[session];
+  if (ss.closed) return ss.result;
+  // Best-effort drain: a healthy session flushes end to end so its fold is
+  // complete; a failed one skips straight to folding what crossed the wire.
+  if (!ss.failed() && !error_kind_) {
+    for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+      seal_open_batch(*links_[i]);
+    }
+    ++driving_waiting_;
+    while (!error_kind_ && !ss.failed() && !session_drained_locked(ss)) {
+      work_cv_.notify_one();
+      space_cv_.wait_for(lock, std::chrono::seconds(1));
+    }
+    --driving_waiting_;
+  }
+
+  WireStats w;
+  w.up_bits.resize(ss.k);
+  w.down_bits.resize(ss.k);
+  w.up_msgs.resize(ss.k);
+  w.down_msgs.resize(ss.k);
+  const auto fold = [&](const LinkState& link, std::uint64_t& bits_slot,
+                        std::uint64_t& msgs_slot) {
+    const ReceiverStats& r = link.rstats;
+    const SenderStats& s = link.sstats;
+    bits_slot += r.payload_bits;
+    msgs_slot += r.messages;
+    if (w.phase_bits.size() < r.phase_bits.size()) w.phase_bits.resize(r.phase_bits.size());
+    for (std::size_t ph = 0; ph < r.phase_bits.size(); ++ph) w.phase_bits[ph] += r.phase_bits[ph];
+    w.frames_delivered += r.frames;
+    w.wire_bytes += s.wire_bytes;
+    w.retransmissions += s.retransmissions;
+    w.duplicates += r.duplicates + s.duplicates_sent;
+    w.corrupt_frames += r.corrupt + link.data_parser.corrupt_frames();
+    w.acks += s.acks_received;
+    w.player_down_frames += r.player_down_frames;
+    w.resume_frames += r.resume_frames;
+  };
+  for (std::size_t j = 0; j < ss.k; ++j) {
+    fold(*links_[ss.link_base + j], w.up_bits[j], w.up_msgs[j]);
+    fold(*links_[ss.link_base + ss.k + j], w.down_bits[j], w.down_msgs[j]);
+  }
+  w.virtual_time_us = vnow_us_;
+  w.crashes = ss.crashes;
+  w.replayed_charges = ss.replayed;
+
+  ss.result = std::move(w);
+  ss.closed = true;
+  if (!ss.driver_released) {
+    ss.driver_released = true;
+    --live_drivers_;
+  }
+  // Reclaim the session's link state — the rings, windows and scratch
+  // buffers are the servicer's dominant per-session footprint, and the
+  // stats they carried were just folded into ss.result. The slots go on
+  // the free list so the next session of the same width reuses them.
+  for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
+    links_[i]->active = false;
+    links_[i]->link->close();
+    links_[i].reset();
+  }
+  free_link_blocks_.emplace_back(ss.link_base, 2 * ss.k);
+  work_cv_.notify_one();
+  space_cv_.notify_all();
+  return ss.result;
+}
+
+void SharedServicer::rethrow_session_error(std::size_t session) const {
+  const std::lock_guard lock(mu_);
+  throw_if_session_failed_locked(sessions_[session]);
+}
+
+const std::vector<std::uint8_t>& SharedServicer::session_checkpoint_bytes(
+    std::size_t session, std::size_t player) const {
+  const std::lock_guard lock(mu_);
+  return sessions_[session].ckpts.bytes(static_cast<std::uint32_t>(player));
 }
 
 LinkCheckpoint SharedServicer::barrier_checkpoint(std::size_t link_index) const {
@@ -325,9 +649,14 @@ void SharedServicer::append_control_frame(LinkState& link, const Frame& f) {
 void SharedServicer::crash_player(std::size_t up_index, std::size_t down_index,
                                   std::uint32_t player, std::uint64_t phase) {
   const std::lock_guard lock(mu_);
-  if (!opts_.crash_tolerance) {
+  if (!opts_.crash_tolerance && links_[up_index]->session == LinkState::kNoSession) {
     throw NetError(NetErrorKind::kSetup, "crash_player without Options::crash_tolerance");
   }
+  crash_player_locked(up_index, down_index, player, phase);
+}
+
+void SharedServicer::crash_player_locked(std::size_t up_index, std::size_t down_index,
+                                         std::uint32_t player, std::uint64_t phase) {
   LinkState& up = *links_[up_index];
   LinkState& down = *links_[down_index];
   up.src_down = true;    // the corpse sends nothing new and reads no acks
@@ -387,6 +716,13 @@ void SharedServicer::recover_player(std::size_t up_index, std::size_t down_index
                                     std::span<const std::uint8_t> checkpoint_bytes) {
   const std::lock_guard lock(mu_);
   throw_if_error_locked();
+  recover_player_locked(up_index, down_index, ck, checkpoint_bytes, nullptr);
+}
+
+void SharedServicer::recover_player_locked(std::size_t up_index, std::size_t down_index,
+                                           const PlayerCheckpoint& ck,
+                                           std::span<const std::uint8_t> checkpoint_bytes,
+                                           SessionState* ss) {
   LinkState& up = *links_[up_index];
   LinkState& down = *links_[down_index];
   restore_sender(up, ck.up);      // the player's outbound lane rewinds...
@@ -402,6 +738,7 @@ void SharedServicer::recover_player(std::size_t up_index, std::size_t down_index
   // re-appended (seal_charge never touches them) and NOT cleared — a second
   // death in the same phase replays the same, still-growing log.
   replayed_charges_ += up.charge_log.size() + down.charge_log.size();
+  if (ss != nullptr) ss->replayed += up.charge_log.size() + down.charge_log.size();
   for (const ChargeRec& rec : up.charge_log) seal_charge(up, rec.phase, rec.bits);
   for (const ChargeRec& rec : down.charge_log) seal_charge(down, rec.phase, rec.bits);
   work_cv_.notify_one();
@@ -421,6 +758,7 @@ void SharedServicer::finish() noexcept {
   work_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   for (auto& link : links_) {
+    if (!link) continue;  // a closed session's slots; already folded at close
     link->link->close();
     link->folded.sender = link->sstats;
     link->folded.receiver = link->rstats;
@@ -510,8 +848,9 @@ void SharedServicer::handle_data_frame(LinkState& link, Frame f) {
     handle_control_frame(link, f);
     return;
   }
-  if (f.header.src != link.src || f.header.dst != link.dst) {
-    ++link.rstats.corrupt;  // CRC-valid but misaddressed: broken peer
+  if (f.header.src != link.src || f.header.dst != link.dst ||
+      f.header.session != link.session_id) {
+    ++link.rstats.corrupt;  // CRC-valid but misaddressed (or cross-session): broken peer
     return;
   }
   // Integrity beyond the CRC before the frame can enter the window.
@@ -558,7 +897,9 @@ bool SharedServicer::suppressed_sender(const LinkState& link) const noexcept {
 bool SharedServicer::sweep(std::uint64_t now) {
   bool progress = false;
   for (auto& lp : links_) {
+    if (!lp) continue;  // reclaimed slot: its session closed
     LinkState& link = *lp;
+    if (!link.active) continue;  // closed or failed session: nothing to move
     // Admit sealed frames into the window and transmit them.
     while (!suppressed_sender(link) && !link.queue.empty() && link.window.has_space()) {
       ArqSenderWindow::Entry& e = link.window.admit(std::move(link.queue.front()));
@@ -596,9 +937,18 @@ bool SharedServicer::sweep(std::uint64_t now) {
         progress = true;
       }
       while (link.data_parser.next(f)) {
-        handle_data_frame(link, std::move(f));
         progress = true;
+        try {
+          handle_data_frame(link, std::move(f));
+        } catch (const NetError& e) {
+          // A protocol violation (window overrun, undecodable verified
+          // batch) is contained to the link's session; sessionless links
+          // abort the servicer as before.
+          link_failure(link, e.kind(), e.what());
+          break;
+        }
       }
+      if (!link.active) continue;  // the failure above retired this link
     }
     if (!link.src_down) {
       for (;;) {
@@ -627,14 +977,17 @@ bool SharedServicer::sweep(std::uint64_t now) {
 bool SharedServicer::retransmit_due(std::uint64_t now) {
   bool any = false;
   for (auto& lp : links_) {
+    if (!lp) continue;
     LinkState& link = *lp;
-    if (suppressed_sender(link)) continue;
+    if (!link.active || suppressed_sender(link)) continue;
     link.window.due(now, due_scratch_);
     for (ArqSenderWindow::Entry* e : due_scratch_) {
       if (e->attempts > opts_.retry.max_retries) {
-        throw NetError(NetErrorKind::kTimeout,
-                       "no ack for seq " + std::to_string(e->seq) + " after " +
-                           std::to_string(e->attempts) + " attempts");
+        link_failure(link, NetErrorKind::kTimeout,
+                     "no ack for seq " + std::to_string(e->seq) + " after " +
+                         std::to_string(e->attempts) + " attempts");
+        any = true;  // the failure acted: drivers woke, the link retired
+        break;
       }
       transmit(link, *e, now);
       any = true;
@@ -649,11 +1002,14 @@ void SharedServicer::check_down(std::uint64_t now) {
   // discipline the deadline is ignored and the dead link degrades to
   // kTimeout through the ordinary backoff budget.
   if (!opts_.retry.fail_fast_on_down) return;
-  for (const auto& link : links_) {
-    if (link->down_deadline_us != 0 && now >= link->down_deadline_us) {
-      throw NetError(NetErrorKind::kPlayerDown,
-                     "player on link " + std::to_string(link->link_id) +
-                         " declared down and did not resume within down_timeout");
+  for (const auto& lp : links_) {
+    if (!lp) continue;
+    LinkState& link = *lp;
+    if (!link.active) continue;
+    if (link.down_deadline_us != 0 && now >= link.down_deadline_us) {
+      link_failure(link, NetErrorKind::kPlayerDown,
+                   "player on link " + std::to_string(link.link_id) +
+                       " declared down and did not resume within down_timeout");
     }
   }
 }
@@ -671,6 +1027,7 @@ bool SharedServicer::advance_virtual_clock() {
     found = true;
   };
   for (const auto& link : links_) {
+    if (!link || !link->active) continue;
     if (!suppressed_sender(*link)) {
       std::uint64_t d = 0;
       if (link->window.next_deadline(d)) consider(d);
@@ -682,8 +1039,8 @@ bool SharedServicer::advance_virtual_clock() {
   if (!found) return false;
   vnow_us_ = std::max(vnow_us_, earliest);
   retransmit_due(vnow_us_);
-  check_down(vnow_us_);  // throws if the jump landed on a down deadline
-  return true;           // a jump always acted: a retransmit fired or check_down threw
+  check_down(vnow_us_);  // fails the owning session if the jump landed on a down deadline
+  return true;           // a jump always acted: a retransmit fired or a failure recorded
 }
 
 void SharedServicer::run() noexcept {
@@ -692,15 +1049,23 @@ void SharedServicer::run() noexcept {
     for (;;) {
       const std::uint64_t now = now_us();
       bool progress = sweep(now);
+      if (error_kind_) break;
       if (!opts_.virtual_clock) {
         progress |= retransmit_due(now);
         check_down(now);
+        if (error_kind_) break;
       }
       if (progress) continue;
       if (stop_ && all_drained()) break;
-      if (error_kind_) break;
       if (opts_.virtual_clock) {
-        if ((driving_waiting_ > 0 || stop_) && advance_virtual_clock()) continue;
+        // Quiescence requires *every* live session's driver to be blocked
+        // (driving_waiting_ >= live_drivers_): a driver still computing may
+        // yet enqueue work or acks that change retransmission fates, so
+        // jumping early would make the clock scheduling-dependent.
+        if (((driving_waiting_ > 0 && driving_waiting_ >= live_drivers_) || stop_) &&
+            advance_virtual_clock()) {
+          continue;
+        }
         space_cv_.notify_all();
         work_cv_.wait(lock);
         if (stop_ && all_drained()) break;
@@ -709,6 +1074,7 @@ void SharedServicer::run() noexcept {
         auto wake = Clock::now() + std::chrono::milliseconds(200);
         std::uint64_t d = 0;
         for (const auto& link : links_) {
+          if (!link || !link->active) continue;
           std::uint64_t ld = 0;
           if (!suppressed_sender(*link) && link->window.next_deadline(ld)) {
             d = (d == 0 || ld < d) ? ld : d;

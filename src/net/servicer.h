@@ -11,21 +11,27 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+
+#include "comm/channel.h"
 #include "net/arq.h"
 #include "net/checkpoint.h"
 #include "net/error.h"
 #include "net/fault.h"
 #include "net/recovery.h"
 #include "net/reliable.h"
+#include "net/session.h"
 #include "net/transport.h"
 
 /// \file servicer.h
-/// The shared event-driven servicer: ONE thread drains every link of a
-/// session — admitting sealed frames into each link's ARQ window, writing
-/// wire bytes (never blocking: partial writes park in per-link out-buffers),
-/// parsing arrivals, acknowledging, delivering, and retransmitting on
-/// timeout. It replaces the 2k LinkServicer threads of the stop-and-wait
-/// engine.
+/// The shared event-driven servicer: ONE thread drains every link of every
+/// live session — admitting sealed frames into each link's ARQ window,
+/// writing wire bytes (never blocking: partial writes park in per-link
+/// out-buffers), parsing arrivals, acknowledging, delivering, and
+/// retransmitting on timeout. It replaces the 2k LinkServicer threads of
+/// the stop-and-wait engine, and — since the session table landed — also
+/// the one-servicer-per-NetSession topology: many concurrent sessions
+/// multiplex over one servicer thread and one shared transport.
 ///
 /// Division of labor:
 ///  * The *driving* thread (the protocol) calls enqueue_charge /
@@ -42,12 +48,27 @@
 ///
 /// Virtual-clock mode (Options::virtual_clock, in-proc only): no real
 /// timer ever fires. Logical time advances only at *quiescence* — the sweep
-/// moved nothing and the driving thread is blocked — jumping straight to
-/// the earliest retransmit deadline. At quiescence every delivered ack has
-/// been processed, so a frame is retransmitted iff no attempt so far
-/// delivered; attempt fates are pure functions of (link, seq, attempt);
-/// hence retransmission counts are exactly reproducible run to run — what
-/// lets bench_net's fault grid live in the committed baseline.
+/// moved nothing and every live session's driving thread is blocked —
+/// jumping straight to the earliest retransmit deadline. At quiescence
+/// every delivered ack has been processed, so a frame is retransmitted iff
+/// no attempt so far delivered; attempt fates are pure functions of
+/// (session, link, seq, attempt); hence retransmission counts are exactly
+/// reproducible run to run — what lets bench_net's fault grid live in the
+/// committed baseline.
+///
+/// ## Sessions
+///
+/// A *session* (net/session.h) is a value-type row in the servicer's table:
+/// open_session registers 2k links for k players (up then down, the same
+/// intra-session link-id numbering as a solo run), session_charge /
+/// session_flush are the per-session forms of enqueue_charge / flush (with
+/// the per-session phase barrier and crash controller folded in), and
+/// close_session drains, folds that session's WireStats and retires its
+/// links. Failures with link context (timeout, overrun, player-down) are
+/// *contained*: they fail only the owning session — its links go inactive,
+/// its driver's waits throw the session's typed error — while every other
+/// session keeps draining. Only session-free failures (setup, legacy relay
+/// lanes) abort the servicer globally.
 
 namespace tft::net {
 
@@ -83,7 +104,54 @@ class SharedServicer {
 
   void start();
 
-  // ---- driving-thread API -------------------------------------------------
+  // ---- session table ------------------------------------------------------
+
+  struct SessionOptions {
+    std::size_t num_players = 0;
+    /// Wire session id: 0 for the single-session runtime (v1 frames),
+    /// >= 1 for multiplexed service sessions. Must be unique among the
+    /// servicer's *open* sessions.
+    std::uint32_t session_id = 0;
+    std::uint64_t seed = 0;        ///< carried inside player checkpoints
+    bool crash_tolerance = false;  ///< charge logs + barrier checkpoints
+    /// Per-session fault plan; nullopt inherits Options::faults. Decisions
+    /// key on (session, link, seq), so two sessions sharing a plan still
+    /// draw independent fates.
+    std::optional<FaultPlan> faults;
+  };
+
+  /// Register a session: mints 2k links from `transport` (outside the lock
+  /// — socket transports may block) and appends a SessionState row. Allowed
+  /// before or after start(). Returns the session's table index.
+  std::size_t open_session(Transport& transport, const SessionOptions& so);
+
+  /// Per-session enqueue_charge: runs the session's phase barrier when
+  /// `phase` changes, evaluates its crash schedule, seals the charge onto
+  /// the addressed link and applies backpressure. Throws the session's
+  /// typed error if it failed.
+  void session_charge(std::size_t session, std::size_t player, bool upstream,
+                      std::uint64_t bits, std::uint64_t phase);
+
+  /// Per-session flush(): seal + drain only this session's links; under
+  /// crash tolerance, snapshot its barrier checkpoints.
+  void session_flush(std::size_t session);
+
+  /// Drain (best effort), fold and return this session's WireStats, retire
+  /// its links and free its driver slot. Idempotent; never throws a session
+  /// error — a failed session folds whatever crossed the wire, and the
+  /// caller surfaces the failure via rethrow_session_error.
+  WireStats close_session(std::size_t session);
+
+  /// Throws the session's recorded NetError, if any.
+  void rethrow_session_error(std::size_t session) const;
+
+  /// The player's latest barrier checkpoint bytes (crash tolerance only).
+  [[nodiscard]] const std::vector<std::uint8_t>& session_checkpoint_bytes(
+      std::size_t session, std::size_t player) const;
+
+  [[nodiscard]] std::size_t num_sessions() const;
+
+  // ---- driving-thread API (legacy sessionless links) ----------------------
 
   /// Append one charged message to the link's open batch (or seal a solo
   /// frame when not coalescing). Blocks on queue backpressure; under
@@ -164,6 +232,21 @@ class SharedServicer {
   bool retransmit_due(std::uint64_t now_us);
   bool advance_virtual_clock();
   void check_down(std::uint64_t now_us);
+  void wait_for_space(std::unique_lock<std::mutex>& lock, LinkState& link);
+  void session_barrier_locked(std::unique_lock<std::mutex>& lock, SessionState& ss);
+  void refresh_session_checkpoints_locked(SessionState& ss);
+  void maybe_crash_locked(SessionState& ss, std::size_t player, std::uint64_t phase);
+  void crash_player_locked(std::size_t up_index, std::size_t down_index, std::uint32_t player,
+                           std::uint64_t phase);
+  void recover_player_locked(std::size_t up_index, std::size_t down_index,
+                             const PlayerCheckpoint& ck,
+                             std::span<const std::uint8_t> checkpoint_bytes, SessionState* ss);
+  void fail_session_locked(SessionState& ss, NetErrorKind kind, std::string what) noexcept;
+  /// Route a failure to its owner: the link's session if it has one, the
+  /// global error otherwise.
+  void link_failure(LinkState& link, NetErrorKind kind, std::string what) noexcept;
+  void throw_if_session_failed_locked(const SessionState& ss) const;
+  [[nodiscard]] bool session_drained_locked(const SessionState& ss) const noexcept;
   void handle_data_frame(LinkState& link, Frame f);
   void handle_control_frame(LinkState& link, const Frame& f);
   void accept_frame(LinkState& link, const Frame& f);
@@ -181,7 +264,18 @@ class SharedServicer {
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
   Options opts_;
+  /// Link table. Slots are stable for the servicer's lifetime (link indices
+  /// are handed out), but a closed session's slots are reset to null —
+  /// reclaiming its rings and windows — and recorded in free_link_blocks_
+  /// for the next same-width session to reuse. Every scan over links_ must
+  /// skip null slots.
   std::vector<std::unique_ptr<LinkState>> links_;
+  /// Reclaimed contiguous slot runs: (first slot, slot count). Bounds the
+  /// link table by peak concurrency, not by total sessions ever served.
+  std::vector<std::pair<std::size_t, std::size_t>> free_link_blocks_;
+  /// The session table (deque: rows never move, so checkpoint references
+  /// stay valid as sessions open). Guarded by mu_.
+  std::deque<SessionState> sessions_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< wakes the servicer (new work / stop)
@@ -190,6 +284,11 @@ class SharedServicer {
   bool stop_ = false;
   bool finished_ = false;
   int driving_waiting_ = 0;  ///< driving threads blocked => quiescence may advance vclock
+  /// Open sessions whose drivers may still act. The virtual clock advances
+  /// only when every one of them is blocked (driving_waiting_ >=
+  /// live_drivers_): jumping while another session's driver is mid-compute
+  /// would make retransmission fates depend on scheduling.
+  int live_drivers_ = 0;
   std::optional<NetErrorKind> error_kind_;
   std::string error_what_;
   std::uint64_t replayed_charges_ = 0;
@@ -198,6 +297,27 @@ class SharedServicer {
   std::vector<std::uint8_t> read_buf_;
   std::vector<ArqSenderWindow::Entry*> due_scratch_;
   std::thread thread_;
+};
+
+/// ChannelSink view of one multiplexed session: a service worker installs
+/// one (ChannelSinkScope) so its protocol body's charges flow into its own
+/// session of the shared servicer. NetSession is the session-0 equivalent
+/// with transport ownership and lifecycle folded in.
+class SessionSink final : public ChannelSink {
+ public:
+  SessionSink(SharedServicer* servicer, std::size_t session) noexcept
+      : servicer_(servicer), session_(session) {}
+
+  void on_charge(std::size_t player, Direction dir, std::uint64_t bits,
+                 std::uint64_t phase) override {
+    servicer_->session_charge(session_, player, dir == Direction::kPlayerToCoordinator, bits,
+                              phase);
+  }
+  void on_flush() override { servicer_->session_flush(session_); }
+
+ private:
+  SharedServicer* servicer_;
+  std::size_t session_;
 };
 
 }  // namespace tft::net

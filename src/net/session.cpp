@@ -1,0 +1,27 @@
+#include "net/session.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace tft::net {
+
+std::uint64_t WireStats::payload_bits() const noexcept {
+  return std::accumulate(up_bits.begin(), up_bits.end(), std::uint64_t{0}) +
+         std::accumulate(down_bits.begin(), down_bits.end(), std::uint64_t{0});
+}
+
+std::uint64_t WireStats::messages() const noexcept {
+  return std::accumulate(up_msgs.begin(), up_msgs.end(), std::uint64_t{0}) +
+         std::accumulate(down_msgs.begin(), down_msgs.end(), std::uint64_t{0});
+}
+
+std::string WireStats::summary() const {
+  std::ostringstream os;
+  os << messages() << " messages / " << frames_delivered << " frames / " << payload_bits()
+     << " payload bits / " << wire_bytes << " wire bytes (retransmits " << retransmissions
+     << ", dups " << duplicates << ", corrupt " << corrupt_frames << ", crashes " << crashes
+     << ", replayed " << replayed_charges << ")";
+  return os.str();
+}
+
+}  // namespace tft::net

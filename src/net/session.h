@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/checkpoint.h"
+#include "net/error.h"
+#include "net/fault.h"
+
+/// \file session.h
+/// Per-session state of the multiplexed transport runtime, as a *value
+/// type*: everything one testing session owns — its wire id, link range,
+/// phase cursor, crash-controller state, error containment and folded
+/// results — lives in a plain struct the SharedServicer keeps in a table.
+/// No threads, no pipes, no references: a session is data, and "one
+/// servicer thread drains all links of all live sessions" falls out of the
+/// servicer iterating that table.
+///
+/// `NetSession` (net/runtime.h) is the single-session view: it opens one
+/// session with the reserved wire id 0 and forwards charges to it, so the
+/// classic one-protocol-per-transport runs are byte-identical to pre-session
+/// builds. The service layer (src/service/) opens many sessions with ids
+/// >= 1 over one shared servicer.
+
+namespace tft::net {
+
+/// What actually crossed the wire, per player and direction — the executed
+/// counterpart of the Transcript's tallies, plus transport-level truth
+/// (header/ack/retransmit bytes) the idealized accounting abstracts away.
+struct WireStats {
+  std::vector<std::uint64_t> up_bits;    ///< delivered charged bits, player j -> C
+  std::vector<std::uint64_t> down_bits;  ///< delivered charged bits, C -> player j
+  std::vector<std::uint64_t> up_msgs;
+  std::vector<std::uint64_t> down_msgs;
+  std::vector<std::uint64_t> phase_bits;
+  std::uint64_t wire_bytes = 0;  ///< framed bytes written incl. retransmits
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates = 0;      ///< frames discarded by seq dedup
+  std::uint64_t corrupt_frames = 0;  ///< frames discarded by CRC/codec checks
+  std::uint64_t acks = 0;
+  std::uint64_t frames_delivered = 0;  ///< unique wire frames accepted (<= messages when coalescing)
+  std::uint64_t virtual_time_us = 0;   ///< final logical clock (virtual-clock mode only)
+  std::uint64_t crashes = 0;            ///< players killed by the crash schedule
+  std::uint64_t player_down_frames = 0; ///< out-of-band kPlayerDown notices delivered
+  std::uint64_t resume_frames = 0;      ///< out-of-band kResume notices delivered
+  std::uint64_t replayed_charges = 0;   ///< charges re-sealed by recovery replay
+
+  /// Note: messages() counts *charged* messages delivered, so it equals the
+  /// Transcript's message count even when several charges share one frame.
+  [[nodiscard]] std::uint64_t payload_bits() const noexcept;
+  [[nodiscard]] std::uint64_t messages() const noexcept;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// One live (or closed) session in the servicer's table. Owned under the
+/// servicer's mutex; never aliased across sessions. Links
+/// [link_base, link_base + 2k) belong to this session: up links first
+/// (player j -> coordinator at link_base + j), then down links
+/// (coordinator -> player j at link_base + k + j) — the same intra-session
+/// link-id numbering as a solo NetSession, so a session multiplexed among
+/// others sees byte-identical frames to the same session run alone.
+struct SessionState {
+  std::uint32_t id = 0;        ///< wire session id (0 reserved for NetSession)
+  std::size_t k = 0;           ///< players in this session
+  std::size_t link_base = 0;   ///< first index of this session's 2k links
+  std::uint64_t seed = 0;      ///< carried inside player checkpoints
+  std::uint64_t last_phase = 0;
+  bool crash_tolerance = false;
+  bool closed = false;           ///< close_session ran; `result` is final
+  bool driver_released = false;  ///< no longer counted in live_drivers_
+
+  /// Error containment: a failed session records its error here and stops,
+  /// without touching the global error that aborts the whole servicer.
+  /// Other sessions keep draining.
+  std::optional<NetErrorKind> error_kind;
+  std::string error_what;
+
+  // Crash-controller state (the per-session half of net/recovery.h).
+  std::uint64_t crashes = 0;
+  std::uint64_t replayed = 0;  ///< charges re-sealed by recovery replay
+  FaultPlan faults;            ///< this session's plan (crash schedule + link faults)
+  CheckpointStore ckpts{0};
+  /// Per (player, phase) enqueued-charge counts — the crash grammar's
+  /// offset coordinate (net/fault.h).
+  std::vector<std::vector<std::uint64_t>> charge_counts;
+
+  WireStats result;  ///< folded at close_session
+
+  [[nodiscard]] bool failed() const noexcept { return error_kind.has_value(); }
+};
+
+}  // namespace tft::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "service/coordinator.h"
+#include "service/spec.h"
+
+/// \file daemon.h
+/// The service's network face: a ServiceDaemon listens on a loopback TCP
+/// port, reads one encoded SessionSpec per connection, hands it to its
+/// ServiceCoordinator, and writes back one encoded ServiceReply. The blob
+/// framing reuses the frame wire discipline — `[u32 LE len] [bytes]
+/// [u32 LE crc32(bytes)]` — so a corrupted request dies to the same CRC
+/// check a corrupted frame would, and a kServiceBusy rejection travels as
+/// a well-formed kBusy reply, never a dropped connection.
+///
+/// request() is the matching client half: tft_client and the CI soak are
+/// both this one call in a loop.
+
+namespace tft::service {
+
+class ServiceDaemon {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, read back via port())
+  /// and starts the accept loop. The coordinator is constructed from `cfg`
+  /// and owned by the daemon.
+  ServiceDaemon(const ServiceConfig& cfg, std::uint16_t port = 0);
+  ~ServiceDaemon();  ///< stop accepting, drain the coordinator
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] ServiceCoordinator& coordinator() noexcept { return *coordinator_; }
+
+  /// Stop accepting connections and drain in-flight sessions. Idempotent.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::unique_ptr<ServiceCoordinator> coordinator_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  bool stopped_ = false;
+};
+
+/// Client half: connect to 127.0.0.1:`port`, send `spec`, wait for the
+/// reply (the call blocks for the whole session). Throws net::NetError on
+/// connection or codec failure; a busy service is NOT an error — it comes
+/// back as a reply with status kBusy.
+[[nodiscard]] ServiceReply request(std::uint16_t port, const SessionSpec& spec);
+
+}  // namespace tft::service
