@@ -64,5 +64,13 @@ run oneway_lb --side_max=1024 --chunked --trials=20
 run bm_lb --pairs_max=4096 --chunked --trials=12
 run mu_farness --trials=5 --chunked
 
+# Kernel variants (PR 9): scalar/AVX2/bitset A/B identity rows from
+# bench_kernels. Pinned to --kernel=scalar so the family benches don't
+# depend on the host ISA; the kernel_identity rows themselves are
+# host-independent either way — a non-AVX2 host resolves the avx2/bitset
+# strategies to their scalar fallbacks, which are bit-identical by the
+# dispatch contract (the bench hard-fails if they are not).
+run kernels --n=2000 --trials=1 --kernel=scalar --kernel_rows=1 --sweep=0
+
 cat "$TMP"/*.json > "$OUT"
 echo "wrote $(wc -l < "$OUT") rows to $OUT" >&2

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "graph/pair_sampling.h"
+#include "util/arena.h"
 
 namespace tft {
 
@@ -301,9 +302,14 @@ std::uint64_t chunk_block_count(const ChunkedSpec& spec) {
 
 std::vector<Edge> generate_chunk(const ChunkedSpec& spec, std::uint64_t seed,
                                  std::uint64_t chunk_id, std::uint64_t num_chunks) {
-  std::vector<Edge> edges;
+  // Stage through the thread arena: the slice size is unknown up front, so
+  // the doubling growth happens inside reused arena blocks and the returned
+  // vector is allocated once at its exact final size (players hold O(m/k)
+  // slices for a long time — slack capacity would be charged forever).
+  ArenaScope scope;
+  ArenaBuf<Edge> edges(scope.arena());
   visit_chunk(spec, seed, chunk_id, num_chunks, [&](const Edge& e) { edges.push_back(e); });
-  return edges;
+  return edges.take();
 }
 
 std::uint64_t count_chunk_edges(const ChunkedSpec& spec, std::uint64_t seed,

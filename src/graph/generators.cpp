@@ -8,19 +8,32 @@
 #include <stdexcept>
 
 #include "graph/pair_sampling.h"
+#include "util/arena.h"
 
 namespace tft::gen {
 
 namespace {
 
-void shuffle_vertices(std::vector<Vertex>& vs, Rng& rng) {
+void shuffle_vertices(std::span<Vertex> vs, Rng& rng) {
   for (std::size_t i = vs.size(); i > 1; --i) std::swap(vs[i - 1], vs[rng.below(i)]);
+}
+
+/// Identity permutation staged in `arena` (shuffle buffers are transient:
+/// growth churn stays inside reused arena blocks).
+std::span<Vertex> arena_iota(Arena& arena, std::size_t count, Vertex first) {
+  const std::span<Vertex> vs = arena.alloc<Vertex>(count);
+  std::iota(vs.begin(), vs.end(), first);
+  return vs;
 }
 
 }  // namespace
 
 Graph gnp(Vertex n, double p, Rng& rng) {
-  std::vector<Edge> edges;
+  // Edge staging goes through the thread arena: the doubling growth of the
+  // unpredictable-size edge list reuses warm blocks across calls, and the
+  // vector handed to Graph is allocated once at its exact final size.
+  ArenaScope scope;
+  ArenaBuf<Edge> edges(scope.arena());
   // pair_count keeps the n*(n-1)/2 arithmetic in 64 bits: past n = 2^16 the
   // pair space no longer fits 32 bits, past n ~ 92682 it exceeds 2^32.
   const std::uint64_t total = pair_count(n);
@@ -28,19 +41,20 @@ Graph gnp(Vertex n, double p, Rng& rng) {
     const auto [u, v] = unrank_pair(idx, n);
     edges.emplace_back(u, v);
   });
-  return Graph(n, std::move(edges));
+  return Graph(n, edges.take());
 }
 
 Graph bipartite_gnp(Vertex n, double p, Rng& rng) {
   const Vertex a = n / 2;
   const Vertex b = n - a;
-  std::vector<Edge> edges;
+  ArenaScope scope;
+  ArenaBuf<Edge> edges(scope.arena());
   skip_sample(static_cast<std::uint64_t>(a) * b, p, rng, [&](std::uint64_t idx) {
     const auto u = static_cast<Vertex>(idx / b);
     const auto v = static_cast<Vertex>(a + idx % b);
     edges.emplace_back(u, v);
   });
-  return Graph(n, std::move(edges));
+  return Graph(n, edges.take());
 }
 
 Graph complete_bipartite(Vertex a, Vertex b) {
@@ -82,8 +96,8 @@ Graph cycle(Vertex n) {
 }
 
 Graph random_matching(Vertex n, Rng& rng) {
-  std::vector<Vertex> vs(n);
-  std::iota(vs.begin(), vs.end(), Vertex{0});
+  ArenaScope scope;
+  const std::span<Vertex> vs = arena_iota(scope.arena(), n, 0);
   shuffle_vertices(vs, rng);
   std::vector<Edge> edges;
   edges.reserve(n / 2);
@@ -120,8 +134,8 @@ Graph planted_triangles(Vertex n, std::uint32_t t, Rng& rng) {
   }
   // Triangle-free noise: a random matching on the remaining vertices. A
   // matching cannot create triangles nor touch the planted ones.
-  std::vector<Vertex> rest(n - 3 * t);
-  std::iota(rest.begin(), rest.end(), static_cast<Vertex>(3 * t));
+  ArenaScope scope;
+  const std::span<Vertex> rest = arena_iota(scope.arena(), n - 3 * t, static_cast<Vertex>(3 * t));
   shuffle_vertices(rest, rng);
   for (std::size_t i = 0; i + 1 < rest.size(); i += 2) {
     edges.emplace_back(rest[i], rest[i + 1]);
@@ -132,8 +146,8 @@ Graph planted_triangles(Vertex n, std::uint32_t t, Rng& rng) {
 Graph hub_matching(Vertex n, std::uint32_t hubs, Rng& rng) {
   if (hubs >= n) throw std::invalid_argument("hub_matching: hubs must be < n");
   std::vector<Edge> edges;
-  std::vector<Vertex> rest(n - hubs);
-  std::iota(rest.begin(), rest.end(), static_cast<Vertex>(hubs));
+  ArenaScope scope;
+  const std::span<Vertex> rest = arena_iota(scope.arena(), n - hubs, static_cast<Vertex>(hubs));
   const std::size_t pairs = rest.size() / 2;
   edges.reserve(static_cast<std::size_t>(hubs) * pairs * 3);
   for (Vertex h = 0; h < hubs; ++h) {
@@ -151,10 +165,12 @@ Graph hub_matching(Vertex n, std::uint32_t hubs, Rng& rng) {
 
 Graph barabasi_albert(Vertex n, std::uint32_t edges_per_vertex, Rng& rng) {
   if (edges_per_vertex == 0) throw std::invalid_argument("barabasi_albert: m must be >= 1");
-  std::vector<Edge> edges;
+  ArenaScope scope;
+  ArenaBuf<Edge> edges(scope.arena());
   // Repeated-endpoint list: picking a uniform element samples proportionally
   // to degree (each edge contributes both endpoints).
-  std::vector<Vertex> endpoints;
+  ArenaBuf<Vertex> endpoints(scope.arena());
+  ArenaBuf<Vertex> targets(scope.arena());  // reused (clear per vertex)
   const Vertex seed_clique = std::min<Vertex>(n, edges_per_vertex + 1);
   for (Vertex u = 0; u < seed_clique; ++u) {
     for (Vertex v = u + 1; v < seed_clique; ++v) {
@@ -164,7 +180,7 @@ Graph barabasi_albert(Vertex n, std::uint32_t edges_per_vertex, Rng& rng) {
     }
   }
   for (Vertex v = seed_clique; v < n; ++v) {
-    std::vector<Vertex> targets;
+    targets.clear();
     for (std::uint32_t e = 0; e < edges_per_vertex && !endpoints.empty(); ++e) {
       // Sample with rejection to keep targets distinct for this vertex.
       for (int attempt = 0; attempt < 32; ++attempt) {
@@ -181,13 +197,14 @@ Graph barabasi_albert(Vertex n, std::uint32_t edges_per_vertex, Rng& rng) {
       endpoints.push_back(w);
     }
   }
-  return Graph(n, std::move(edges));
+  return Graph(n, edges.take());
 }
 
 Graph chung_lu(Vertex n, double d_target, double beta, Rng& rng) {
   if (beta <= 2.0) throw std::invalid_argument("chung_lu: beta must be > 2");
+  ArenaScope scope;
   // Weights w_i ~ (i+1)^{-1/(beta-1)}, normalized so sum w_i = n * d_target.
-  std::vector<double> w(n);
+  const std::span<double> w = scope.arena().alloc<double>(n);
   double sum = 0.0;
   for (Vertex i = 0; i < n; ++i) {
     w[i] = std::pow(static_cast<double>(i + 1), -1.0 / (beta - 1.0));
@@ -200,7 +217,7 @@ Graph chung_lu(Vertex n, double d_target, double beta, Rng& rng) {
   // Miller-Hagberg sampling: weights are already sorted descending, so for
   // each row i we skip-sample columns j > i under the upper bound
   // p_bar = w_i * w_j0 / W (w is non-increasing) and thin by p_ij / p_bar.
-  std::vector<Edge> edges;
+  ArenaBuf<Edge> edges(scope.arena());
   for (Vertex i = 0; i + 1 < n; ++i) {
     Vertex j = i + 1;
     double p_bar = std::min(1.0, w[i] * w[j] / total);
@@ -217,14 +234,15 @@ Graph chung_lu(Vertex n, double d_target, double beta, Rng& rng) {
       ++j;
     }
   }
-  return Graph(n, std::move(edges));
+  return Graph(n, edges.take());
 }
 
 Graph tripartite_mu(Vertex side, double gamma, Rng& rng) {
   assert(static_cast<std::uint64_t>(side) * 3 <= std::numeric_limits<Vertex>::max());
   const double p = gamma / std::sqrt(static_cast<double>(side));
   const Vertex n = 3 * side;
-  std::vector<Edge> edges;
+  ArenaScope scope;
+  ArenaBuf<Edge> edges(scope.arena());
   const std::uint64_t block = static_cast<std::uint64_t>(side) * side;
   // U x V1
   skip_sample(block, p, rng, [&](std::uint64_t idx) {
@@ -240,7 +258,7 @@ Graph tripartite_mu(Vertex side, double gamma, Rng& rng) {
     edges.emplace_back(static_cast<Vertex>(side + idx / side),
                        static_cast<Vertex>(2 * side + idx % side));
   });
-  return Graph(n, std::move(edges));
+  return Graph(n, edges.take());
 }
 
 Graph embed_with_isolated(const Graph& core, Vertex total_n) {

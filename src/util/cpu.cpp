@@ -1,0 +1,62 @@
+#include "util/cpu.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define TFT_CPU_X86 1
+#include <cpuid.h>
+#endif
+
+namespace tft::cpu {
+
+namespace {
+
+#if defined(TFT_CPU_X86)
+/// XGETBV without -mxsave: the raw instruction via inline asm (the _xgetbv
+/// intrinsic is gated behind a target option we don't compile with).
+unsigned long long read_xcr0() noexcept {
+  unsigned lo = 0, hi = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<unsigned long long>(hi) << 32) | lo;
+}
+#endif
+
+Features probe() noexcept {
+  Features f;
+#if defined(TFT_CPU_X86)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.popcnt = (ecx & bit_POPCNT) != 0;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool avx = (ecx & bit_AVX) != 0;
+  // The OS must opt into saving YMM state (XCR0 bits 1|2) or AVX registers
+  // are silently clobbered across context switches.
+  bool os_ymm = false;
+  if (osxsave && avx) {
+    os_ymm = (read_xcr0() & 0x6) == 0x6;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.bmi2 = (ebx & bit_BMI2) != 0;
+    f.avx2 = os_ymm && (ebx & bit_AVX2) != 0;
+  }
+#if defined(TFT_DISABLE_AVX2)
+  f.avx2 = false;  // compiled out: dispatch must not select a missing path
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const Features& features() noexcept {
+  static const Features f = probe();
+  return f;
+}
+
+bool have_avx2() noexcept {
+#if defined(TFT_DISABLE_AVX2) || !defined(TFT_CPU_X86)
+  return false;
+#else
+  return features().avx2;
+#endif
+}
+
+}  // namespace tft::cpu

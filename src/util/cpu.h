@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file cpu.h
+/// Runtime CPU-feature detection for the kernel dispatch layer
+/// (graph/intersect.h).
+///
+/// `features()` probes CPUID exactly once (thread-safe, first call wins) and
+/// caches the result; the kernel layer reads it to fill its function-pointer
+/// tables. A SIMD path is eligible only when the instruction set is present
+/// AND the OS saves the extended register state (XGETBV), the same rule glibc
+/// uses for its ifunc resolvers.
+///
+/// Compile-time gates compose with the runtime probe:
+///   * building with -DTFT_DISABLE_AVX2 removes every AVX2 code path from the
+///     binary; `features().avx2` then reports false regardless of the host,
+///     so dispatch falls back to the always-compiled scalar reference (CI
+///     builds one matrix cell this way);
+///   * non-x86 targets compile to an all-false feature set.
+
+namespace tft::cpu {
+
+struct Features {
+  bool avx2 = false;   ///< AVX2 usable: CPUID bit + OS YMM state support.
+  bool bmi2 = false;   ///< BMI2 (pdep/pext) present.
+  bool popcnt = false; ///< POPCNT present.
+};
+
+/// The host's feature set, probed once and cached. Never throws.
+[[nodiscard]] const Features& features() noexcept;
+
+/// True iff AVX2 kernels are both compiled in and usable on this host.
+[[nodiscard]] bool have_avx2() noexcept;
+
+}  // namespace tft::cpu
