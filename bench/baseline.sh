@@ -64,6 +64,13 @@ run oneway_lb --side_max=1024 --chunked --trials=20
 run bm_lb --pairs_max=4096 --chunked --trials=12
 run mu_farness --trials=5 --chunked
 
+# Sharded servicer (PR 10): the same closed-loop service load against
+# N in {1,2,4} poller shards. Per-session accounting is a pure function of
+# the spec, so the shard_sweep rows are bit-exact after TIME_KEY stripping,
+# and the shard_identity row asserts the N=1 and N=4 fleets produced
+# field-for-field identical per-session outcomes (the bench exits 1 if not).
+run service --n=400 --iters=2 --sweep=0 --shard_rows=1
+
 # Kernel variants (PR 9): scalar/AVX2/bitset A/B identity rows from
 # bench_kernels. Pinned to --kernel=scalar so the family benches don't
 # depend on the host ISA; the kernel_identity rows themselves are

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,5 +36,65 @@ inline void fit_line(const char* what, const LinearFit& fit, double predicted_ex
 inline void row(const std::vector<std::pair<std::string, double>>& cells) {
   std::printf("%s\n", format_row(cells).c_str());
 }
+
+/// Preallocated log-linear latency histogram: 64 sub-buckets per power of
+/// two over [1us, ~2^40us), so record() is allocation-free — the service
+/// bench calls it on the closed-loop load generator's hot path, where a
+/// vector push_back could reallocate mid-measurement. Quantiles read back
+/// bucket midpoints, accurate to ~1.6% relative — plenty for p50/p99/p999
+/// columns (the absolute values are TIME_KEY-stripped from baselines
+/// anyway).
+class LatencyHistogram {
+ public:
+  void record(double seconds) noexcept {
+    const double us = seconds * 1e6;
+    const auto ticks = us < 1.0 ? std::uint64_t{1}
+                                : static_cast<std::uint64_t>(us);
+    std::size_t idx = index_for(ticks);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+
+  /// The q-quantile in seconds (q in [0, 1]); 0 when nothing was recorded.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total_ == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t idx = 0; idx < counts_.size(); ++idx) {
+      seen += counts_[idx];
+      if (seen > rank) return midpoint_us(idx) / 1e6;
+    }
+    return midpoint_us(counts_.size() - 1) / 1e6;
+  }
+
+ private:
+  static constexpr int kSubBits = 6;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 64
+  static constexpr std::size_t kOctaves = 40;
+
+  /// Octave 0 stores ticks < 64 exactly; octave o >= 1 stores
+  /// [2^(kSubBits+o-1), 2^(kSubBits+o)) at granularity 2^o.
+  static std::size_t index_for(std::uint64_t ticks) noexcept {
+    const int msb = std::bit_width(ticks) - 1;
+    if (msb < kSubBits) return static_cast<std::size_t>(ticks);
+    const int octave = msb - kSubBits + 1;
+    const auto sub = static_cast<std::size_t>(ticks >> octave);
+    return static_cast<std::size_t>(octave) * kSub + sub;
+  }
+
+  static double midpoint_us(std::size_t idx) noexcept {
+    const std::size_t octave = idx / kSub;
+    const std::size_t sub = idx % kSub;
+    if (octave == 0) return static_cast<double>(sub);
+    const double width = static_cast<double>(std::uint64_t{1} << octave);
+    return (static_cast<double>(sub) + 0.5) * width;
+  }
+
+  std::array<std::uint64_t, kOctaves * kSub> counts_{};
+  std::uint64_t total_ = 0;
+};
 
 }  // namespace tft::bench

@@ -1,17 +1,26 @@
 // Experiment E-SERVICE: multi-session service throughput. A
 // ServiceCoordinator multiplexes S concurrent testing sessions over ONE
-// shared transport and ONE servicer thread; the closed-loop load generator
-// keeps exactly S sessions in flight and reports sessions/sec plus p50/p99
-// session latency as S sweeps toward saturation. The S=1 row also runs the
-// same workload on a bare NetSession (no coordinator, no scheduler, no
-// session table) and reports the service/bare wall-clock ratio — the
-// acceptance bound is 1.15x.
+// shared transport and a sharded servicer (N poller threads); the
+// closed-loop load generator keeps exactly S sessions in flight and
+// reports sessions/sec plus p50/p99/p999 session latency as S sweeps
+// toward saturation. The S=1 row also runs the same workload on a bare
+// NetSession (no coordinator, no scheduler, no session table) and reports
+// the service/bare wall-clock ratio — the acceptance bound is 1.15x.
+//
+// Sections (E-SERVICE-SHARD rides on the same binary):
+//   --sweep=1       (default) the single-shard S sweep, rows "sweep"
+//   --shard_rows=1  shard scaling N in {1,2,4} x S in {1..16}, rows
+//                   "shard_sweep", plus a "shard_identity" A/B row: the
+//                   same fleet at N=1 and N=4 must produce per-session
+//                   outcomes that match field for field (`match`=1).
 //
 // Determinism: each session's spec is a pure function of its (worker, iter)
 // slot, every session runs fault-free under the virtual clock, and the
 // summed charged/payload/wire totals are order-fixed sums over independent
 // sessions — so the structured rows are byte-stable in BENCH_baseline.json
 // (wall-clock fields are TIME_KEY-stripped by check_baseline.py as usual).
+// Latency quantiles come from a preallocated log-bucket histogram
+// (bench_common.h) — no allocation on the submit/collect hot path.
 
 #include <algorithm>
 #include <chrono>
@@ -50,7 +59,11 @@ struct LoadResult {
   std::uint64_t frames = 0;
   bool all_exact = true;
   double seconds = 0.0;
-  std::vector<double> latencies;
+  bench::LatencyHistogram latency;
+  /// Per-session (charged_bits, payload_bits, wire_bytes, frames) in
+  /// submission order — the shard_identity row compares these across shard
+  /// counts session by session, so compensating drifts can't hide in sums.
+  std::vector<std::array<std::uint64_t, 4>> per_session;
 };
 
 /// Saturating load: a bounded submission ring of depth S+1 against a pool
@@ -69,8 +82,7 @@ LoadResult drive_service(service::ServiceCoordinator& coordinator, std::size_t i
     if (step >= depth) {
       const std::size_t i = step - depth;
       outcomes[i] = futures[i].get();
-      total.latencies.push_back(
-          std::chrono::duration<double>(Clock::now() - submitted[i]).count());
+      total.latency.record(std::chrono::duration<double>(Clock::now() - submitted[i]).count());
     }
     if (step < total_sessions) {
       submitted[step] = Clock::now();
@@ -80,6 +92,7 @@ LoadResult drive_service(service::ServiceCoordinator& coordinator, std::size_t i
   total.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   // Aggregate in submission order: the sums are order-fixed regardless of
   // how the scheduler interleaved the sessions.
+  total.per_session.reserve(outcomes.size());
   for (const auto& out : outcomes) {
     ++total.sessions;
     total.charged_bits += out.charged_bits;
@@ -88,8 +101,10 @@ LoadResult drive_service(service::ServiceCoordinator& coordinator, std::size_t i
     total.frames += out.wire.frames_delivered;
     total.all_exact = total.all_exact && out.accounting_exact && out.conformance_ok &&
                       out.status != service::ReplyStatus::kError;
+    total.per_session.push_back(
+        {out.charged_bits, out.wire.payload_bits(), out.wire.wire_bytes,
+         out.wire.frames_delivered});
   }
-  std::sort(total.latencies.begin(), total.latencies.end());
   return total;
 }
 
@@ -122,10 +137,15 @@ double drive_bare(std::size_t iters, std::uint32_t n, std::uint32_t k, const net
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-double quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+LoadResult run_config(std::size_t shards, std::size_t inflight, std::size_t sessions,
+                      std::uint32_t n, std::uint32_t k, const net::NetConfig& net_cfg) {
+  service::ServiceConfig cfg;
+  cfg.net = net_cfg;
+  cfg.net.num_shards = shards;
+  cfg.max_live_sessions = inflight;
+  cfg.max_pending = inflight + 1;  // the ring's depth: S running + 1 queued
+  service::ServiceCoordinator coordinator(cfg);
+  return drive_service(coordinator, inflight, sessions, n, k);
 }
 
 }  // namespace
@@ -137,6 +157,8 @@ int main(int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(flags.get_int("k", 4));
   const auto iters = static_cast<std::size_t>(flags.get_int("iters", 4));
   const bool vclock = flags.get_bool("vclock", true);
+  const bool sweep = flags.get_bool("sweep", true);
+  const bool shard_rows = flags.get_bool("shard_rows", false);
   bench::JsonRows json(flags, "bench_service");
 
   bench::header("E-SERVICE bench_service",
@@ -148,44 +170,113 @@ int main(int argc, char** argv) {
   net_cfg.transport = net::TransportKind::kInProc;
   net_cfg.virtual_clock = vclock;
 
-  const double bare_secs = drive_bare(iters, n, k, net_cfg);
-  const double bare_rate = static_cast<double>(iters) / bare_secs;
-  std::printf("\nbare NetSession reference: %zu sessions, %.3f/s\n", iters, bare_rate);
+  if (sweep) {
+    const double bare_secs = drive_bare(iters, n, k, net_cfg);
+    const double bare_rate = static_cast<double>(iters) / bare_secs;
+    std::printf("\nbare NetSession reference: %zu sessions, %.3f/s\n", iters, bare_rate);
 
-  std::printf("\n-- service sweep (k=%u, n=%u, %zu sessions per worker) --\n", k, n, iters);
-  for (const std::size_t inflight : {1u, 2u, 4u, 8u, 16u}) {
-    service::ServiceConfig cfg;
-    cfg.net = net_cfg;
-    cfg.max_live_sessions = inflight;
-    cfg.max_pending = inflight + 1;  // the ring's depth: S running + 1 queued
-    service::ServiceCoordinator coordinator(cfg);
-    const LoadResult r = drive_service(coordinator, inflight, inflight * iters, n, k);
-    const double rate = static_cast<double>(r.sessions) / r.seconds;
-    const double p50 = quantile(r.latencies, 0.50);
-    const double p99 = quantile(r.latencies, 0.99);
-    const double over_bare = bare_rate / rate;  // S=1: the 1.15x acceptance ratio
-    bench::row({{"inflight", static_cast<double>(inflight)},
-                {"sessions", static_cast<double>(r.sessions)},
-                {"sessions_per_s", rate},
-                {"p50_latency_s", p50},
-                {"p99_latency_s", p99},
-                {"all_exact", r.all_exact ? 1.0 : 0.0}});
-    if (inflight == 1) {
-      std::printf("     S=1 service/bare time ratio: %.3fx (bound 1.15x)\n", over_bare);
+    std::printf("\n-- service sweep (k=%u, n=%u, %zu sessions per worker) --\n", k, n, iters);
+    for (const std::size_t inflight : {1u, 2u, 4u, 8u, 16u}) {
+      const LoadResult r = run_config(1, inflight, inflight * iters, n, k, net_cfg);
+      const double rate = static_cast<double>(r.sessions) / r.seconds;
+      const double p50 = r.latency.quantile(0.50);
+      const double p99 = r.latency.quantile(0.99);
+      const double p999 = r.latency.quantile(0.999);
+      const double over_bare = bare_rate / rate;  // S=1: the 1.15x acceptance ratio
+      bench::row({{"inflight", static_cast<double>(inflight)},
+                  {"sessions", static_cast<double>(r.sessions)},
+                  {"sessions_per_s", rate},
+                  {"p50_latency_s", p50},
+                  {"p99_latency_s", p99},
+                  {"p999_latency_s", p999},
+                  {"all_exact", r.all_exact ? 1.0 : 0.0}});
+      if (inflight == 1) {
+        std::printf("     S=1 service/bare time ratio: %.3fx (bound 1.15x)\n", over_bare);
+      }
+      json.row("sweep", {{"k", static_cast<std::uint64_t>(k)},
+                         {"n", static_cast<std::uint64_t>(n)},
+                         {"inflight", static_cast<std::uint64_t>(inflight)},
+                         {"sessions", r.sessions},
+                         {"charged_bits", r.charged_bits},
+                         {"payload_bits", r.payload_bits},
+                         {"wire_bytes", r.wire_bytes},
+                         {"frames", r.frames},
+                         {"all_exact", static_cast<std::uint64_t>(r.all_exact ? 1 : 0)},
+                         {"sessions_per_s", rate},
+                         {"p50_latency_s", p50},
+                         {"p99_latency_s", p99},
+                         {"p999_latency_s", p999},
+                         {"service_over_bare_time", over_bare}});
     }
-    json.row("sweep", {{"k", static_cast<std::uint64_t>(k)},
-                       {"n", static_cast<std::uint64_t>(n)},
-                       {"inflight", static_cast<std::uint64_t>(inflight)},
-                       {"sessions", r.sessions},
-                       {"charged_bits", r.charged_bits},
-                       {"payload_bits", r.payload_bits},
-                       {"wire_bytes", r.wire_bytes},
-                       {"frames", r.frames},
-                       {"all_exact", static_cast<std::uint64_t>(r.all_exact ? 1 : 0)},
-                       {"sessions_per_s", rate},
-                       {"p50_latency_s", p50},
-                       {"p99_latency_s", p99},
-                       {"service_over_bare_time", over_bare}});
+  }
+
+  if (shard_rows) {
+    // E-SERVICE-SHARD: the same closed-loop load against N poller shards.
+    // sessions/sec should scale with N once S saturates one poller; every
+    // row re-checks exactness, and the identity rows demand the N=4 fleet's
+    // per-session outcomes equal the N=1 fleet's field for field.
+    std::printf("\n-- shard sweep (k=%u, n=%u, %zu sessions per worker) --\n", k, n, iters);
+    double rate_at[5] = {0, 0, 0, 0, 0};  // indexed by shard count
+    for (const std::size_t shards : {1u, 2u, 4u}) {
+      for (const std::size_t inflight : {1u, 2u, 4u, 8u, 16u}) {
+        const LoadResult r = run_config(shards, inflight, inflight * iters, n, k, net_cfg);
+        const double rate = static_cast<double>(r.sessions) / r.seconds;
+        if (inflight == 16) rate_at[shards] = rate;
+        const double p50 = r.latency.quantile(0.50);
+        const double p99 = r.latency.quantile(0.99);
+        const double p999 = r.latency.quantile(0.999);
+        bench::row({{"shards", static_cast<double>(shards)},
+                    {"inflight", static_cast<double>(inflight)},
+                    {"sessions", static_cast<double>(r.sessions)},
+                    {"sessions_per_s", rate},
+                    {"p50_latency_s", p50},
+                    {"p99_latency_s", p99},
+                    {"p999_latency_s", p999},
+                    {"all_exact", r.all_exact ? 1.0 : 0.0}});
+        json.row("shard_sweep", {{"k", static_cast<std::uint64_t>(k)},
+                                 {"n", static_cast<std::uint64_t>(n)},
+                                 {"shards", static_cast<std::uint64_t>(shards)},
+                                 {"inflight", static_cast<std::uint64_t>(inflight)},
+                                 {"sessions", r.sessions},
+                                 {"charged_bits", r.charged_bits},
+                                 {"payload_bits", r.payload_bits},
+                                 {"wire_bytes", r.wire_bytes},
+                                 {"frames", r.frames},
+                                 {"all_exact", static_cast<std::uint64_t>(r.all_exact ? 1 : 0)},
+                                 {"sessions_per_s", rate},
+                                 {"p50_latency_s", p50},
+                                 {"p99_latency_s", p99},
+                                 {"p999_latency_s", p999}});
+      }
+    }
+    if (rate_at[1] > 0.0) {
+      std::printf("     N=1 -> 4 speedup at S=16: %.2fx\n", rate_at[4] / rate_at[1]);
+    }
+
+    // The A/B identity row: one fleet, two shard counts, per-session
+    // outcomes compared field for field. TIME_KEY stripping leaves every
+    // field below, so a baseline diff would flag any drift too.
+    const std::size_t id_sessions = 4 * iters;
+    const LoadResult one = run_config(1, 4, id_sessions, n, k, net_cfg);
+    const LoadResult four = run_config(4, 4, id_sessions, n, k, net_cfg);
+    bool match = one.per_session.size() == four.per_session.size() && one.all_exact &&
+                 four.all_exact;
+    for (std::size_t s = 0; match && s < one.per_session.size(); ++s) {
+      match = one.per_session[s] == four.per_session[s];
+    }
+    std::printf("     shard identity (N=1 vs N=4, %zu sessions): %s\n", id_sessions,
+                match ? "bit-identical" : "MISMATCH");
+    json.row("shard_identity", {{"k", static_cast<std::uint64_t>(k)},
+                                {"n", static_cast<std::uint64_t>(n)},
+                                {"sessions", one.sessions},
+                                {"charged_bits", one.charged_bits},
+                                {"payload_bits", one.payload_bits},
+                                {"wire_bytes", one.wire_bytes},
+                                {"frames", one.frames},
+                                {"all_exact", static_cast<std::uint64_t>(
+                                                  (one.all_exact && four.all_exact) ? 1 : 0)},
+                                {"match", static_cast<std::uint64_t>(match ? 1 : 0)}});
+    if (!match) return 1;  // the determinism contract is the bench's point
   }
   return 0;
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Compare two bench JSON-lines files, ignoring time-like fields.
 
-Usage: bench/check_baseline.py <expected.json> <actual.json>
+Usage: bench/check_baseline.py [--filter=<bench>] <expected.json> <actual.json>
 
 Bit counts, min-budgets and success statistics are exact (fixed seeds,
 order-fixed aggregation — see the determinism contract in bench/runner.h),
 so everything except wall-clock-derived fields must match byte-for-byte.
 Memory telemetry (peak_rss_kb, arena_hw_bytes) varies with the host the
 same way wall clock does, so it is stripped too; wire/bit counts are NOT.
+
+--filter=<bench> restricts the comparison to rows whose "bench" field
+equals <bench> (e.g. --filter=bench_service), so a single bench can be
+re-validated against the full baseline without regenerating every row.
 Exit 0 on match, 1 with a row-level diff otherwise.
 """
 
@@ -18,7 +22,7 @@ import sys
 TIME_KEY = re.compile(r"(seconds|_s$|/s$|medges|time|wall|frames_per|rss|arena)", re.IGNORECASE)
 
 
-def load(path):
+def load(path, bench_filter=None):
     rows = []
     with open(path) as f:
         for line in f:
@@ -26,20 +30,30 @@ def load(path):
             if not line:
                 continue
             row = json.loads(line)
+            if bench_filter is not None and row.get("bench") != bench_filter:
+                continue
             rows.append({k: v for k, v in row.items() if not TIME_KEY.search(k)})
     return rows
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    bench_filter = None
+    if args and args[0].startswith("--filter="):
+        bench_filter = args.pop(0).split("=", 1)[1]
+    if len(args) != 2:
         sys.exit(__doc__)
-    expected, actual = load(sys.argv[1]), load(sys.argv[2])
+    expected, actual = load(args[0], bench_filter), load(args[1], bench_filter)
+    scope = f" (bench={bench_filter})" if bench_filter else ""
+    if not expected and bench_filter:
+        print(f"FAIL: no rows match --filter={bench_filter} in {args[0]}")
+        return 1
     if expected == actual:
-        print(f"OK: {len(expected)} rows identical (time-like fields ignored)")
+        print(f"OK: {len(expected)} rows identical{scope} (time-like fields ignored)")
         return 0
     status = 1
     if len(expected) != len(actual):
-        print(f"FAIL: row count {len(expected)} (expected) vs {len(actual)} (actual)")
+        print(f"FAIL{scope}: row count {len(expected)} (expected) vs {len(actual)} (actual)")
     for i, (e, a) in enumerate(zip(expected, actual)):
         if e != a:
             print(f"FAIL row {i}:\n  expected: {json.dumps(e, sort_keys=True)}"

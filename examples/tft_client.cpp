@@ -16,6 +16,13 @@
 //   --param=V                    family knob (triangles / hubs / 100*degree /
 //                                100*gamma); 0 = family default
 //   --tenant=NAME                fair-share scheduling key
+//   --retry=R                    re-request up to R times on kBusy (default 0:
+//                                one shot). Exit 2 only after the budget is
+//                                exhausted and the service is still busy.
+//   --backoff-ms=B               base backoff between busy retries (default
+//                                100); doubles per attempt, capped at 32x
+//   --shard=S                    pin the session to servicer shard (S-1) mod N
+//                                (default 0 = hash placement)
 
 #include <cstdio>
 #include <string>
@@ -55,10 +62,14 @@ int main(int argc, char** argv) {
   spec.eps_micro = static_cast<std::uint32_t>(flags.get_double("eps", 0.1) * 1e6);
   spec.param = static_cast<std::uint64_t>(flags.get_int("param", 0));
   spec.tenant = flags.get_string("tenant", "");
+  spec.shard_affinity = static_cast<std::uint32_t>(flags.get_int("shard", 0));
 
+  const auto retries = static_cast<std::size_t>(flags.get_int("retry", 0));
+  const auto backoff_ms = static_cast<std::uint64_t>(flags.get_int("backoff-ms", 100));
   tft::service::ServiceReply reply;
   try {
-    reply = tft::service::request(static_cast<std::uint16_t>(flags.get_int("port", 0)), spec);
+    reply = tft::service::request_with_retry(
+        static_cast<std::uint16_t>(flags.get_int("port", 0)), spec, retries, backoff_ms);
   } catch (const tft::net::NetError& e) {
     std::fprintf(stderr, "request failed: %s\n", e.what());
     return 3;

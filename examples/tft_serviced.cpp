@@ -19,6 +19,7 @@
 //                                print one accounting line per session
 //   --max-live=W --max-pending=Q admission control (defaults 4 / 16)
 //   --scheduler=fifo|fair-share  queue discipline (default fifo)
+//   --shards=N                   servicer poller shards (default 1)
 //   --vclock=1                   virtual clock (inproc only)
 //   --n, --k, --seed             selftest session shape (seed is the base;
 //                                session i uses seed+i)
@@ -26,8 +27,18 @@
 // Every completed session prints
 //   session=<id> status=<...> bits=<...> accounting=exact conformance=ok
 // (the CI soak greps these lines for per-session accounting closure).
+//
+// SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
+// sessions run to completion, and the daemon prints
+//   graceful drain complete: served <N> sessions, rejected <M>
+// before exiting 0 (the soak test kills the daemon and greps this line).
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -38,6 +49,13 @@
 #include "util/flags.h"
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; every serve loop polls it. A handler
+/// may only touch lock-free sig_atomic_t state — the actual drain runs on
+/// the main thread after the loop observes the flag.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void on_signal(int) { g_stop = 1; }
 
 void print_outcome(const tft::service::SessionOutcome& out) {
   const char* status = "error";
@@ -65,6 +83,7 @@ tft::service::ServiceConfig parse_config(const tft::Flags& flags) {
   }
   cfg.net.transport = *kind;
   cfg.net.virtual_clock = flags.get_bool("vclock", false);
+  cfg.net.num_shards = static_cast<std::size_t>(flags.get_int("shards", 1));
   cfg.max_live_sessions = static_cast<std::size_t>(flags.get_int("max-live", 4));
   cfg.max_pending = static_cast<std::size_t>(flags.get_int("max-pending", 16));
   const std::string sched = flags.get_string("scheduler", "fifo");
@@ -113,28 +132,55 @@ int main(int argc, char** argv) {
       return selftest(cfg, flags, static_cast<std::size_t>(flags.get_int("selftest", 4)));
     }
 
+    // Graceful drain on SIGINT/SIGTERM: stop admitting, let in-flight
+    // sessions finish, reply kError("draining") to anyone who connects
+    // meanwhile, and print the drain line before exiting cleanly.
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
     tft::service::ServiceDaemon daemon(cfg,
                                        static_cast<std::uint16_t>(flags.get_int("port", 0)));
-    std::printf("listening on 127.0.0.1:%u max-live=%zu max-pending=%zu scheduler=%s\n",
-                daemon.port(), cfg.max_live_sessions, cfg.max_pending,
-                to_string(cfg.scheduler));
+    std::printf("listening on 127.0.0.1:%u max-live=%zu max-pending=%zu scheduler=%s shards=%zu\n",
+                daemon.port(), cfg.max_live_sessions, cfg.max_pending, to_string(cfg.scheduler),
+                cfg.net.num_shards == 0 ? std::size_t{1} : cfg.net.num_shards);
     std::fflush(stdout);
 
     if (flags.has("sessions")) {
       const auto target = static_cast<std::uint64_t>(flags.get_int("sessions", 1));
-      while (daemon.coordinator().sessions_completed() < target) {
+      while (g_stop == 0 && daemon.coordinator().sessions_completed() < target) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
       }
     } else {
-      // Serve until our caller closes stdin — the clean way to park a
-      // daemon under a script without signal games.
-      for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+      // Serve until our caller closes stdin or a signal arrives. poll(2)
+      // instead of getchar: a blocking read would swallow the signal's
+      // EINTR on some libcs and park forever; a bounded poll re-checks
+      // g_stop every lap.
+      for (;;) {
+        if (g_stop != 0) break;
+        struct pollfd pfd = {0, POLLIN, 0};  // fd 0: stdin
+        const int r = ::poll(&pfd, 1, 200);
+        if (r < 0 && errno != EINTR) break;
+        if (r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          if ((pfd.revents & POLLIN) != 0) {
+            char buf[256];
+            const ssize_t n = ::read(0, buf, sizeof(buf));
+            if (n <= 0) break;  // EOF: the classic park-under-a-script exit
+          } else {
+            break;  // stdin hung up
+          }
+        }
       }
     }
     daemon.shutdown();
-    std::printf("served %llu sessions, rejected %llu\n",
-                static_cast<unsigned long long>(daemon.coordinator().sessions_completed()),
-                static_cast<unsigned long long>(daemon.coordinator().sessions_rejected()));
+    const auto served =
+        static_cast<unsigned long long>(daemon.coordinator().sessions_completed());
+    const auto rejected =
+        static_cast<unsigned long long>(daemon.coordinator().sessions_rejected());
+    if (g_stop != 0) {
+      std::printf("graceful drain complete: served %llu sessions, rejected %llu\n", served,
+                  rejected);
+    }
+    std::printf("served %llu sessions, rejected %llu\n", served, rejected);
     return 0;
   } catch (const tft::net::NetError& e) {
     std::fprintf(stderr, "net error: %s\n", e.what());

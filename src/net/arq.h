@@ -29,6 +29,26 @@
 ///   d >= M/2          behind: an old duplicate — discard but re-ack
 /// `validate()` enforces 2*window <= seq_modulus so the bands cannot
 /// overlap.
+///
+/// ## Shard-locality audit (sharded servicer)
+///
+/// Nothing in this file is shared across servicer shards. The audit, kept
+/// current whenever state is added here:
+///   - ArqPolicy: immutable configuration, copied into each window at
+///     construction — read-only after validate().
+///   - ArqSenderWindow / ArqReceiverWindow: owned by exactly one
+///     SharedServicer::LinkState; a link belongs to exactly one session and
+///     a session is pinned to one shard for life, so every window is only
+///     ever touched under its shard's mutex by its shard's poller (or by a
+///     driving thread holding that same mutex).
+///   - Entry/Frame deques and the SACK map: per-window containers, no
+///     statics, no globals, no allocator state beyond the default heap.
+///   - Free functions (seq_dist, codec helpers): pure; scratch buffers are
+///     caller-provided (the shard's own).
+/// Consequently the state machines need no atomics and no per-frame locks
+/// regardless of num_shards — the shard boundary is the synchronization
+/// domain, which is what keeps per-session byte streams bit-exact at any
+/// shard count.
 
 namespace tft::net {
 

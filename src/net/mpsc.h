@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+/// \file mpsc.h
+/// Bounded lock-free charge queue for the sharded servicer's fast path
+/// (net/servicer.h): many driving threads push sealed charge commands, one
+/// poller thread pops them. The layout is the classic bounded MPMC ring of
+/// per-cell sequence numbers (Vyukov), used here in MPSC configuration —
+/// producers claim slots with one fetch_add on the tail, the consumer
+/// advances the head without any RMW contention against producers.
+///
+/// Ordering contract: pops observe pushes in tail-claim order, which for a
+/// single producer equals its program order — exactly what the servicer
+/// needs, since every session has one driving thread and the per-link frame
+/// stream must be a pure function of the per-link charge order. Push/pop
+/// are both non-blocking: a full ring fails the push (the caller falls back
+/// to the locked slow path) and an empty ring fails the pop.
+///
+/// `approx_empty()` is the poller's quiescence probe. It may report
+/// non-empty for a claimed-but-unpublished cell (the producer is between
+/// its fetch_add and its release store), but never empty while a published
+/// element remains — the conservative direction: the virtual clock must not
+/// advance past charges that are already in flight.
+
+namespace tft::net {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Any producer thread. False when the ring is full (caller takes the
+  /// locked slow path; never spins).
+  bool try_push(const T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed lap: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer thread only.
+  bool try_pop(T& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1) < 0) {
+      return false;  // nothing published at the head yet
+    }
+    out = cell.value;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Conservative emptiness: false while any push has claimed a slot, even
+  /// if its value is not yet published. Safe for quiescence decisions.
+  [[nodiscard]] bool approx_empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  /// Consumer and producers touch disjoint cursors; keep them on separate
+  /// cache lines so pushes never steal the poller's head line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace tft::net

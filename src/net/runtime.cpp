@@ -104,6 +104,7 @@ NetSession::NetSession(std::size_t num_players, const NetConfig& cfg) : k_(num_p
   opts.virtual_clock = cfg.virtual_clock;
   opts.timed_recheck = cfg.transport == TransportKind::kSocket;
   opts.crash_tolerance = cfg.crash_tolerance;
+  opts.num_shards = cfg.num_shards;
   servicer_ = std::make_unique<SharedServicer>(opts);
 
   SharedServicer::SessionOptions so;

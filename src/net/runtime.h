@@ -83,6 +83,11 @@ struct NetConfig {
   /// a per-player checkpoint refresh per phase. Crashes themselves come
   /// from faults.crash_schedule / faults.crash.
   bool crash_tolerance = true;
+  /// Servicer poller shards (SharedServicer::Options::num_shards). 1 keeps
+  /// the classic single-threaded servicer; a solo NetSession never benefits
+  /// from more (all its links share one shard by design), so this mainly
+  /// serves the service layer and A/B tests.
+  std::size_t num_shards = 1;
 };
 
 [[nodiscard]] std::unique_ptr<Transport> make_transport(const NetConfig& cfg);

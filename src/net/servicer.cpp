@@ -1,9 +1,13 @@
 #include "net/servicer.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <deque>
 #include <utility>
 
+#include "net/mpsc.h"
+#include "net/vclock_hub.h"
 #include "util/bits.h"
 
 namespace tft::net {
@@ -21,12 +25,20 @@ void compact(std::vector<std::uint8_t>& buf, std::size_t& pos) {
   }
 }
 
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
 }  // namespace
 
 /// Everything one directed link owns: the driving side's open batch and
 /// sealed-frame queue, the sender window with its pending out-bytes, and
 /// the receiving state machine with its ack out-bytes. All of it guarded
-/// by the servicer's one mutex.
+/// by the owning shard's mutex.
 struct SharedServicer::LinkState {
   static constexpr std::size_t kNoSession = static_cast<std::size_t>(-1);
 
@@ -56,17 +68,24 @@ struct SharedServicer::LinkState {
   FaultInjector injector;
   Link owned;  ///< session links: the servicer owns the transport link
   std::uint32_t session_id;  ///< wire session id stamped on every frame
-  std::size_t session;       ///< sessions_ index, or kNoSession (legacy links)
+  std::size_t session;       ///< shard-local session index, or kNoSession (legacy links)
   bool log_charges;          ///< append to charge_log (crash tolerance)
   /// Cleared when the owning session closes or fails: an inactive link
   /// counts as drained, is skipped by the sweep, and holds no deadlines.
   bool active = true;
 
-  // Driving side (sealed under mu_ by the enqueue calls).
+  // Driving side (sealed under the shard mutex by the enqueue calls, or by
+  // the poller draining the charge ring).
   std::vector<ChargeRec> open_batch;
   std::uint64_t open_batch_bits = 0;
   std::uint32_t next_seq = 0;
   std::deque<Frame> queue;  ///< sealed, awaiting window admission
+  /// Fast-path backpressure mirror of queue.size(), published into the
+  /// owning session's depth array so lock-free charges can respect
+  /// pending_cap (approximately: entries still in the ring are not
+  /// counted, so the true bound is pending_cap + ring capacity). Null on
+  /// single-shard servicers and legacy links.
+  std::atomic<std::uint32_t>* depth_slot = nullptr;
 
   // Sender half.
   ArqSenderWindow window;
@@ -102,22 +121,152 @@ struct SharedServicer::LinkState {
   }
 };
 
-SharedServicer::SharedServicer(const Options& opts) : opts_(opts), read_buf_(std::size_t{1} << 16) {
+/// One charge command on a shard's lock-free ring: the fast-path form of
+/// session_charge, sealed by the poller in push order.
+struct SharedServicer::ChargeCmd {
+  std::uint32_t session = 0;  ///< shard-local session index
+  std::uint32_t player = 0;
+  bool upstream = false;
+  std::uint64_t bits = 0;
+  std::uint64_t phase = 0;
+};
+
+/// A session row plus the lock-free state its driver's fast path reads
+/// without the shard mutex. Rows live in a deque and are never moved
+/// (the atomics pin them), so pointers published in the shard's segment
+/// table stay valid for the servicer's lifetime.
+struct SharedServicer::SessionRt {
+  SessionState st;
+  /// Immutable after open_session: the session can ever use the ring at
+  /// all (multi-shard, no per-frame blocking, no crash schedule).
+  bool fast_eligible = false;
+  /// Mirror of st.failed() || st.closed for lock-free rejection; set under
+  /// the shard lock wherever the underlying state changes.
+  std::atomic<bool> failed_or_closed{false};
+  /// Ring accounting: cmds the driver pushed vs. cmds the poller sealed.
+  /// Slow-path entries wait for consumed == pushed before touching link
+  /// state, so the per-link charge order is identical to a lock-only run.
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> consumed{0};
+  /// Per-link queue depths (2k slots), mirrored from LinkState::queue by
+  /// the poller for fast-path backpressure.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> depth;
+};
+
+/// One self-contained servicer engine: the pre-shard SharedServicer's
+/// entire mutable state, times num_shards. Sessions are pinned here for
+/// life; nothing below is ever touched by another shard's poller.
+struct SharedServicer::Shard {
+  explicit Shard(std::size_t idx, std::size_t ring_capacity)
+      : index(idx), charges(ring_capacity), read_buf(std::size_t{1} << 16) {}
+
+  const std::size_t index;
+
+  mutable std::mutex mu;
+  std::condition_variable work_cv;   ///< wakes the poller (new work / stop)
+  std::condition_variable space_cv;  ///< wakes driving waits (space / drain / error)
+  /// Written under mu (condvar discipline) but atomic so the poller's
+  /// lock-free spin can observe it.
+  std::atomic<bool> stop{false};
+  /// Lock-free mirror of error_kind for the charge fast path.
+  std::atomic<bool> has_error{false};
+  /// Poller-is-parked flag for the producer-side wakeup (Dekker with a
+  /// seq_cst fence: producers push, fence, load parked; the poller stores
+  /// parked, fence-equivalent, re-checks the ring).
+  std::atomic<bool> parked{false};
+
+  int driving_waiting = 0;  ///< driving threads blocked => quiescence may advance vclock
+  /// Open sessions whose drivers may still act. The virtual clock advances
+  /// only when every one of them is blocked (driving_waiting >=
+  /// live_drivers): jumping while another session's driver is mid-compute
+  /// would make retransmission fates depend on scheduling.
+  int live_drivers = 0;
+  std::optional<NetErrorKind> error_kind;
+  std::string error_what;
+  std::uint64_t replayed = 0;
+  std::uint64_t vnow_us = 0;
+
+  /// Link table. Slots are stable for the servicer's lifetime (link indices
+  /// are handed out), but a closed session's slots are reset to null —
+  /// reclaiming its rings and windows — and recorded in free_link_blocks
+  /// for the next same-width session to reuse. Every scan must skip nulls.
+  std::vector<std::unique_ptr<LinkState>> links;
+  /// Reclaimed contiguous slot runs: (first slot, slot count). Bounds the
+  /// link table by peak concurrency, not by total sessions ever served.
+  std::vector<std::pair<std::size_t, std::size_t>> free_link_blocks;
+  /// The session table (deque: rows never move, so checkpoint references
+  /// and published SessionRt pointers stay valid). Guarded by mu.
+  std::deque<SessionRt> sessions;
+
+  /// Lock-free navigation from a shard-local session index to its row:
+  /// a fixed two-level table of published pointers, so the charge fast
+  /// path never walks the deque while open_session grows it. Segments are
+  /// allocated under mu and published with release; a driver only ever
+  /// looks up an index it received from open_session, which
+  /// happens-before any of its charges.
+  static constexpr std::size_t kSegShift = 9;
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegShift;
+  static constexpr std::size_t kMaxSegs = std::size_t{1} << 12;
+  struct SessionSeg {
+    SessionRt* rows[kSegSize] = {};
+  };
+  std::array<std::atomic<SessionSeg*>, kMaxSegs> segs{};
+  std::vector<std::unique_ptr<SessionSeg>> seg_storage;  ///< under mu
+
+  /// The MPSC charge ring (fast path; unused at num_shards = 1).
+  BoundedMpscQueue<ChargeCmd> charges;
+
+  /// Shard-local frame buffers: each poller reads, parses and scratches in
+  /// its own arenas, so shards share no hot memory.
+  std::vector<std::uint8_t> read_buf;
+  std::vector<ArqSenderWindow::Entry*> due_scratch;
+
+  std::thread thread;
+
+  [[nodiscard]] SessionRt* lookup(std::size_t local) const noexcept {
+    const SessionSeg* seg = segs[local >> kSegShift].load(std::memory_order_acquire);
+    return seg == nullptr ? nullptr : seg->rows[local & (kSegSize - 1)];
+  }
+};
+
+SharedServicer::SharedServicer(const Options& opts) : opts_(opts) {
   opts_.arq.validate();
   if (opts_.virtual_clock && opts_.timed_recheck) {
     throw NetError(NetErrorKind::kSetup,
                    "virtual clock requires an in-process transport (kernel-buffered "
                    "transports cannot reach quiescence deterministically)");
   }
+  num_shards_ = std::max<std::size_t>(1, opts_.num_shards);
+  multi_shard_ = num_shards_ > 1;
+  shards_.reserve(num_shards_);
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, /*ring_capacity=*/4096));
+  }
+  if (opts_.virtual_clock && multi_shard_) {
+    hub_ = std::make_unique<VClockHub>(num_shards_);
+    for (std::size_t i = 0; i < num_shards_; ++i) {
+      hub_->attach(i, &shards_[i]->work_cv);
+    }
+  }
 }
 
 SharedServicer::~SharedServicer() {
-  {
-    const std::lock_guard lock(mu_);
-    stop_ = true;
+  for (auto& shp : shards_) {
+    {
+      const std::lock_guard lock(shp->mu);
+      shp->stop.store(true, std::memory_order_relaxed);
+    }
+    shp->work_cv.notify_all();
   }
-  work_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  for (auto& shp : shards_) {
+    if (shp->thread.joinable()) shp->thread.join();
+  }
+}
+
+std::size_t SharedServicer::shard_for(std::uint32_t session_id,
+                                      std::uint32_t affinity) const noexcept {
+  if (affinity != 0) return (affinity - 1) % num_shards_;
+  return session_id % num_shards_;
 }
 
 std::size_t SharedServicer::add_link(Link* link, std::uint32_t link_id, std::uint32_t src,
@@ -126,11 +275,12 @@ std::size_t SharedServicer::add_link(Link* link, std::uint32_t link_id, std::uin
   if (started_) {
     throw NetError(NetErrorKind::kSetup, "add_link after start");
   }
-  links_.push_back(std::make_unique<LinkState>(
+  Shard& sh = *shards_[0];
+  sh.links.push_back(std::make_unique<LinkState>(
       link, link_id, src, dst, coalesce && opts_.arq.coalesce, std::move(deliver), opts_,
       opts_.faults, /*sess_id=*/0, LinkState::kNoSession,
       /*log=*/opts_.crash_tolerance));
-  return links_.size() - 1;
+  return sh.links.size() - 1;
 }
 
 std::size_t SharedServicer::open_session(Transport& transport, const SessionOptions& so) {
@@ -138,33 +288,42 @@ std::size_t SharedServicer::open_session(Transport& transport, const SessionOpti
     throw NetError(NetErrorKind::kSetup, "open_session requires at least one player");
   }
   // Mint links outside the lock: socket transports block in connect/accept,
-  // and the servicer thread must keep draining other sessions meanwhile.
+  // and the shard's poller must keep draining other sessions meanwhile.
   std::vector<Link> minted;
   minted.reserve(2 * so.num_players);
   for (std::size_t j = 0; j < 2 * so.num_players; ++j) {
     minted.push_back(transport.make_link());
   }
 
-  const std::lock_guard lock(mu_);
-  for (const SessionState& other : sessions_) {
-    if (!other.closed && other.id == so.session_id) {
+  const std::size_t shard_idx = shard_for(so.session_id, so.shard_affinity);
+  Shard& sh = *shards_[shard_idx];
+  const std::lock_guard lock(sh.mu);
+  for (const SessionRt& other : sh.sessions) {
+    if (!other.st.closed && other.st.id == so.session_id) {
       throw NetError(NetErrorKind::kSetup,
                      "session id " + std::to_string(so.session_id) + " already open");
     }
   }
-  SessionState ss;
+  const std::size_t local = sh.sessions.size();
+  if ((local >> Shard::kSegShift) >= Shard::kMaxSegs) {
+    throw NetError(NetErrorKind::kSetup, "session table full on shard " +
+                                             std::to_string(shard_idx));
+  }
+  sh.sessions.emplace_back();
+  SessionRt& rt = sh.sessions.back();
+  SessionState& ss = rt.st;
   ss.id = so.session_id;
   ss.k = so.num_players;
   // Prefer a reclaimed slot run of the same width over growing the table:
   // a service that opens and closes sessions forever stays at its peak
   // footprint, and the reused slots' pages are already hot.
-  ss.link_base = links_.size();
+  ss.link_base = sh.links.size();
   bool grow = true;
-  for (std::size_t b = 0; b < free_link_blocks_.size(); ++b) {
-    if (free_link_blocks_[b].second == 2 * so.num_players) {
-      ss.link_base = free_link_blocks_[b].first;
-      free_link_blocks_[b] = free_link_blocks_.back();
-      free_link_blocks_.pop_back();
+  for (std::size_t b = 0; b < sh.free_link_blocks.size(); ++b) {
+    if (sh.free_link_blocks[b].second == 2 * so.num_players) {
+      ss.link_base = sh.free_link_blocks[b].first;
+      sh.free_link_blocks[b] = sh.free_link_blocks.back();
+      sh.free_link_blocks.pop_back();
       grow = false;
       break;
     }
@@ -175,7 +334,15 @@ std::size_t SharedServicer::open_session(Transport& transport, const SessionOpti
   ss.ckpts = CheckpointStore(so.num_players);
   ss.charge_counts.resize(so.num_players);
 
-  const std::size_t sidx = sessions_.size();
+  rt.fast_eligible = multi_shard_ && !opts_.arq.block_per_frame &&
+                     !(ss.crash_tolerance && ss.faults.has_crashes());
+  if (multi_shard_) {
+    rt.depth = std::make_unique<std::atomic<std::uint32_t>[]>(2 * so.num_players);
+    for (std::size_t j = 0; j < 2 * so.num_players; ++j) {
+      rt.depth[j].store(0, std::memory_order_relaxed);
+    }
+  }
+
   const std::uint32_t coord = static_cast<std::uint32_t>(so.num_players);
   // The solo-session numbering, per session: up link j has id j, down link
   // j has id k+1+j. Fault and filler keying add the session id on top, so
@@ -186,67 +353,103 @@ std::size_t SharedServicer::open_session(Transport& transport, const SessionOpti
     auto ls = std::make_unique<LinkState>(
         nullptr, /*link_id=*/up ? pj : coord + 1 + pj, /*src=*/up ? pj : coord,
         /*dst=*/up ? coord : pj, /*coalesce=*/opts_.arq.coalesce, nullptr, opts_, ss.faults,
-        ss.id, sidx,
+        ss.id, local,
         /*log=*/ss.crash_tolerance);
     ls->owned = std::move(minted[j]);
     ls->link = &ls->owned;
+    if (multi_shard_) ls->depth_slot = &rt.depth[j];
     if (grow) {
-      links_.push_back(std::move(ls));
+      sh.links.push_back(std::move(ls));
     } else {
-      links_[ss.link_base + j] = std::move(ls);
+      sh.links[ss.link_base + j] = std::move(ls);
     }
   }
-  ++live_drivers_;
-  sessions_.push_back(std::move(ss));
+
+  // Publish the row for lock-free fast-path navigation.
+  const std::size_t seg_idx = local >> Shard::kSegShift;
+  Shard::SessionSeg* seg = sh.segs[seg_idx].load(std::memory_order_relaxed);
+  if (seg == nullptr) {
+    auto fresh = std::make_unique<Shard::SessionSeg>();
+    fresh->rows[local & (Shard::kSegSize - 1)] = &rt;
+    seg = fresh.get();
+    sh.seg_storage.push_back(std::move(fresh));
+    sh.segs[seg_idx].store(seg, std::memory_order_release);
+  } else {
+    seg->rows[local & (Shard::kSegSize - 1)] = &rt;
+  }
+
+  ++sh.live_drivers;
   // The start-of-run checkpoint: all-zero barriers, phase 0.
-  if (sessions_.back().crash_tolerance) refresh_session_checkpoints_locked(sessions_.back());
-  work_cv_.notify_one();
-  return sidx;
+  if (ss.crash_tolerance) refresh_session_checkpoints_locked(sh, ss);
+  if (hub_ != nullptr) hub_->publish_active(sh.index);
+  sh.work_cv.notify_one();
+  return local * num_shards_ + shard_idx;
 }
 
 std::size_t SharedServicer::num_sessions() const {
-  const std::lock_guard lock(mu_);
-  return sessions_.size();
+  std::size_t n = 0;
+  for (const auto& shp : shards_) {
+    const std::lock_guard lock(shp->mu);
+    n += shp->sessions.size();
+  }
+  return n;
 }
 
 void SharedServicer::start() {
   if (started_) return;
   started_ = true;
   epoch_ = Clock::now();
-  thread_ = std::thread([this] { run(); });
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    sh.thread = std::thread([this, &sh] { run(sh); });
+  }
 }
 
-std::uint64_t SharedServicer::now_us() const noexcept {
-  if (opts_.virtual_clock) return vnow_us_;
+std::uint64_t SharedServicer::now_us(const Shard& sh) const noexcept {
+  if (opts_.virtual_clock) return sh.vnow_us;
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count());
 }
 
-void SharedServicer::record_error(NetErrorKind kind, std::string what) noexcept {
-  if (!error_kind_) {
-    error_kind_ = kind;
-    error_what_ = std::move(what);
+std::uint64_t SharedServicer::virtual_time_us() const noexcept {
+  if (hub_ != nullptr) return hub_->now();
+  return shards_[0]->vnow_us;
+}
+
+std::size_t SharedServicer::num_links() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) n += shp->links.size();
+  return n;
+}
+
+void SharedServicer::record_error(Shard& sh, NetErrorKind kind, std::string what) noexcept {
+  if (!sh.error_kind) {
+    sh.error_kind = kind;
+    sh.error_what = std::move(what);
+    sh.has_error.store(true, std::memory_order_release);
   }
 }
 
-void SharedServicer::throw_if_error_locked() const {
-  if (error_kind_) throw NetError(*error_kind_, error_what_);
+void SharedServicer::throw_if_error_locked(const Shard& sh) const {
+  if (sh.error_kind) throw NetError(*sh.error_kind, sh.error_what);
 }
 
 void SharedServicer::rethrow_error() const {
-  const std::lock_guard lock(mu_);
-  throw_if_error_locked();
+  for (const auto& shp : shards_) {
+    const std::lock_guard lock(shp->mu);
+    throw_if_error_locked(*shp);
+  }
 }
 
-bool SharedServicer::all_drained() const noexcept {
-  for (const auto& link : links_) {
+bool SharedServicer::all_drained(const Shard& sh) const noexcept {
+  for (const auto& link : sh.links) {
     if (link && !link->drained()) return false;
   }
   return true;
 }
 
-bool SharedServicer::anything_unacked() const noexcept {
-  for (const auto& link : links_) {
+bool SharedServicer::anything_unacked(const Shard& sh) const noexcept {
+  for (const auto& link : sh.links) {
     if (!link || !link->active) continue;
     if (!link->queue.empty() || !link->window.empty() ||
         link->out_data_pos < link->out_data.size() || link->out_ack_pos < link->out_ack.size()) {
@@ -256,7 +459,18 @@ bool SharedServicer::anything_unacked() const noexcept {
   return false;
 }
 
-// ---- sealing (driving thread or deliver hook, under mu_) --------------------
+bool SharedServicer::ring_drained(const Shard& sh) const noexcept {
+  return !multi_shard_ || sh.charges.approx_empty();
+}
+
+// ---- sealing (driving thread or poller, under the shard mutex) --------------
+
+void SharedServicer::note_depth(LinkState& link) noexcept {
+  if (link.depth_slot != nullptr) {
+    link.depth_slot->store(static_cast<std::uint32_t>(link.queue.size()),
+                           std::memory_order_relaxed);
+  }
+}
 
 void SharedServicer::seal_data_frame(LinkState& link, std::uint64_t phase, std::uint64_t bits) {
   Frame f;
@@ -270,6 +484,7 @@ void SharedServicer::seal_data_frame(LinkState& link, std::uint64_t phase, std::
   f.payload = make_filler_payload(f.header);
   link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
   link.queue.push_back(std::move(f));
+  note_depth(link);
 }
 
 void SharedServicer::seal_open_batch(LinkState& link) {
@@ -284,6 +499,7 @@ void SharedServicer::seal_open_batch(LinkState& link) {
                                link.session_id);
     link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
     link.queue.push_back(std::move(f));
+    note_depth(link);
   }
   link.open_batch.clear();
   link.open_batch_bits = 0;
@@ -307,37 +523,40 @@ void SharedServicer::seal_charge(LinkState& link, std::uint64_t phase, std::uint
   }
 }
 
-void SharedServicer::wait_for_space(std::unique_lock<std::mutex>& lock, LinkState& link) {
+void SharedServicer::wait_for_space(Shard& sh, std::unique_lock<std::mutex>& lock,
+                                    LinkState& link) {
   // Backpressure: cap the sealed-but-unadmitted queue. A session-owned
   // link's waits additionally break on *its own* session failing — another
   // session's trouble never wakes (or wedges) this driver.
   const auto dead = [&] {
-    return error_kind_.has_value() ||
-           (link.session != LinkState::kNoSession && sessions_[link.session].failed());
+    return sh.error_kind.has_value() ||
+           (link.session != LinkState::kNoSession && sh.sessions[link.session].st.failed());
   };
-  ++driving_waiting_;
+  ++sh.driving_waiting;
   while (!dead() && link.queue.size() > opts_.arq.pending_cap) {
-    space_cv_.wait_for(lock, std::chrono::seconds(1));
+    sh.space_cv.wait_for(lock, std::chrono::seconds(1));
   }
   if (opts_.arq.block_per_frame) {
     // Stop-and-wait discipline: this charge's frame must be acknowledged
     // before the protocol continues.
     while (!dead() && !link.drained()) {
-      space_cv_.wait_for(lock, std::chrono::seconds(1));
+      sh.space_cv.wait_for(lock, std::chrono::seconds(1));
     }
   }
-  --driving_waiting_;
-  throw_if_error_locked();
+  --sh.driving_waiting;
+  if (hub_ != nullptr) hub_->publish_active(sh.index);
+  throw_if_error_locked(sh);
   if (link.session != LinkState::kNoSession) {
-    throw_if_session_failed_locked(sessions_[link.session]);
+    throw_if_session_failed_locked(sh.sessions[link.session].st);
   }
 }
 
 void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
                                     std::uint64_t bits) {
-  std::unique_lock lock(mu_);
-  throw_if_error_locked();
-  LinkState& link = *links_[link_index];
+  Shard& sh = *shards_[0];
+  std::unique_lock lock(sh.mu);
+  throw_if_error_locked(sh);
+  LinkState& link = *sh.links[link_index];
   const std::size_t sealed_before = link.queue.size();
   // The log, not the live queue, is recovery's source of truth: replaying
   // it through seal_charge reproduces the coalescing decisions and hence
@@ -348,49 +567,64 @@ void SharedServicer::enqueue_charge(std::size_t link_index, std::uint64_t phase,
   // Wake the servicer only when a frame was actually sealed: a charge that
   // merely grew the open batch gives it nothing to do, and the enqueue path
   // is the windowed pipeline's hot loop.
-  if (link.queue.size() != sealed_before) work_cv_.notify_one();
-  wait_for_space(lock, link);
+  if (link.queue.size() != sealed_before) sh.work_cv.notify_one();
+  wait_for_space(sh, lock, link);
 }
 
 void SharedServicer::enqueue_relay(std::size_t link_index, std::size_t k, std::size_t recipient,
                                    std::uint64_t message_bits) {
-  std::unique_lock lock(mu_);
-  throw_if_error_locked();
-  LinkState& link = *links_[link_index];
+  Shard& sh = *shards_[0];
+  std::unique_lock lock(sh.mu);
+  throw_if_error_locked(sh);
+  LinkState& link = *sh.links[link_index];
   link.queue.push_back(
       make_relay_frame(link.src, link.next_seq, k, recipient, message_bits));
   link.next_seq = (link.next_seq + 1) % opts_.arq.seq_modulus;
-  work_cv_.notify_one();
-  wait_for_space(lock, link);
+  sh.work_cv.notify_one();
+  wait_for_space(sh, lock, link);
 }
 
 void SharedServicer::enqueue_from_hook(std::size_t link_index, std::uint64_t phase,
                                        std::uint64_t bits) {
-  // Already under mu_ on the servicer thread; no cap, no waiting — the
-  // servicer must never block on itself. Bounded in practice by the
-  // messages the driving thread itself enqueued upstream.
-  seal_data_frame(*links_[link_index], phase, bits);
+  // Already under the shard mutex on its poller thread; no cap, no waiting
+  // — the servicer must never block on itself. Deliver hooks only exist on
+  // legacy add_link links, which all live on shard 0.
+  seal_data_frame(*shards_[0]->links[link_index], phase, bits);
 }
 
 void SharedServicer::flush() {
-  std::unique_lock lock(mu_);
-  throw_if_error_locked();
-  for (auto& link : links_) {
+  for (auto& shp : shards_) flush_shard(*shp);
+}
+
+void SharedServicer::flush_shard(Shard& sh) {
+  std::unique_lock lock(sh.mu);
+  throw_if_error_locked(sh);
+  // Any charges still in the ring must seal before the barrier seals the
+  // open batches they would have joined.
+  ++sh.driving_waiting;
+  while (!sh.error_kind && !ring_drained(sh)) {
+    sh.work_cv.notify_one();
+    sh.space_cv.wait_for(lock, std::chrono::seconds(1));
+  }
+  --sh.driving_waiting;
+  throw_if_error_locked(sh);
+  for (auto& link : sh.links) {
     if (link) seal_open_batch(*link);
   }
-  work_cv_.notify_one();
-  ++driving_waiting_;
-  while (!error_kind_ && !all_drained()) {
-    work_cv_.notify_one();
-    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  sh.work_cv.notify_one();
+  ++sh.driving_waiting;
+  while (!sh.error_kind && !(ring_drained(sh) && all_drained(sh))) {
+    sh.work_cv.notify_one();
+    sh.space_cv.wait_for(lock, std::chrono::seconds(1));
   }
-  --driving_waiting_;
-  throw_if_error_locked();
+  --sh.driving_waiting;
+  if (hub_ != nullptr) hub_->publish_active(sh.index);
+  throw_if_error_locked(sh);
   if (opts_.crash_tolerance) {
     // The checkpoint instant: every queue, window and out-buffer is drained
     // end to end, so each link's state is fully captured by this snapshot,
     // and the charge logs restart empty.
-    for (auto& lp : links_) {
+    for (auto& lp : sh.links) {
       if (!lp) continue;
       LinkState& link = *lp;
       link.barrier.next_seq = link.next_seq;
@@ -410,53 +644,76 @@ void SharedServicer::throw_if_session_failed_locked(const SessionState& ss) cons
   if (ss.error_kind) throw NetError(*ss.error_kind, ss.error_what);
 }
 
-bool SharedServicer::session_drained_locked(const SessionState& ss) const noexcept {
+bool SharedServicer::session_drained_locked(const Shard& sh,
+                                            const SessionState& ss) const noexcept {
   for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-    if (links_[i] && !links_[i]->drained()) return false;
+    if (sh.links[i] && !sh.links[i]->drained()) return false;
   }
   return true;
 }
 
-void SharedServicer::fail_session_locked(SessionState& ss, NetErrorKind kind,
+void SharedServicer::fail_session_locked(Shard& sh, SessionRt& rt, NetErrorKind kind,
                                          std::string what) noexcept {
+  SessionState& ss = rt.st;
   if (ss.failed()) return;
   ss.error_kind = kind;
   ss.error_what = std::move(what);
+  rt.failed_or_closed.store(true, std::memory_order_release);
   // Retire the session's links so the sweep skips them, their deadlines
   // stop driving the clock, and drained() holds — other sessions and the
   // global finish() never wait on a corpse.
   for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-    if (links_[i]) links_[i]->active = false;
+    if (sh.links[i]) sh.links[i]->active = false;
   }
   if (!ss.driver_released) {
     ss.driver_released = true;
-    --live_drivers_;
+    --sh.live_drivers;
   }
-  space_cv_.notify_all();
+  sh.space_cv.notify_all();
 }
 
-void SharedServicer::link_failure(LinkState& link, NetErrorKind kind,
+void SharedServicer::link_failure(Shard& sh, LinkState& link, NetErrorKind kind,
                                   std::string what) noexcept {
   if (link.session != LinkState::kNoSession) {
-    fail_session_locked(sessions_[link.session], kind, std::move(what));
+    fail_session_locked(sh, sh.sessions[link.session], kind, std::move(what));
   } else {
-    record_error(kind, std::move(what));
+    record_error(sh, kind, std::move(what));
   }
 }
 
-void SharedServicer::session_barrier_locked(std::unique_lock<std::mutex>& lock,
+void SharedServicer::drain_session_ring_locked(Shard& sh, std::unique_lock<std::mutex>& lock,
+                                               SessionRt& rt) {
+  // Order fence between the two charge paths: any ring entries this
+  // session's driver pushed must seal before the slow path reads or
+  // mutates link state, or the per-link charge order (and hence the frame
+  // stream) would depend on timing.
+  if (!multi_shard_) return;
+  const std::uint64_t target = rt.pushed.load(std::memory_order_relaxed);
+  if (rt.consumed.load(std::memory_order_acquire) >= target) return;
+  ++sh.driving_waiting;
+  while (!sh.error_kind && !rt.st.failed() &&
+         rt.consumed.load(std::memory_order_acquire) < target) {
+    sh.work_cv.notify_one();
+    sh.space_cv.wait_for(lock, std::chrono::seconds(1));
+  }
+  --sh.driving_waiting;
+  if (hub_ != nullptr) hub_->publish_active(sh.index);
+}
+
+void SharedServicer::session_barrier_locked(Shard& sh, std::unique_lock<std::mutex>& lock,
                                             SessionState& ss) {
   for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-    seal_open_batch(*links_[i]);
+    seal_open_batch(*sh.links[i]);
   }
-  work_cv_.notify_one();
-  ++driving_waiting_;
-  while (!error_kind_ && !ss.failed() && !session_drained_locked(ss)) {
-    work_cv_.notify_one();
-    space_cv_.wait_for(lock, std::chrono::seconds(1));
+  sh.work_cv.notify_one();
+  ++sh.driving_waiting;
+  while (!sh.error_kind && !ss.failed() && !session_drained_locked(sh, ss)) {
+    sh.work_cv.notify_one();
+    sh.space_cv.wait_for(lock, std::chrono::seconds(1));
   }
-  --driving_waiting_;
-  throw_if_error_locked();
+  --sh.driving_waiting;
+  if (hub_ != nullptr) hub_->publish_active(sh.index);
+  throw_if_error_locked(sh);
   throw_if_session_failed_locked(ss);
   if (ss.crash_tolerance) {
     // The checkpoint instant, scoped to this session: its queues, windows
@@ -464,7 +721,7 @@ void SharedServicer::session_barrier_locked(std::unique_lock<std::mutex>& lock,
     // is fully captured by this snapshot, and its charge logs restart
     // empty. Other sessions' pipelines are none of our business.
     for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-      LinkState& link = *links_[i];
+      LinkState& link = *sh.links[i];
       link.barrier.next_seq = link.next_seq;
       link.barrier.next_expected = link.rcv.next_expected();
       link.barrier.frames = link.rstats.frames;
@@ -476,20 +733,21 @@ void SharedServicer::session_barrier_locked(std::unique_lock<std::mutex>& lock,
   }
 }
 
-void SharedServicer::refresh_session_checkpoints_locked(SessionState& ss) {
+void SharedServicer::refresh_session_checkpoints_locked(Shard& sh, SessionState& ss) {
   for (std::size_t j = 0; j < ss.k; ++j) {
     PlayerCheckpoint ck;
     ck.player = static_cast<std::uint32_t>(j);
     ck.seed = ss.seed;
     ck.phase = ss.last_phase;
-    ck.up = links_[ss.link_base + j]->barrier;
-    ck.down = links_[ss.link_base + ss.k + j]->barrier;
+    ck.up = sh.links[ss.link_base + j]->barrier;
+    ck.down = sh.links[ss.link_base + ss.k + j]->barrier;
     ss.ckpts.put(static_cast<std::uint32_t>(j), encode_checkpoint(ck));
   }
 }
 
-void SharedServicer::maybe_crash_locked(SessionState& ss, std::size_t player,
+void SharedServicer::maybe_crash_locked(Shard& sh, SessionRt& rt, std::size_t player,
                                         std::uint64_t phase) {
+  SessionState& ss = rt.st;
   auto& counts = ss.charge_counts[player];
   if (counts.size() <= phase) counts.resize(static_cast<std::size_t>(phase) + 1, 0);
   const std::uint64_t count = counts[static_cast<std::size_t>(phase)]++;
@@ -500,22 +758,60 @@ void SharedServicer::maybe_crash_locked(SessionState& ss, std::size_t player,
   // fences the corpse's lanes and announces the death...
   const std::size_t up = ss.link_base + player;
   const std::size_t down = ss.link_base + ss.k + player;
-  crash_player_locked(up, down, static_cast<std::uint32_t>(player), phase);
+  crash_player_locked(sh, up, down, static_cast<std::uint32_t>(player), phase);
   ++ss.crashes;
   if (ss.faults.crash_resurrect) {
     // ...and the respawn recovers from the *stored bytes* of the last
     // barrier checkpoint — the serialized form is load-bearing, exactly as
     // it would be for a real process reading its checkpoint off disk.
     const std::vector<std::uint8_t>& bytes = ss.ckpts.bytes(static_cast<std::uint32_t>(player));
-    recover_player_locked(up, down, decode_checkpoint(bytes), bytes, &ss);
+    recover_player_locked(sh, up, down, decode_checkpoint(bytes), bytes, &ss);
+  }
+}
+
+void SharedServicer::wake_shard(Shard& sh) {
+  // Producer half of the park protocol: the fence orders our ring push
+  // against the parked load; either we see parked (and deliver a locked
+  // notify the poller cannot miss) or the poller's post-park ring re-check
+  // sees our push.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sh.parked.load(std::memory_order_relaxed)) {
+    const std::lock_guard lk(sh.mu);
+    sh.work_cv.notify_one();
   }
 }
 
 void SharedServicer::session_charge(std::size_t session, std::size_t player, bool upstream,
                                     std::uint64_t bits, std::uint64_t phase) {
-  std::unique_lock lock(mu_);
-  SessionState& ss = sessions_[session];
-  throw_if_error_locked();
+  const std::size_t shard_idx = session % num_shards_;
+  const std::size_t local = session / num_shards_;
+  Shard& sh = *shards_[shard_idx];
+  if (multi_shard_) {
+    // Lock-free fast path: same phase, healthy session, queue below the
+    // cap — push the charge onto the shard's ring and return without ever
+    // touching the mutex. `last_phase` and `closed` are driver-owned
+    // (written only by this thread's slow-path calls), so reading them
+    // unlocked is race-free; everything else is atomic.
+    SessionRt* rt = sh.lookup(local);
+    if (rt != nullptr && rt->fast_eligible && player < rt->st.k &&
+        phase == rt->st.last_phase && !sh.has_error.load(std::memory_order_relaxed) &&
+        !rt->failed_or_closed.load(std::memory_order_acquire)) {
+      const std::size_t off = upstream ? player : rt->st.k + player;
+      if (rt->depth[off].load(std::memory_order_relaxed) <= opts_.arq.pending_cap &&
+          sh.charges.try_push(ChargeCmd{static_cast<std::uint32_t>(local),
+                                        static_cast<std::uint32_t>(player), upstream, bits,
+                                        phase})) {
+        rt->pushed.fetch_add(1, std::memory_order_relaxed);
+        wake_shard(sh);
+        return;
+      }
+    }
+  }
+  std::unique_lock lock(sh.mu);
+  SessionRt& rt = sh.sessions[local];
+  drain_session_ring_locked(sh, lock, rt);
+  SessionState& ss = rt.st;
+  throw_if_error_locked(sh);
   throw_if_session_failed_locked(ss);
   if (ss.closed) {
     throw NetError(NetErrorKind::kClosed, "charge after the session closed");
@@ -527,45 +823,52 @@ void SharedServicer::session_charge(std::size_t session, std::size_t player, boo
   // first charge of a new phase, so frames never mix phases and the
   // executed run keeps the round structure the Transcript records.
   if (phase != ss.last_phase) {
-    session_barrier_locked(lock, ss);
+    session_barrier_locked(sh, lock, ss);
     ss.last_phase = phase;
-    if (ss.crash_tolerance) refresh_session_checkpoints_locked(ss);
+    if (ss.crash_tolerance) refresh_session_checkpoints_locked(sh, ss);
   }
-  if (ss.crash_tolerance && ss.faults.has_crashes()) maybe_crash_locked(ss, player, phase);
-  LinkState& link = *links_[ss.link_base + (upstream ? player : ss.k + player)];
+  if (ss.crash_tolerance && ss.faults.has_crashes()) maybe_crash_locked(sh, rt, player, phase);
+  LinkState& link = *sh.links[ss.link_base + (upstream ? player : ss.k + player)];
   const std::size_t sealed_before = link.queue.size();
   if (link.log_charges) link.charge_log.push_back({phase, bits});
   seal_charge(link, phase, bits);
-  if (link.queue.size() != sealed_before) work_cv_.notify_one();
-  wait_for_space(lock, link);
+  if (link.queue.size() != sealed_before) sh.work_cv.notify_one();
+  wait_for_space(sh, lock, link);
 }
 
 void SharedServicer::session_flush(std::size_t session) {
-  std::unique_lock lock(mu_);
-  SessionState& ss = sessions_[session];
-  throw_if_error_locked();
+  Shard& sh = *shards_[session % num_shards_];
+  std::unique_lock lock(sh.mu);
+  SessionRt& rt = sh.sessions[session / num_shards_];
+  drain_session_ring_locked(sh, lock, rt);
+  SessionState& ss = rt.st;
+  throw_if_error_locked(sh);
   throw_if_session_failed_locked(ss);
   if (ss.closed) return;
-  session_barrier_locked(lock, ss);
-  if (ss.crash_tolerance) refresh_session_checkpoints_locked(ss);
+  session_barrier_locked(sh, lock, ss);
+  if (ss.crash_tolerance) refresh_session_checkpoints_locked(sh, ss);
 }
 
 WireStats SharedServicer::close_session(std::size_t session) {
-  std::unique_lock lock(mu_);
-  SessionState& ss = sessions_[session];
+  Shard& sh = *shards_[session % num_shards_];
+  std::unique_lock lock(sh.mu);
+  SessionRt& rt = sh.sessions[session / num_shards_];
+  SessionState& ss = rt.st;
   if (ss.closed) return ss.result;
+  drain_session_ring_locked(sh, lock, rt);
   // Best-effort drain: a healthy session flushes end to end so its fold is
   // complete; a failed one skips straight to folding what crossed the wire.
-  if (!ss.failed() && !error_kind_) {
+  if (!ss.failed() && !sh.error_kind) {
     for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-      seal_open_batch(*links_[i]);
+      seal_open_batch(*sh.links[i]);
     }
-    ++driving_waiting_;
-    while (!error_kind_ && !ss.failed() && !session_drained_locked(ss)) {
-      work_cv_.notify_one();
-      space_cv_.wait_for(lock, std::chrono::seconds(1));
+    ++sh.driving_waiting;
+    while (!sh.error_kind && !ss.failed() && !session_drained_locked(sh, ss)) {
+      sh.work_cv.notify_one();
+      sh.space_cv.wait_for(lock, std::chrono::seconds(1));
     }
-    --driving_waiting_;
+    --sh.driving_waiting;
+    if (hub_ != nullptr) hub_->publish_active(sh.index);
   }
 
   WireStats w;
@@ -591,53 +894,61 @@ WireStats SharedServicer::close_session(std::size_t session) {
     w.resume_frames += r.resume_frames;
   };
   for (std::size_t j = 0; j < ss.k; ++j) {
-    fold(*links_[ss.link_base + j], w.up_bits[j], w.up_msgs[j]);
-    fold(*links_[ss.link_base + ss.k + j], w.down_bits[j], w.down_msgs[j]);
+    fold(*sh.links[ss.link_base + j], w.up_bits[j], w.up_msgs[j]);
+    fold(*sh.links[ss.link_base + ss.k + j], w.down_bits[j], w.down_msgs[j]);
   }
-  w.virtual_time_us = vnow_us_;
+  w.virtual_time_us = sh.vnow_us;
   w.crashes = ss.crashes;
   w.replayed_charges = ss.replayed;
 
   ss.result = std::move(w);
   ss.closed = true;
+  rt.failed_or_closed.store(true, std::memory_order_release);
   if (!ss.driver_released) {
     ss.driver_released = true;
-    --live_drivers_;
+    --sh.live_drivers;
   }
   // Reclaim the session's link state — the rings, windows and scratch
   // buffers are the servicer's dominant per-session footprint, and the
   // stats they carried were just folded into ss.result. The slots go on
   // the free list so the next session of the same width reuses them.
   for (std::size_t i = ss.link_base; i < ss.link_base + 2 * ss.k; ++i) {
-    links_[i]->active = false;
-    links_[i]->link->close();
-    links_[i].reset();
+    sh.links[i]->active = false;
+    sh.links[i]->link->close();
+    sh.links[i].reset();
   }
-  free_link_blocks_.emplace_back(ss.link_base, 2 * ss.k);
-  work_cv_.notify_one();
-  space_cv_.notify_all();
+  sh.free_link_blocks.emplace_back(ss.link_base, 2 * ss.k);
+  sh.work_cv.notify_one();
+  sh.space_cv.notify_all();
   return ss.result;
 }
 
 void SharedServicer::rethrow_session_error(std::size_t session) const {
-  const std::lock_guard lock(mu_);
-  throw_if_session_failed_locked(sessions_[session]);
+  const Shard& sh = *shards_[session % num_shards_];
+  const std::lock_guard lock(sh.mu);
+  throw_if_session_failed_locked(sh.sessions[session / num_shards_].st);
 }
 
 const std::vector<std::uint8_t>& SharedServicer::session_checkpoint_bytes(
     std::size_t session, std::size_t player) const {
-  const std::lock_guard lock(mu_);
-  return sessions_[session].ckpts.bytes(static_cast<std::uint32_t>(player));
+  const Shard& sh = *shards_[session % num_shards_];
+  const std::lock_guard lock(sh.mu);
+  return sh.sessions[session / num_shards_].st.ckpts.bytes(static_cast<std::uint32_t>(player));
 }
 
 LinkCheckpoint SharedServicer::barrier_checkpoint(std::size_t link_index) const {
-  const std::lock_guard lock(mu_);
-  return links_[link_index]->barrier;
+  const Shard& sh = *shards_[0];
+  const std::lock_guard lock(sh.mu);
+  return sh.links[link_index]->barrier;
 }
 
 std::uint64_t SharedServicer::replayed_charges() const {
-  const std::lock_guard lock(mu_);
-  return replayed_charges_;
+  std::uint64_t n = 0;
+  for (const auto& shp : shards_) {
+    const std::lock_guard lock(shp->mu);
+    n += shp->replayed;
+  }
+  return n;
 }
 
 void SharedServicer::append_control_frame(LinkState& link, const Frame& f) {
@@ -648,21 +959,23 @@ void SharedServicer::append_control_frame(LinkState& link, const Frame& f) {
 
 void SharedServicer::crash_player(std::size_t up_index, std::size_t down_index,
                                   std::uint32_t player, std::uint64_t phase) {
-  const std::lock_guard lock(mu_);
-  if (!opts_.crash_tolerance && links_[up_index]->session == LinkState::kNoSession) {
+  Shard& sh = *shards_[0];
+  const std::lock_guard lock(sh.mu);
+  if (!opts_.crash_tolerance && sh.links[up_index]->session == LinkState::kNoSession) {
     throw NetError(NetErrorKind::kSetup, "crash_player without Options::crash_tolerance");
   }
-  crash_player_locked(up_index, down_index, player, phase);
+  crash_player_locked(sh, up_index, down_index, player, phase);
 }
 
-void SharedServicer::crash_player_locked(std::size_t up_index, std::size_t down_index,
-                                         std::uint32_t player, std::uint64_t phase) {
-  LinkState& up = *links_[up_index];
-  LinkState& down = *links_[down_index];
+void SharedServicer::crash_player_locked(Shard& sh, std::size_t up_index,
+                                         std::size_t down_index, std::uint32_t player,
+                                         std::uint64_t phase) {
+  LinkState& up = *sh.links[up_index];
+  LinkState& down = *sh.links[down_index];
   up.src_down = true;    // the corpse sends nothing new and reads no acks
   down.dst_down = true;  // ...and consumes nothing from its data pipe
   const std::uint64_t deadline =
-      now_us() + static_cast<std::uint64_t>(opts_.retry.down_timeout.count());
+      now_us(sh) + static_cast<std::uint64_t>(opts_.retry.down_timeout.count());
   up.down_deadline_us = deadline;
   down.down_deadline_us = deadline;
   // Fence: acks the dead incarnation already emitted carry the old epoch;
@@ -673,7 +986,7 @@ void SharedServicer::crash_player_locked(std::size_t up_index, std::size_t down_
   ++down.epoch;
   append_control_frame(
       down, make_player_down_frame(down.src, down.dst, down.ctrl_seq++, player, phase));
-  work_cv_.notify_one();
+  sh.work_cv.notify_one();
 }
 
 void SharedServicer::restore_sender(LinkState& link, const LinkCheckpoint& ck) {
@@ -692,6 +1005,7 @@ void SharedServicer::restore_sender(LinkState& link, const LinkCheckpoint& ck) {
   link.open_batch.clear();
   link.open_batch_bits = 0;
   link.queue.clear();
+  note_depth(link);
   link.window.reset(ck.next_seq);
   link.next_seq = ck.next_seq;
   // out_data survives deliberately: whole frames the dead incarnation
@@ -714,17 +1028,18 @@ void SharedServicer::restore_receiver(LinkState& link, const LinkCheckpoint& ck)
 void SharedServicer::recover_player(std::size_t up_index, std::size_t down_index,
                                     const PlayerCheckpoint& ck,
                                     std::span<const std::uint8_t> checkpoint_bytes) {
-  const std::lock_guard lock(mu_);
-  throw_if_error_locked();
-  recover_player_locked(up_index, down_index, ck, checkpoint_bytes, nullptr);
+  Shard& sh = *shards_[0];
+  const std::lock_guard lock(sh.mu);
+  throw_if_error_locked(sh);
+  recover_player_locked(sh, up_index, down_index, ck, checkpoint_bytes, nullptr);
 }
 
-void SharedServicer::recover_player_locked(std::size_t up_index, std::size_t down_index,
-                                           const PlayerCheckpoint& ck,
+void SharedServicer::recover_player_locked(Shard& sh, std::size_t up_index,
+                                           std::size_t down_index, const PlayerCheckpoint& ck,
                                            std::span<const std::uint8_t> checkpoint_bytes,
                                            SessionState* ss) {
-  LinkState& up = *links_[up_index];
-  LinkState& down = *links_[down_index];
+  LinkState& up = *sh.links[up_index];
+  LinkState& down = *sh.links[down_index];
   restore_sender(up, ck.up);      // the player's outbound lane rewinds...
   restore_sender(down, ck.down);  // ...and the coordinator rewinds its lane to match
   restore_receiver(down, ck.down);
@@ -737,11 +1052,11 @@ void SharedServicer::recover_player_locked(std::size_t up_index, std::size_t dow
   // coalescing path that sealed them the first time. The logs are NOT
   // re-appended (seal_charge never touches them) and NOT cleared — a second
   // death in the same phase replays the same, still-growing log.
-  replayed_charges_ += up.charge_log.size() + down.charge_log.size();
+  sh.replayed += up.charge_log.size() + down.charge_log.size();
   if (ss != nullptr) ss->replayed += up.charge_log.size() + down.charge_log.size();
   for (const ChargeRec& rec : up.charge_log) seal_charge(up, rec.phase, rec.bits);
   for (const ChargeRec& rec : down.charge_log) seal_charge(down, rec.phase, rec.bits);
-  work_cv_.notify_one();
+  sh.work_cv.notify_one();
 }
 
 void SharedServicer::finish() noexcept {
@@ -751,27 +1066,57 @@ void SharedServicer::finish() noexcept {
   } catch (...) {
     // The failure is recorded; rethrow_error() surfaces it after stats fold.
   }
-  {
-    const std::lock_guard lock(mu_);
-    stop_ = true;
+  for (auto& shp : shards_) {
+    {
+      const std::lock_guard lock(shp->mu);
+      shp->stop.store(true, std::memory_order_relaxed);
+    }
+    shp->work_cv.notify_all();
   }
-  work_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  for (auto& link : links_) {
-    if (!link) continue;  // a closed session's slots; already folded at close
-    link->link->close();
-    link->folded.sender = link->sstats;
-    link->folded.receiver = link->rstats;
-    link->folded.receiver.corrupt += link->data_parser.corrupt_frames();
+  for (auto& shp : shards_) {
+    if (shp->thread.joinable()) shp->thread.join();
+  }
+  for (auto& shp : shards_) {
+    for (auto& link : shp->links) {
+      if (!link) continue;  // a closed session's slots; already folded at close
+      link->link->close();
+      link->folded.sender = link->sstats;
+      link->folded.receiver = link->rstats;
+      link->folded.receiver.corrupt += link->data_parser.corrupt_frames();
+    }
   }
   finished_ = true;
 }
 
 const SharedServicer::LinkStats& SharedServicer::stats(std::size_t link_index) const {
-  return links_[link_index]->folded;
+  return shards_[0]->links[link_index]->folded;
 }
 
-// ---- servicer thread --------------------------------------------------------
+// ---- servicer threads (one per shard) ---------------------------------------
+
+std::size_t SharedServicer::drain_charges(Shard& sh) {
+  // The single-consumer side of the fast path: seal ring charges in push
+  // order under the shard lock. One driver per session means per-link
+  // charge order equals driver program order — the same order the locked
+  // path would have produced.
+  std::size_t n = 0;
+  ChargeCmd cmd;
+  while (sh.charges.try_pop(cmd)) {
+    ++n;
+    SessionRt& rt = sh.sessions[cmd.session];
+    SessionState& ss = rt.st;
+    if (!ss.failed() && !ss.closed) {
+      LinkState& link =
+          *sh.links[ss.link_base + (cmd.upstream ? cmd.player : ss.k + cmd.player)];
+      if (link.log_charges) link.charge_log.push_back({cmd.phase, cmd.bits});
+      seal_charge(link, cmd.phase, cmd.bits);
+    }
+    // Count even skipped cmds: slow-path fences wait on consumed == pushed.
+    rt.consumed.fetch_add(1, std::memory_order_release);
+  }
+  if (n > 0) sh.space_cv.notify_all();
+  return n;
+}
 
 void SharedServicer::transmit(LinkState& link, ArqSenderWindow::Entry& entry,
                               std::uint64_t now) {
@@ -894,9 +1239,9 @@ bool SharedServicer::suppressed_sender(const LinkState& link) const noexcept {
   return link.src_down || (link.dst_down && opts_.retry.fail_fast_on_down);
 }
 
-bool SharedServicer::sweep(std::uint64_t now) {
+bool SharedServicer::sweep(Shard& sh, std::uint64_t now) {
   bool progress = false;
-  for (auto& lp : links_) {
+  for (auto& lp : sh.links) {
     if (!lp) continue;  // reclaimed slot: its session closed
     LinkState& link = *lp;
     if (!link.active) continue;  // closed or failed session: nothing to move
@@ -907,6 +1252,7 @@ bool SharedServicer::sweep(std::uint64_t now) {
       transmit(link, e, now);
       progress = true;
     }
+    note_depth(link);
     // Flush pending out-bytes (partial writes park here; never blocks).
     if (link.out_data_pos < link.out_data.size()) {
       const std::size_t n = link.link->data->write_some(std::span<const std::uint8_t>(
@@ -929,11 +1275,11 @@ bool SharedServicer::sweep(std::uint64_t now) {
     Frame f;
     if (!link.dst_down) {
       for (;;) {
-        const int n = link.link->data->read_some(read_buf_, Clock::now());
+        const int n = link.link->data->read_some(sh.read_buf, Clock::now());
         if (n <= 0) break;
         link.rstats.bytes_read += static_cast<std::uint64_t>(n);
         link.data_parser.feed(
-            std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+            std::span<const std::uint8_t>(sh.read_buf.data(), static_cast<std::size_t>(n)));
         progress = true;
       }
       while (link.data_parser.next(f)) {
@@ -944,7 +1290,7 @@ bool SharedServicer::sweep(std::uint64_t now) {
           // A protocol violation (window overrun, undecodable verified
           // batch) is contained to the link's session; sessionless links
           // abort the servicer as before.
-          link_failure(link, e.kind(), e.what());
+          link_failure(sh, link, e.kind(), e.what());
           break;
         }
       }
@@ -952,10 +1298,10 @@ bool SharedServicer::sweep(std::uint64_t now) {
     }
     if (!link.src_down) {
       for (;;) {
-        const int n = link.link->ack->read_some(read_buf_, Clock::now());
+        const int n = link.link->ack->read_some(sh.read_buf, Clock::now());
         if (n <= 0) break;
         link.ack_parser.feed(
-            std::span<const std::uint8_t>(read_buf_.data(), static_cast<std::size_t>(n)));
+            std::span<const std::uint8_t>(sh.read_buf.data(), static_cast<std::size_t>(n)));
         progress = true;
       }
       while (link.ack_parser.next(f)) {
@@ -966,24 +1312,24 @@ bool SharedServicer::sweep(std::uint64_t now) {
         const std::size_t retired =
             link.window.on_ack(decode_ack_frame(f, opts_.arq.seq_modulus));
         link.sstats.frames_sent += retired;
-        if (retired > 0) space_cv_.notify_all();
+        if (retired > 0) sh.space_cv.notify_all();
       }
     }
   }
-  if (progress) space_cv_.notify_all();
+  if (progress) sh.space_cv.notify_all();
   return progress;
 }
 
-bool SharedServicer::retransmit_due(std::uint64_t now) {
+bool SharedServicer::retransmit_due(Shard& sh, std::uint64_t now) {
   bool any = false;
-  for (auto& lp : links_) {
+  for (auto& lp : sh.links) {
     if (!lp) continue;
     LinkState& link = *lp;
     if (!link.active || suppressed_sender(link)) continue;
-    link.window.due(now, due_scratch_);
-    for (ArqSenderWindow::Entry* e : due_scratch_) {
+    link.window.due(now, sh.due_scratch);
+    for (ArqSenderWindow::Entry* e : sh.due_scratch) {
       if (e->attempts > opts_.retry.max_retries) {
-        link_failure(link, NetErrorKind::kTimeout,
+        link_failure(sh, link, NetErrorKind::kTimeout,
                      "no ack for seq " + std::to_string(e->seq) + " after " +
                          std::to_string(e->attempts) + " attempts");
         any = true;  // the failure acted: drivers woke, the link retired
@@ -996,37 +1342,35 @@ bool SharedServicer::retransmit_due(std::uint64_t now) {
   return any;
 }
 
-void SharedServicer::check_down(std::uint64_t now) {
+void SharedServicer::check_down(Shard& sh, std::uint64_t now) {
   // The fail-fast discipline only: a declared death that nobody resumed
   // within down_timeout is a typed session failure. Under the legacy
   // discipline the deadline is ignored and the dead link degrades to
   // kTimeout through the ordinary backoff budget.
   if (!opts_.retry.fail_fast_on_down) return;
-  for (const auto& lp : links_) {
+  for (const auto& lp : sh.links) {
     if (!lp) continue;
     LinkState& link = *lp;
     if (!link.active) continue;
     if (link.down_deadline_us != 0 && now >= link.down_deadline_us) {
-      link_failure(link, NetErrorKind::kPlayerDown,
+      link_failure(sh, link, NetErrorKind::kPlayerDown,
                    "player on link " + std::to_string(link.link_id) +
                        " declared down and did not resume within down_timeout");
     }
   }
 }
 
-bool SharedServicer::advance_virtual_clock() {
-  // Quiescence: every readable byte has been consumed, so ack knowledge is
-  // complete and any still-unacked entry truly needs another attempt. Jump
-  // logical time to the earliest *actionable* deadline and fire: suppressed
-  // windows never act (jumping to them would spin), and down deadlines only
-  // qualify when check_down will actually throw at them.
+bool SharedServicer::earliest_deadline(const Shard& sh, std::uint64_t& out) const noexcept {
+  // The earliest *actionable* deadline: suppressed windows never act
+  // (jumping to them would spin), and down deadlines only qualify when
+  // check_down will actually throw at them.
   std::uint64_t earliest = 0;
   bool found = false;
   const auto consider = [&](std::uint64_t d) {
     if (!found || d < earliest) earliest = d;
     found = true;
   };
-  for (const auto& link : links_) {
+  for (const auto& link : sh.links) {
     if (!link || !link->active) continue;
     if (!suppressed_sender(*link)) {
       std::uint64_t d = 0;
@@ -1036,68 +1380,162 @@ bool SharedServicer::advance_virtual_clock() {
       consider(link->down_deadline_us);
     }
   }
-  if (!found) return false;
-  vnow_us_ = std::max(vnow_us_, earliest);
-  retransmit_due(vnow_us_);
-  check_down(vnow_us_);  // fails the owning session if the jump landed on a down deadline
-  return true;           // a jump always acted: a retransmit fired or a failure recorded
+  out = earliest;
+  return found;
 }
 
-void SharedServicer::run() noexcept {
-  std::unique_lock lock(mu_);
+bool SharedServicer::advance_virtual_clock(Shard& sh) {
+  // Quiescence: every readable byte has been consumed, so ack knowledge is
+  // complete and any still-unacked entry truly needs another attempt. Jump
+  // logical time to the earliest actionable deadline and fire.
+  std::uint64_t earliest = 0;
+  if (!earliest_deadline(sh, earliest)) return false;
+  sh.vnow_us = std::max(sh.vnow_us, earliest);
+  retransmit_due(sh, sh.vnow_us);
+  check_down(sh, sh.vnow_us);  // fails the owning session if the jump landed on a down deadline
+  return true;                 // a jump always acted: a retransmit fired or a failure recorded
+}
+
+void SharedServicer::park_and_wait(Shard& sh, std::unique_lock<std::mutex>& lock,
+                                   std::chrono::microseconds dur) {
+  // Adaptive spin-then-park: poll the charge ring lock-free for a moment —
+  // the overwhelmingly common service-plane wakeup — before paying for a
+  // real park. Producers that find `parked` set take the mutex to notify,
+  // so the wakeup can never be lost; the seq_cst store/fence pair closes
+  // the push-vs-park race in the other direction.
+  lock.unlock();
+  bool work = false;
+  for (int i = 0; i < 256; ++i) {
+    if (!sh.charges.approx_empty() || sh.stop.load(std::memory_order_relaxed)) {
+      work = true;
+      break;
+    }
+    cpu_pause();
+  }
+  lock.lock();
+  if (work) return;
+  sh.parked.store(true, std::memory_order_seq_cst);
+  if (!sh.charges.approx_empty()) {
+    sh.parked.store(false, std::memory_order_relaxed);
+    return;
+  }
+  sh.work_cv.wait_for(lock, dur);
+  sh.parked.store(false, std::memory_order_relaxed);
+}
+
+void SharedServicer::run(Shard& sh) noexcept {
+  std::unique_lock lock(sh.mu);
+  // Whether this shard currently holds an idle slot at the hub; used to
+  // withdraw it the moment local work reappears.
+  bool idle_published = false;
   try {
     for (;;) {
-      const std::uint64_t now = now_us();
-      bool progress = sweep(now);
-      if (error_kind_) break;
-      if (!opts_.virtual_clock) {
-        progress |= retransmit_due(now);
-        check_down(now);
-        if (error_kind_) break;
-      }
-      if (progress) continue;
-      if (stop_ && all_drained()) break;
-      if (opts_.virtual_clock) {
-        // Quiescence requires *every* live session's driver to be blocked
-        // (driving_waiting_ >= live_drivers_): a driver still computing may
-        // yet enqueue work or acks that change retransmission fates, so
-        // jumping early would make the clock scheduling-dependent.
-        if (((driving_waiting_ > 0 && driving_waiting_ >= live_drivers_) || stop_) &&
-            advance_virtual_clock()) {
-          continue;
+      if (hub_ != nullptr) {
+        // Another shard may have advanced the global clock while we slept;
+        // act on the new time before anything else so our retransmits fire
+        // at the same logical instant as everyone else's.
+        const std::uint64_t t = hub_->now();
+        if (t > sh.vnow_us) {
+          sh.vnow_us = t;
+          idle_published = false;  // the advance cleared every hub slot
+          retransmit_due(sh, t);
+          check_down(sh, t);
+          if (sh.error_kind) break;
         }
-        space_cv_.notify_all();
-        work_cv_.wait(lock);
-        if (stop_ && all_drained()) break;
+      }
+      bool progress = multi_shard_ && drain_charges(sh) > 0;
+      const std::uint64_t now = now_us(sh);
+      if (sweep(sh, now)) progress = true;
+      if (sh.error_kind) break;
+      if (!opts_.virtual_clock) {
+        progress |= retransmit_due(sh, now);
+        check_down(sh, now);
+        if (sh.error_kind) break;
+      }
+      if (progress) {
+        if (idle_published) {
+          hub_->publish_active(sh.index);
+          idle_published = false;
+        }
+        continue;
+      }
+      if (sh.stop.load(std::memory_order_relaxed) && all_drained(sh)) break;
+      if (opts_.virtual_clock) {
+        if (hub_ == nullptr) {
+          // Single shard: the legacy quiescence rule, bit for bit. Every
+          // live session's driver must be blocked (driving_waiting >=
+          // live_drivers): a driver still computing may yet enqueue work or
+          // acks that change retransmission fates, so jumping early would
+          // make the clock scheduling-dependent.
+          if (((sh.driving_waiting > 0 && sh.driving_waiting >= sh.live_drivers) ||
+               sh.stop.load(std::memory_order_relaxed)) &&
+              advance_virtual_clock(sh)) {
+            continue;
+          }
+          sh.space_cv.notify_all();
+          sh.work_cv.wait(lock);
+          if (sh.stop.load(std::memory_order_relaxed) && all_drained(sh)) break;
+        } else {
+          // Sharded quiescence: locally idle means drivers blocked (or none
+          // live — an empty shard must not hold up its siblings) and the
+          // ring drained. Publish to the hub; whichever shard publishes the
+          // last missing slot performs the global jump and pokes the rest.
+          const bool quiescent =
+              sh.charges.approx_empty() &&
+              (sh.stop.load(std::memory_order_relaxed) || sh.live_drivers == 0 ||
+               (sh.driving_waiting > 0 && sh.driving_waiting >= sh.live_drivers));
+          if (quiescent) {
+            // Publish every quiescent lap (idempotent): an advance or a
+            // driver's publish_active clears our hub slot behind our back,
+            // and skipping the re-publish would wedge the barrier.
+            std::uint64_t dl = 0;
+            const bool has_dl = earliest_deadline(sh, dl);
+            if (hub_->publish_idle(sh.index, has_dl, dl)) {
+              idle_published = false;
+              sh.vnow_us = std::max(sh.vnow_us, hub_->now());
+              retransmit_due(sh, sh.vnow_us);
+              check_down(sh, sh.vnow_us);
+              if (sh.error_kind) break;
+              continue;
+            }
+            idle_published = true;
+          }
+          sh.space_cv.notify_all();
+          // The hub notifies our condvar without holding our mutex, so this
+          // wait must be bounded: a lost cross-shard wakeup costs one lap
+          // of the timeout, never a hang (and never a count).
+          park_and_wait(sh, lock, std::chrono::microseconds(200));
+        }
       } else {
-        space_cv_.notify_all();
+        sh.space_cv.notify_all();
         auto wake = Clock::now() + std::chrono::milliseconds(200);
         std::uint64_t d = 0;
-        for (const auto& link : links_) {
-          if (!link || !link->active) continue;
-          std::uint64_t ld = 0;
-          if (!suppressed_sender(*link) && link->window.next_deadline(ld)) {
-            d = (d == 0 || ld < d) ? ld : d;
-          }
-          if (opts_.retry.fail_fast_on_down && link->down_deadline_us != 0) {
-            d = (d == 0 || link->down_deadline_us < d) ? link->down_deadline_us : d;
-          }
+        if (earliest_deadline(sh, d)) {
+          wake = std::min(wake, epoch_ + std::chrono::microseconds(d));
         }
-        if (d != 0) wake = std::min(wake, epoch_ + std::chrono::microseconds(d));
-        if (opts_.timed_recheck && anything_unacked()) {
+        if (opts_.timed_recheck && anything_unacked(sh)) {
           // Kernel-buffered transport: bytes may become readable without
           // any condvar signal; recheck soon.
           wake = std::min(wake, Clock::now() + std::chrono::microseconds(500));
         }
-        work_cv_.wait_until(lock, wake);
+        if (multi_shard_) {
+          sh.parked.store(true, std::memory_order_seq_cst);
+          if (!sh.charges.approx_empty()) {
+            sh.parked.store(false, std::memory_order_relaxed);
+            continue;
+          }
+        }
+        sh.work_cv.wait_until(lock, wake);
+        if (multi_shard_) sh.parked.store(false, std::memory_order_relaxed);
       }
     }
   } catch (const NetError& e) {
-    record_error(e.kind(), e.what());
+    record_error(sh, e.kind(), e.what());
   } catch (const std::exception& e) {
-    record_error(NetErrorKind::kProtocol, e.what());
+    record_error(sh, NetErrorKind::kProtocol, e.what());
   }
-  space_cv_.notify_all();
+  if (hub_ != nullptr) hub_->publish_exit(sh.index);
+  sh.space_cv.notify_all();
 }
 
 }  // namespace tft::net

@@ -24,41 +24,63 @@
 #include "net/transport.h"
 
 /// \file servicer.h
-/// The shared event-driven servicer: ONE thread drains every link of every
-/// live session — admitting sealed frames into each link's ARQ window,
-/// writing wire bytes (never blocking: partial writes park in per-link
-/// out-buffers), parsing arrivals, acknowledging, delivering, and
-/// retransmitting on timeout. It replaces the 2k LinkServicer threads of
-/// the stop-and-wait engine, and — since the session table landed — also
-/// the one-servicer-per-NetSession topology: many concurrent sessions
-/// multiplex over one servicer thread and one shared transport.
+/// The shared event-driven servicer: N poller threads (Options::num_shards,
+/// default 1) drain every link of every live session — admitting sealed
+/// frames into each link's ARQ window, writing wire bytes (never blocking:
+/// partial writes park in per-link out-buffers), parsing arrivals,
+/// acknowledging, delivering, and retransmitting on timeout. It replaces
+/// the 2k LinkServicer threads of the stop-and-wait engine, and — since the
+/// session table landed — also the one-servicer-per-NetSession topology:
+/// many concurrent sessions multiplex over one servicer and one shared
+/// transport.
 ///
-/// Division of labor:
-///  * The *driving* thread (the protocol) calls enqueue_charge /
-///    enqueue_relay / flush. Coalescing and sequence-number assignment
-///    happen there, under the lock, so the frame stream per link is a pure
-///    function of the charge stream — the determinism anchor. Enqueue
-///    blocks only on queue backpressure (pending_cap), at a flush barrier,
-///    or per frame under ArqPolicy::block_per_frame.
-///  * The servicer thread owns all pipe I/O. It sweeps links until no byte
-///    can move, then sleeps: on a condvar (in-proc — only it writes the
-///    rings, so nothing arrives while it sleeps), with a timed recheck
-///    (sockets — the kernel buffers bytes it cannot see), or until the
-///    earliest retransmit deadline.
+/// ## Shards
 ///
-/// Virtual-clock mode (Options::virtual_clock, in-proc only): no real
-/// timer ever fires. Logical time advances only at *quiescence* — the sweep
-/// moved nothing and every live session's driving thread is blocked —
-/// jumping straight to the earliest retransmit deadline. At quiescence
-/// every delivered ack has been processed, so a frame is retransmitted iff
-/// no attempt so far delivered; attempt fates are pure functions of
-/// (session, link, seq, attempt); hence retransmission counts are exactly
-/// reproducible run to run — what lets bench_net's fault grid live in the
-/// committed baseline.
+/// Each shard is a self-contained copy of the original single-threaded
+/// engine: its own mutex, condvars, link table, session table, free-slot
+/// list, virtual clock and scratch buffers. A session is pinned to exactly
+/// one shard at open_session (session_id % num_shards, or the explicit
+/// SessionOptions::shard_affinity hint), and all 2k of its links live
+/// there — so per-session determinism, phase-barrier flushing and
+/// crash/replay logic are untouched by sharding: within a shard the code
+/// IS the single-threaded servicer. `num_shards = 1` takes exactly the
+/// legacy code paths (no charge ring, no hub, no spin) and is byte-identical
+/// to the pre-shard servicer — the permanent A/B reference.
+///
+/// With num_shards > 1 the driving threads gain a lock-free fast path:
+/// eligible charges (same phase, no crash schedule, queue below the
+/// backpressure cap) are pushed onto the shard's bounded MPSC ring
+/// (net/mpsc.h) and sealed by the poller in FIFO order — which, one driver
+/// per session, equals the driver's program order, preserving the
+/// "frame stream is a pure function of the charge stream" anchor. Anything
+/// else (phase barriers, crash-tolerant sessions with a crash schedule,
+/// backpressure, flush, close) takes the classic locked slow path, which
+/// first waits for the session's in-flight ring entries to be consumed so
+/// per-link charge order is never reordered across the two paths. Idle
+/// pollers spin briefly on the ring before parking on their condvar; a
+/// parked flag with a seq_cst fence makes the producer-side wakeup
+/// race-free.
+///
+/// ## Virtual-clock mode (Options::virtual_clock, in-proc only)
+///
+/// No real timer ever fires. Logical time advances only at *quiescence* —
+/// the sweep moved nothing and every live session's driving thread is
+/// blocked — jumping straight to the earliest retransmit deadline. At
+/// quiescence every delivered ack has been processed, so a frame is
+/// retransmitted iff no attempt so far delivered; attempt fates are pure
+/// functions of (session, link, seq, attempt); hence retransmission counts
+/// are exactly reproducible run to run — what lets bench_net's fault grid
+/// live in the committed baseline. With multiple shards, quiescence is
+/// global: a VClockHub (net/vclock_hub.h) advances the one logical clock
+/// only when every shard has published local quiescence (drivers blocked,
+/// ring drained, sweep idle), to the minimum actionable deadline across
+/// shards — so per-session fault counts stay bit-identical at any shard
+/// count (only WireStats::virtual_time_us, which was never part of the
+/// cross-config contract, may differ).
 ///
 /// ## Sessions
 ///
-/// A *session* (net/session.h) is a value-type row in the servicer's table:
+/// A *session* (net/session.h) is a value-type row in its shard's table:
 /// open_session registers 2k links for k players (up then down, the same
 /// intra-session link-id numbering as a solo run), session_charge /
 /// session_flush are the per-session forms of enqueue_charge / flush (with
@@ -69,8 +91,16 @@
 /// its driver's waits throw the session's typed error — while every other
 /// session keeps draining. Only session-free failures (setup, legacy relay
 /// lanes) abort the servicer globally.
+///
+/// Session handles returned by open_session encode the shard: handle =
+/// local_index * num_shards + shard. At num_shards = 1 the handle equals
+/// the table index, exactly as before. Legacy sessionless APIs (add_link,
+/// enqueue_charge, enqueue_relay, the crash controller's link-index forms,
+/// stats) operate on shard 0, where all add_link links live.
 
 namespace tft::net {
+
+class VClockHub;
 
 class SharedServicer {
  public:
@@ -86,6 +116,11 @@ class SharedServicer {
     /// flush barrier, snapshot per-link barrier state at every flush, and
     /// accept crash_player / recover_player calls. Off for relay lanes.
     bool crash_tolerance = false;
+    /// Independent poller shards. 1 (the default) is the single-threaded
+    /// servicer, byte for byte; N > 1 scales the service plane across N
+    /// cores while keeping every session's transcript and accounting
+    /// bit-exact (sessions never span shards). Values < 1 are clamped.
+    std::size_t num_shards = 1;
   };
 
   explicit SharedServicer(const Options& opts);
@@ -99,6 +134,7 @@ class SharedServicer {
   /// message per frame so the overhead measurement stays per-message).
   /// `deliver` (optional) sees each unique accepted frame in sequence
   /// order, on the servicer thread; it may call enqueue_from_hook only.
+  /// Legacy links always live on shard 0.
   std::size_t add_link(Link* link, std::uint32_t link_id, std::uint32_t src, std::uint32_t dst,
                        bool coalesce, std::function<void(const Frame&)> deliver = nullptr);
 
@@ -118,17 +154,25 @@ class SharedServicer {
     /// key on (session, link, seq), so two sessions sharing a plan still
     /// draw independent fates.
     std::optional<FaultPlan> faults;
+    /// Shard placement hint: 0 (default) routes by session_id % num_shards;
+    /// s >= 1 pins the session to shard (s - 1) % num_shards. Placement
+    /// never changes the session's bytes or accounting — only which poller
+    /// core serves it.
+    std::uint32_t shard_affinity = 0;
   };
 
   /// Register a session: mints 2k links from `transport` (outside the lock
-  /// — socket transports may block) and appends a SessionState row. Allowed
-  /// before or after start(). Returns the session's table index.
+  /// — socket transports may block) and appends a session row to the
+  /// routed shard's table. Allowed before or after start(). Returns the
+  /// session handle (shard-encoded; equal to the table index at
+  /// num_shards = 1).
   std::size_t open_session(Transport& transport, const SessionOptions& so);
 
   /// Per-session enqueue_charge: runs the session's phase barrier when
   /// `phase` changes, evaluates its crash schedule, seals the charge onto
   /// the addressed link and applies backpressure. Throws the session's
-  /// typed error if it failed.
+  /// typed error if it failed. With num_shards > 1, eligible charges take
+  /// the shard's lock-free ring instead of the mutex.
   void session_charge(std::size_t session, std::size_t player, bool upstream,
                       std::uint64_t bits, std::uint64_t phase);
 
@@ -151,7 +195,7 @@ class SharedServicer {
 
   [[nodiscard]] std::size_t num_sessions() const;
 
-  // ---- driving-thread API (legacy sessionless links) ----------------------
+  // ---- driving-thread API (legacy sessionless links, shard 0) -------------
 
   /// Append one charged message to the link's open batch (or seal a solo
   /// frame when not coalescing). Blocks on queue backpressure; under
@@ -163,9 +207,10 @@ class SharedServicer {
                      std::uint64_t message_bits);
 
   /// Phase barrier: seal every open batch, then block until every queue,
-  /// window and out-buffer is drained (acknowledged end to end). Under
-  /// crash_tolerance the barrier additionally snapshots every link's
-  /// LinkCheckpoint and clears the charge logs — the checkpoint instant.
+  /// window and out-buffer is drained (acknowledged end to end) on every
+  /// shard. Under crash_tolerance the barrier additionally snapshots every
+  /// link's LinkCheckpoint and clears the charge logs — the checkpoint
+  /// instant.
   void flush();
 
   // ---- crash controller (driving thread, crash_tolerance only) ------------
@@ -177,6 +222,7 @@ class SharedServicer {
   /// the down link. If no recover_player follows, the session fails with
   /// NetError(kPlayerDown) after RetryPolicy::down_timeout (fail-fast) or
   /// NetError(kTimeout) once the backoff budget burns out (legacy).
+  /// Link indices are shard-0 scope (the legacy single-session layout).
   void crash_player(std::size_t up_index, std::size_t down_index, std::uint32_t player,
                     std::uint64_t phase);
 
@@ -192,17 +238,19 @@ class SharedServicer {
                       std::span<const std::uint8_t> checkpoint_bytes);
 
   /// The link's state at the last flush barrier (all zeros before the
-  /// first barrier — the start-of-run checkpoint).
+  /// first barrier — the start-of-run checkpoint). Shard-0 link indices.
   [[nodiscard]] LinkCheckpoint barrier_checkpoint(std::size_t link_index) const;
 
-  /// Total charges re-sealed by recover_player calls so far.
+  /// Total charges re-sealed by recover_player calls so far (all shards).
   [[nodiscard]] std::uint64_t replayed_charges() const;
 
-  /// Drain, stop and join; never throws (failures stay in error() and are
-  /// rethrown by rethrow_error()). Idempotent. Stats are valid after this.
+  /// Drain, stop and join every shard; never throws (failures stay in
+  /// error() and are rethrown by rethrow_error()). Idempotent. Stats are
+  /// valid after this.
   void finish() noexcept;
 
-  /// Throws the recorded NetError, if any.
+  /// Throws the first shard's recorded NetError, if any (shards checked in
+  /// index order).
   void rethrow_error() const;
 
   // ---- servicer-thread API (deliver hooks only) ---------------------------
@@ -219,84 +267,84 @@ class SharedServicer {
     ReceiverStats receiver;
   };
 
+  /// Shard-0 (legacy) link stats.
   [[nodiscard]] const LinkStats& stats(std::size_t link_index) const;
-  [[nodiscard]] std::uint64_t virtual_time_us() const noexcept { return vnow_us_; }
-  [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
+  [[nodiscard]] std::uint64_t virtual_time_us() const noexcept;
+  [[nodiscard]] std::size_t num_links() const noexcept;
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
 
  private:
   struct LinkState;
+  struct SessionRt;
+  struct Shard;
+  struct ChargeCmd;
 
-  void run() noexcept;
-  bool sweep(std::uint64_t now_us);
+  [[nodiscard]] std::size_t shard_for(std::uint32_t session_id,
+                                      std::uint32_t affinity) const noexcept;
+
+  void run(Shard& sh) noexcept;
+  std::size_t drain_charges(Shard& sh);
+  void wake_shard(Shard& sh);
+  void park_and_wait(Shard& sh, std::unique_lock<std::mutex>& lock,
+                     std::chrono::microseconds dur);
+  bool sweep(Shard& sh, std::uint64_t now_us);
   void transmit(LinkState& link, ArqSenderWindow::Entry& entry, std::uint64_t now_us);
-  bool retransmit_due(std::uint64_t now_us);
-  bool advance_virtual_clock();
-  void check_down(std::uint64_t now_us);
-  void wait_for_space(std::unique_lock<std::mutex>& lock, LinkState& link);
-  void session_barrier_locked(std::unique_lock<std::mutex>& lock, SessionState& ss);
-  void refresh_session_checkpoints_locked(SessionState& ss);
-  void maybe_crash_locked(SessionState& ss, std::size_t player, std::uint64_t phase);
-  void crash_player_locked(std::size_t up_index, std::size_t down_index, std::uint32_t player,
-                           std::uint64_t phase);
-  void recover_player_locked(std::size_t up_index, std::size_t down_index,
+  bool retransmit_due(Shard& sh, std::uint64_t now_us);
+  bool advance_virtual_clock(Shard& sh);
+  [[nodiscard]] bool earliest_deadline(const Shard& sh, std::uint64_t& out) const noexcept;
+  void check_down(Shard& sh, std::uint64_t now_us);
+  void wait_for_space(Shard& sh, std::unique_lock<std::mutex>& lock, LinkState& link);
+  void drain_session_ring_locked(Shard& sh, std::unique_lock<std::mutex>& lock, SessionRt& rt);
+  void session_barrier_locked(Shard& sh, std::unique_lock<std::mutex>& lock, SessionState& ss);
+  void refresh_session_checkpoints_locked(Shard& sh, SessionState& ss);
+  void maybe_crash_locked(Shard& sh, SessionRt& rt, std::size_t player, std::uint64_t phase);
+  void crash_player_locked(Shard& sh, std::size_t up_index, std::size_t down_index,
+                           std::uint32_t player, std::uint64_t phase);
+  void recover_player_locked(Shard& sh, std::size_t up_index, std::size_t down_index,
                              const PlayerCheckpoint& ck,
                              std::span<const std::uint8_t> checkpoint_bytes, SessionState* ss);
-  void fail_session_locked(SessionState& ss, NetErrorKind kind, std::string what) noexcept;
+  void fail_session_locked(Shard& sh, SessionRt& rt, NetErrorKind kind,
+                           std::string what) noexcept;
   /// Route a failure to its owner: the link's session if it has one, the
   /// global error otherwise.
-  void link_failure(LinkState& link, NetErrorKind kind, std::string what) noexcept;
+  void link_failure(Shard& sh, LinkState& link, NetErrorKind kind, std::string what) noexcept;
   void throw_if_session_failed_locked(const SessionState& ss) const;
-  [[nodiscard]] bool session_drained_locked(const SessionState& ss) const noexcept;
+  [[nodiscard]] bool session_drained_locked(const Shard& sh,
+                                            const SessionState& ss) const noexcept;
   void handle_data_frame(LinkState& link, Frame f);
   void handle_control_frame(LinkState& link, const Frame& f);
   void accept_frame(LinkState& link, const Frame& f);
   void seal_open_batch(LinkState& link);
   void seal_data_frame(LinkState& link, std::uint64_t phase, std::uint64_t bits);
   void seal_charge(LinkState& link, std::uint64_t phase, std::uint64_t bits);
+  static void note_depth(LinkState& link) noexcept;
   void append_control_frame(LinkState& link, const Frame& f);
   void restore_sender(LinkState& link, const LinkCheckpoint& ck);
   void restore_receiver(LinkState& link, const LinkCheckpoint& ck);
   [[nodiscard]] bool suppressed_sender(const LinkState& link) const noexcept;
-  [[nodiscard]] bool all_drained() const noexcept;
-  [[nodiscard]] bool anything_unacked() const noexcept;
-  void record_error(NetErrorKind kind, std::string what) noexcept;
-  void throw_if_error_locked() const;
-  [[nodiscard]] std::uint64_t now_us() const noexcept;
+  [[nodiscard]] bool all_drained(const Shard& sh) const noexcept;
+  [[nodiscard]] bool anything_unacked(const Shard& sh) const noexcept;
+  [[nodiscard]] bool ring_drained(const Shard& sh) const noexcept;
+  void record_error(Shard& sh, NetErrorKind kind, std::string what) noexcept;
+  void throw_if_error_locked(const Shard& sh) const;
+  [[nodiscard]] std::uint64_t now_us(const Shard& sh) const noexcept;
+  void flush_shard(Shard& sh);
 
   Options opts_;
-  /// Link table. Slots are stable for the servicer's lifetime (link indices
-  /// are handed out), but a closed session's slots are reset to null —
-  /// reclaiming its rings and windows — and recorded in free_link_blocks_
-  /// for the next same-width session to reuse. Every scan over links_ must
-  /// skip null slots.
-  std::vector<std::unique_ptr<LinkState>> links_;
-  /// Reclaimed contiguous slot runs: (first slot, slot count). Bounds the
-  /// link table by peak concurrency, not by total sessions ever served.
-  std::vector<std::pair<std::size_t, std::size_t>> free_link_blocks_;
-  /// The session table (deque: rows never move, so checkpoint references
-  /// stay valid as sessions open). Guarded by mu_.
-  std::deque<SessionState> sessions_;
-
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< wakes the servicer (new work / stop)
-  std::condition_variable space_cv_;  ///< wakes driving waits (space / drain / error)
+  std::size_t num_shards_ = 1;
+  /// True iff num_shards_ > 1: gates the MPSC fast path, the poller spin
+  /// and the hub, so a single-shard servicer takes exactly the legacy code
+  /// paths.
+  bool multi_shard_ = false;
+  /// One engine per shard (pointer-stable; the Shard definition lives in
+  /// servicer.cpp next to LinkState).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cross-shard virtual-clock barrier; only with virtual_clock and
+  /// num_shards > 1.
+  std::unique_ptr<VClockHub> hub_;
   bool started_ = false;
-  bool stop_ = false;
   bool finished_ = false;
-  int driving_waiting_ = 0;  ///< driving threads blocked => quiescence may advance vclock
-  /// Open sessions whose drivers may still act. The virtual clock advances
-  /// only when every one of them is blocked (driving_waiting_ >=
-  /// live_drivers_): jumping while another session's driver is mid-compute
-  /// would make retransmission fates depend on scheduling.
-  int live_drivers_ = 0;
-  std::optional<NetErrorKind> error_kind_;
-  std::string error_what_;
-  std::uint64_t replayed_charges_ = 0;
-  std::uint64_t vnow_us_ = 0;
   Clock::time_point epoch_;
-  std::vector<std::uint8_t> read_buf_;
-  std::vector<ArqSenderWindow::Entry*> due_scratch_;
-  std::thread thread_;
 };
 
 /// ChannelSink view of one multiplexed session: a service worker installs

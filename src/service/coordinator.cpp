@@ -53,6 +53,7 @@ ServiceCoordinator::ServiceCoordinator(const ServiceConfig& cfg) : cfg_(cfg) {
   opts.virtual_clock = cfg_.net.virtual_clock;
   opts.timed_recheck = cfg_.net.transport == net::TransportKind::kSocket;
   opts.crash_tolerance = cfg_.net.crash_tolerance;
+  opts.num_shards = cfg_.net.num_shards;
   servicer_ = std::make_unique<net::SharedServicer>(opts);
   servicer_->start();
 
@@ -139,14 +140,15 @@ void ServiceCoordinator::worker_loop() {
     SessionOutcome out = execute(pending->spec, pending->wire_id);
     // Release the admission slot BEFORE fulfilling the promise: a client
     // that resubmits the instant its future is ready must find room, or a
-    // full-depth pipeline would bounce off kServiceBusy spuriously.
+    // full-depth pipeline would bounce off kServiceBusy spuriously. Both
+    // happen under one critical section so drain() — which waits on
+    // running_ == 0 under the same mutex — can never observe the slot
+    // released while the future is still unresolved.
     lock.lock();
     --running_;
     ++completed_;
-    idle_cv_.notify_all();
-    lock.unlock();
     pending->promise.set_value(std::move(out));
-    lock.lock();
+    idle_cv_.notify_all();
   }
 }
 
@@ -164,6 +166,7 @@ SessionOutcome ServiceCoordinator::execute(const SessionSpec& spec, std::uint32_
     so.session_id = wire_id;
     so.seed = spec.seed;
     so.crash_tolerance = cfg_.net.crash_tolerance;
+    so.shard_affinity = spec.shard_affinity;
     const std::size_t sidx = servicer_->open_session(*transport_, so);
 
     // Capture and sink are both thread-local, so concurrent workers each

@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "net/error.h"
@@ -156,9 +159,13 @@ void ServiceDaemon::serve_connection(int fd) {
     try {
       future = coordinator_->submit(spec);
     } catch (const NetError& e) {
-      // Admission refusal is an answer, not a dropped connection: the
-      // client gets a typed kBusy reply and may retry.
-      reply.status = ReplyStatus::kBusy;
+      // Admission refusal is an answer, not a dropped connection. Two typed
+      // refusals, distinguished so clients back off correctly: kServiceBusy
+      // (capacity — retry later) travels as kBusy, while kClosed (the
+      // service is draining for shutdown) travels as kError — retrying a
+      // draining daemon is pointless.
+      reply.status =
+          e.kind() == NetErrorKind::kServiceBusy ? ReplyStatus::kBusy : ReplyStatus::kError;
       reply.error = e.what();
       write_blob(fd, encode_reply(reply));
       return;
@@ -197,6 +204,21 @@ ServiceReply request(std::uint16_t port, const SessionSpec& spec) {
 
   write_blob(fd, encode_spec(spec));
   return decode_reply(read_blob(fd));
+}
+
+ServiceReply request_with_retry(std::uint16_t port, const SessionSpec& spec,
+                                std::size_t retries, std::uint64_t backoff_ms) {
+  ServiceReply reply = request(port, spec);
+  std::uint64_t delay = backoff_ms;
+  for (std::size_t attempt = 0; attempt < retries && reply.status == ReplyStatus::kBusy;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    // Bounded exponential: doubling capped at 32x the base, so a long retry
+    // budget degrades to steady polling instead of hour-long sleeps.
+    delay = std::min<std::uint64_t>(delay * 2, backoff_ms * 32);
+    reply = request(port, spec);
+  }
+  return reply;
 }
 
 }  // namespace tft::service

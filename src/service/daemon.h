@@ -55,4 +55,13 @@ class ServiceDaemon {
 /// back as a reply with status kBusy.
 [[nodiscard]] ServiceReply request(std::uint16_t port, const SessionSpec& spec);
 
+/// request() with bounded exponential backoff on kBusy replies: up to
+/// `retries` re-requests, sleeping backoff_ms, 2*backoff_ms, 4*... (capped
+/// at 32x) between attempts. Returns the first non-kBusy reply, or the last
+/// kBusy reply once retries are exhausted — the caller still sees status
+/// kBusy and can exit accordingly. Only kBusy is retried: errors, including
+/// a draining daemon's kError reply, surface immediately.
+[[nodiscard]] ServiceReply request_with_retry(std::uint16_t port, const SessionSpec& spec,
+                                              std::size_t retries, std::uint64_t backoff_ms);
+
 }  // namespace tft::service

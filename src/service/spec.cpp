@@ -12,6 +12,11 @@ namespace tft::service {
 namespace {
 
 constexpr std::uint64_t kSpecVersion = 1;
+/// v2 appends shard_affinity after tenant. Emitted only when the field is
+/// non-zero, so every pre-shard spec (and every spec that doesn't pin a
+/// shard) still produces the v1 bytes — the wire stays byte-identical at
+/// the default.
+constexpr std::uint64_t kSpecVersionShard = 2;
 constexpr std::uint64_t kReplyVersion = 1;
 /// Sanity bound on embedded strings (tenant, error): a spec is a request
 /// header, not a payload channel.
@@ -60,7 +65,7 @@ std::optional<InstanceFamily> parse_family(const std::string& s) noexcept {
 
 std::vector<std::uint8_t> encode_spec(const SessionSpec& spec) {
   BitWriter w;
-  w.put_gamma(kSpecVersion);
+  w.put_gamma(spec.shard_affinity == 0 ? kSpecVersion : kSpecVersionShard);
   w.put_gamma(static_cast<std::uint64_t>(spec.protocol));
   w.put_gamma(static_cast<std::uint64_t>(spec.family));
   w.put_gamma(spec.n);
@@ -69,13 +74,15 @@ std::vector<std::uint8_t> encode_spec(const SessionSpec& spec) {
   w.put_gamma(spec.eps_micro);
   w.put_gamma(spec.param);
   put_string(w, spec.tenant);
+  if (spec.shard_affinity != 0) w.put_gamma(spec.shard_affinity);
   return w.bytes();
 }
 
 SessionSpec decode_spec(std::span<const std::uint8_t> bytes) {
   try {
     BitReader r(bytes, bytes.size() * std::uint64_t{8});
-    if (r.get_gamma() != kSpecVersion) {
+    const std::uint64_t version = r.get_gamma();
+    if (version != kSpecVersion && version != kSpecVersionShard) {
       throw net::NetError(net::NetErrorKind::kCorrupt, "unknown spec version");
     }
     SessionSpec spec;
@@ -98,6 +105,16 @@ SessionSpec decode_spec(std::span<const std::uint8_t> bytes) {
     spec.eps_micro = static_cast<std::uint32_t>(eps_micro);
     spec.param = r.get_gamma();
     spec.tenant = get_string(r);
+    if (version >= kSpecVersionShard) {
+      const std::uint64_t aff = r.get_gamma();
+      if (aff == 0 || aff > UINT32_MAX) {
+        // A v2 spec with affinity 0 should have been encoded as v1; reject
+        // the redundant form so the encoding stays canonical (one value,
+        // one byte string).
+        throw net::NetError(net::NetErrorKind::kCorrupt, "spec shard affinity out of range");
+      }
+      spec.shard_affinity = static_cast<std::uint32_t>(aff);
+    }
     return spec;
   } catch (const WireError& e) {
     throw net::NetError(net::NetErrorKind::kCorrupt,

@@ -65,6 +65,13 @@ struct SessionSpec {
   std::uint64_t param = 0;
   /// Fair-share scheduling key; empty = the anonymous tenant.
   std::string tenant;
+  /// Servicer shard placement hint (SharedServicer::SessionOptions::
+  /// shard_affinity): 0 = route by session id, s >= 1 pins to shard
+  /// (s-1) % num_shards. Placement never changes the session's bytes or
+  /// accounting. Version-gated on the wire: a spec with the default 0
+  /// encodes as v1, byte-identical to pre-shard clients; only a non-zero
+  /// hint emits the v2 encoding.
+  std::uint32_t shard_affinity = 0;
 
   bool operator==(const SessionSpec&) const = default;
 };

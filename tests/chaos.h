@@ -44,6 +44,11 @@ struct Scenario {
   std::uint64_t instance_seed = 19;
   CommModel model = CommModel::kCoordinator;
   net::ArqPolicy arq = net::ArqPolicy::windowed();
+  /// Servicer poller shards. A solo session always lives on one shard, but
+  /// > 1 routes it through the multi-shard machinery (MPSC fast path,
+  /// cross-shard quiescence hub) — the shard-determinism suite reruns the
+  /// chaos grammar at 4 shards against the 1-shard clean baseline.
+  std::size_t num_shards = 1;
 };
 
 inline const char* arq_name(const net::ArqPolicy& arq) {
@@ -102,6 +107,7 @@ inline net::NetConfig make_config(const Scenario& s) {
   cfg.transport = net::TransportKind::kInProc;
   cfg.virtual_clock = true;  // deterministic witnesses
   cfg.arq = s.arq;
+  cfg.num_shards = s.num_shards;
   return cfg;
 }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/wire.h"
 #include "net/error.h"
 #include "net/runtime.h"
 #include "net/transport.h"
@@ -248,6 +249,96 @@ TEST(ServiceDaemonTest, ServesSpecsOverLoopbackTcp) {
   // Shutdown is idempotent and the port stops answering.
   daemon.shutdown();
   EXPECT_THROW((void)request(daemon.port(), small_spec(13)), NetError);
+}
+
+// ---- spec versioning: the shard-affinity field ------------------------------
+
+/// The default (affinity 0) spec must stay byte-identical to the pre-shard
+/// v1 wire: reconstruct the v1 encoder's byte string field by field and
+/// demand equality. A pre-shard peer decodes today's default specs, and
+/// vice versa.
+TEST(ServiceSpec, AffinityZeroKeepsTheV1WireBytes) {
+  const SessionSpec spec = small_spec(9, "acme");
+  BitWriter w;
+  w.put_gamma(1);  // the pre-shard version tag
+  w.put_gamma(static_cast<std::uint64_t>(spec.protocol));
+  w.put_gamma(static_cast<std::uint64_t>(spec.family));
+  w.put_gamma(spec.n);
+  w.put_gamma(spec.k);
+  w.put_bits(spec.seed, 64);
+  w.put_gamma(spec.eps_micro);
+  w.put_gamma(spec.param);
+  w.put_gamma(spec.tenant.size());
+  for (const char c : spec.tenant) w.put_bits(static_cast<std::uint8_t>(c), 8);
+  EXPECT_EQ(encode_spec(spec), w.bytes());
+}
+
+TEST(ServiceSpec, AffinityRoundTripsThroughTheV2Wire) {
+  SessionSpec spec = small_spec(10, "acme");
+  spec.shard_affinity = 3;
+  EXPECT_EQ(decode_spec(encode_spec(spec)), spec);
+  spec.shard_affinity = UINT32_MAX;
+  EXPECT_EQ(decode_spec(encode_spec(spec)), spec);
+}
+
+/// Canonicality: one value, one byte string. A v2 encoding carrying
+/// affinity 0 (which should have been v1) is rejected, so nobody can mint
+/// two distinct byte strings for the same spec.
+TEST(ServiceSpec, RejectsNonCanonicalV2WithZeroAffinity) {
+  const SessionSpec spec;  // all defaults, affinity 0
+  BitWriter w;
+  w.put_gamma(2);  // v2 tag on a spec that must encode as v1
+  w.put_gamma(static_cast<std::uint64_t>(spec.protocol));
+  w.put_gamma(static_cast<std::uint64_t>(spec.family));
+  w.put_gamma(spec.n);
+  w.put_gamma(spec.k);
+  w.put_bits(spec.seed, 64);
+  w.put_gamma(spec.eps_micro);
+  w.put_gamma(spec.param);
+  w.put_gamma(0);  // empty tenant
+  w.put_gamma(0);  // the non-canonical zero affinity
+  try {
+    (void)decode_spec(w.bytes());
+    FAIL() << "a v2 spec with affinity 0 must be rejected as non-canonical";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetErrorKind::kCorrupt);
+  }
+}
+
+// ---- client retry -----------------------------------------------------------
+
+/// request_with_retry against a capacity-1 daemon: a zero-budget call
+/// surfaces the typed kBusy reply (the exit-2 path), while a budgeted call
+/// outlasts the busy window and lands a real verdict once the slot frees.
+TEST(ServiceDaemonTest, RetryOutlastsABusyWindow) {
+  if (!net::LoopbackSocketTransport::available()) {
+    GTEST_SKIP() << "no loopback networking in this environment";
+  }
+  ServiceDaemon daemon(inproc_config(/*live=*/1, /*pending=*/1));
+
+  // A slow occupant holds the only admission slot while we probe.
+  SessionSpec slow = small_spec(31);
+  slow.n = 4000;
+  ServiceReply occupant_reply;
+  std::thread occupant([&] { occupant_reply = request(daemon.port(), slow); });
+  while (daemon.coordinator().live_sessions() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // retries=0 is a plain request: the busy window is observable, typed.
+  const ServiceReply busy = request_with_retry(daemon.port(), small_spec(32), 0, 1);
+  EXPECT_EQ(busy.status, ReplyStatus::kBusy);
+  EXPECT_FALSE(busy.error.empty()) << "a busy reply should say what was full";
+
+  // A budgeted retry converges once the occupant completes.
+  const ServiceReply ok = request_with_retry(daemon.port(), small_spec(33), 400, 5);
+  EXPECT_NE(ok.status, ReplyStatus::kBusy) << ok.error;
+  EXPECT_NE(ok.status, ReplyStatus::kError) << ok.error;
+  EXPECT_TRUE(ok.accounting_exact);
+
+  occupant.join();
+  EXPECT_NE(occupant_reply.status, ReplyStatus::kBusy) << occupant_reply.error;
+  EXPECT_NE(occupant_reply.status, ReplyStatus::kError) << occupant_reply.error;
 }
 
 }  // namespace
